@@ -1,0 +1,113 @@
+// Command premcheck is the paper's Appendix G auto-validation tool
+// (GPtest): it tests whether the PreM property holds for an
+// aggregate-in-recursion query on given data by running the original query
+// and its PreM-checking rewrite iteration by iteration and comparing
+// results at every step. It can also print the rewritten query.
+//
+// Usage:
+//
+//	premcheck -table 'edge=edges.csv:Src int,Dst int,Cost double' \
+//	          -f apsp.sql [-iter 200] [-rewrite]
+//
+// Built-in queries can be checked by name:
+//
+//	premcheck -table ... -name sssp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	rasql "github.com/rasql/rasql-go"
+	"github.com/rasql/rasql-go/internal/cli"
+	"github.com/rasql/rasql-go/internal/prem"
+	"github.com/rasql/rasql-go/internal/sql/analyze"
+	"github.com/rasql/rasql-go/internal/sql/exec"
+	"github.com/rasql/rasql-go/internal/sql/parser"
+	"github.com/rasql/rasql-go/queries"
+)
+
+var builtins = map[string]string{
+	"sssp":     queries.SSSP,
+	"apsp":     queries.APSP,
+	"cc":       queries.CCLabels,
+	"delivery": queries.Delivery,
+	"coalesce": queries.Coalesce,
+}
+
+func main() {
+	var (
+		tables  cli.MultiFlag
+		query   = flag.String("q", "", "query text")
+		file    = flag.String("f", "", "query file")
+		name    = flag.String("name", "", "built-in query name: "+keys())
+		iters   = flag.Int("iter", 200, "iteration budget for the step checker")
+		rewrite = flag.Bool("rewrite", false, "print the PreM-checking rewrite (Appendix G) and exit")
+	)
+	flag.Var(&tables, "table", "name=path:schema (repeatable)")
+	flag.Parse()
+
+	src := *query
+	switch {
+	case *file != "":
+		b, err := os.ReadFile(*file)
+		if err != nil {
+			fatal(err)
+		}
+		src = string(b)
+	case *name != "":
+		q, ok := builtins[strings.ToLower(*name)]
+		if !ok {
+			fatal(fmt.Errorf("unknown built-in %q (have: %s)", *name, keys()))
+		}
+		src = q
+	}
+	if strings.TrimSpace(src) == "" {
+		fatal(fmt.Errorf("no query given (-q, -f or -name)"))
+	}
+
+	if *rewrite {
+		out, err := prem.RewriteCheckingQuery(src)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(out)
+		return
+	}
+
+	eng := rasql.New(rasql.Config{})
+	if err := cli.LoadTables(eng, tables); err != nil {
+		fatal(err)
+	}
+	stmts, err := parser.Parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := analyze.Statements(stmts, eng.Catalog())
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := prem.Check(prog, exec.NewContext(), *iters)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(rep)
+	if !rep.Holds {
+		os.Exit(2)
+	}
+}
+
+func keys() string {
+	out := make([]string, 0, len(builtins))
+	for k := range builtins {
+		out = append(out, k)
+	}
+	return strings.Join(out, ", ")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "premcheck:", err)
+	os.Exit(1)
+}

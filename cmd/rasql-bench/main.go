@@ -1,0 +1,85 @@
+// Command rasql-bench regenerates the tables and figures of the paper's
+// evaluation (Section 8 and appendices) on the simulated cluster.
+//
+// Usage:
+//
+//	rasql-bench -all                 # every experiment, paper order
+//	rasql-bench -run fig8,table3     # selected experiments
+//	rasql-bench -all -md > out.md    # markdown output
+//	rasql-bench -quick               # small sizes for smoke runs
+//
+// Dataset sizes scale down from the paper's 16-node cluster by -scale
+// (RMAT vertex counts) and -tree-scale (tree node counts); the defaults
+// (1000 / 256) fit a laptop. Absolute times therefore differ from the
+// paper; the comparisons within each table are the reproduction target.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/rasql/rasql-go/internal/bench"
+)
+
+func main() {
+	var (
+		all       = flag.Bool("all", false, "run every experiment")
+		run       = flag.String("run", "", "comma-separated experiment ids: "+strings.Join(bench.Order, ","))
+		scale     = flag.Int("scale", 1000, "divisor for the paper's RMAT vertex counts")
+		treeScale = flag.Int("tree-scale", 256, "divisor for the paper's tree node counts")
+		workers   = flag.Int("workers", 0, "simulated workers (default GOMAXPROCS)")
+		repeat    = flag.Int("repeat", 1, "runs to average per measurement (paper: 5)")
+		seed      = flag.Int64("seed", 1, "dataset seed")
+		quick     = flag.Bool("quick", false, "tiny sizes for smoke runs")
+		md        = flag.Bool("md", false, "markdown output")
+		quiet     = flag.Bool("quiet", false, "suppress progress lines")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{
+		Scale: *scale, TreeScale: *treeScale, Workers: *workers,
+		Partitions: *workers, Repeat: *repeat, Seed: *seed, Quick: *quick,
+	}
+	if !*quiet {
+		cfg.Progress = os.Stderr
+	}
+	r := bench.NewRunner(cfg)
+
+	var ids []string
+	switch {
+	case *all:
+		ids = bench.Order
+	case *run != "":
+		ids = strings.Split(*run, ",")
+	default:
+		fmt.Fprintln(os.Stderr, "rasql-bench: pass -all or -run <ids>; available:", strings.Join(bench.Order, ", "))
+		os.Exit(2)
+	}
+
+	exps := r.Experiments()
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		f, ok := exps[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "rasql-bench: unknown experiment %q\n", id)
+			os.Exit(2)
+		}
+		tbl, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rasql-bench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *md {
+			fmt.Println(tbl.Markdown())
+			if c, ok := bench.Commentary[id]; ok {
+				fmt.Println(c)
+				fmt.Println()
+			}
+		} else {
+			fmt.Println(tbl.String())
+		}
+		r.FreeDatasets()
+	}
+}

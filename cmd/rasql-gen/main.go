@@ -1,0 +1,112 @@
+// Command rasql-gen generates the paper's synthetic datasets as CSV files:
+// RMAT graphs, Erdős–Rényi graphs, grids, random trees (as BOM /
+// Management / MLM base tables) and scaled real-world analogs.
+//
+// Examples:
+//
+//	rasql-gen -kind rmat -n 1000000 -out edges.csv
+//	rasql-gen -kind grid -n 150 -out grid150.csv
+//	rasql-gen -kind erdos -n 10000 -p 0.001 -out g10k3.csv
+//	rasql-gen -kind tree -height 10 -out-dir bom/   # assbl.csv + basic.csv + report.csv + sales.csv + sponsor.csv
+//	rasql-gen -kind realworld -name twitter -scale-div 64 -out tw.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/rasql/rasql-go/internal/gen"
+	"github.com/rasql/rasql-go/internal/relation"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "rmat", "rmat|erdos|grid|tree|realworld")
+		n        = flag.Int("n", 1<<20, "vertices (rmat/erdos) or grid side")
+		p        = flag.Float64("p", 1e-3, "edge probability (erdos)")
+		height   = flag.Int("height", 10, "tree height")
+		minCh    = flag.Int("min-children", 5, "tree minimum children")
+		maxCh    = flag.Int("max-children", 10, "tree maximum children")
+		leafProb = flag.Float64("leaf-prob", 0.4, "tree leaf probability")
+		maxNodes = flag.Int("max-nodes", 0, "tree node cap (0 = none)")
+		name     = flag.String("name", "twitter", "realworld analog name")
+		scaleDiv = flag.Int("scale-div", 64, "realworld scale divisor")
+		seed     = flag.Int64("seed", 1, "random seed")
+		out      = flag.String("out", "", "output CSV path (graph kinds)")
+		outDir   = flag.String("out-dir", "", "output directory (tree kind)")
+		sym      = flag.Bool("symmetrize", false, "emit both edge directions")
+		weighted = flag.Bool("weighted", true, "keep the Cost column")
+	)
+	flag.Parse()
+
+	write := func(rel *relation.Relation, path string) {
+		if !*weighted && rel.Schema.Len() == 3 {
+			rel = gen.Unweighted(rel)
+		}
+		if *sym {
+			rel = gen.Symmetrized(rel)
+		}
+		if err := relation.WriteCSVFile(path, rel, ','); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s: %d rows %s\n", path, rel.Len(), rel.Schema)
+	}
+
+	switch *kind {
+	case "rmat":
+		need(*out, "-out")
+		write(gen.RMATDefault(*n, *seed), *out)
+	case "erdos":
+		need(*out, "-out")
+		write(gen.Erdos(*n, *p, *seed), *out)
+	case "grid":
+		need(*out, "-out")
+		write(gen.Grid(*n, *seed), *out)
+	case "realworld":
+		need(*out, "-out")
+		for _, a := range gen.RealWorldAnalogs(*scaleDiv) {
+			if a.Name == *name {
+				write(a.Generate(*seed), *out)
+				return
+			}
+		}
+		fatal(fmt.Errorf("unknown realworld analog %q", *name))
+	case "tree":
+		need(*outDir, "-out-dir")
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+		t := gen.NewTree(*height, *minCh, *maxCh, *leafProb, *maxNodes, *seed)
+		fmt.Printf("tree: %d nodes, height %d\n", t.Len(), t.Height)
+		assbl, basic := t.AssblBasic(100, *seed+1)
+		sales, sponsor := t.SalesSponsor(1000, *seed+2)
+		for _, pair := range []struct {
+			rel  *relation.Relation
+			file string
+		}{
+			{assbl, "assbl.csv"}, {basic, "basic.csv"}, {t.Report(), "report.csv"},
+			{sales, "sales.csv"}, {sponsor, "sponsor.csv"},
+		} {
+			path := filepath.Join(*outDir, pair.file)
+			if err := relation.WriteCSVFile(path, pair.rel, ','); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s: %d rows\n", path, pair.rel.Len())
+		}
+	default:
+		fatal(fmt.Errorf("unknown -kind %q", *kind))
+	}
+}
+
+func need(v, flagName string) {
+	if v == "" {
+		fatal(fmt.Errorf("%s is required for this kind", flagName))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rasql-gen:", err)
+	os.Exit(1)
+}

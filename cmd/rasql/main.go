@@ -1,0 +1,136 @@
+// Command rasql is the RaSQL command-line shell: load CSV tables, run
+// RaSQL queries (recursive CTEs with aggregates in recursion), inspect
+// plans and execution metrics.
+//
+// Usage:
+//
+//	rasql -table 'edge=edges.csv:Src int,Dst int,Cost double' \
+//	      -q 'WITH recursive path (Dst, min() AS Cost) AS ...'
+//
+//	rasql -table ... -f query.sql
+//	rasql -table ...            # interactive: statements end with ';'
+//
+// Flags:
+//
+//	-table name=path:schema   register a CSV table (repeatable)
+//	-q sql                    run one script and exit
+//	-f file                   run a script file and exit
+//	-explain                  print the plan instead of executing
+//	-local                    force the single-threaded reference engine
+//	-naive                    naive (non-semi-naive) evaluation
+//	-workers / -partitions    simulated cluster size
+//	-metrics                  print execution counters after each query
+//	-max-rows n               print at most n result rows (default 50)
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	rasql "github.com/rasql/rasql-go"
+	"github.com/rasql/rasql-go/internal/cli"
+)
+
+func main() {
+	var (
+		tables     cli.MultiFlag
+		query      = flag.String("q", "", "query to run")
+		file       = flag.String("f", "", "script file to run")
+		explain    = flag.Bool("explain", false, "print the plan instead of executing")
+		local      = flag.Bool("local", false, "force the local reference engine")
+		naive      = flag.Bool("naive", false, "naive evaluation (implies -local)")
+		workers    = flag.Int("workers", 0, "simulated workers (default GOMAXPROCS)")
+		partitions = flag.Int("partitions", 0, "partitions (default = workers)")
+		metrics    = flag.Bool("metrics", false, "print execution metrics")
+		maxRows    = flag.Int("max-rows", 50, "max rows to print")
+	)
+	flag.Var(&tables, "table", "name=path:schema (repeatable)")
+	flag.Parse()
+
+	eng := rasql.New(rasql.Config{
+		Cluster:    rasql.ClusterConfig{Workers: *workers, Partitions: *partitions},
+		ForceLocal: *local,
+		Naive:      *naive,
+	})
+	if err := cli.LoadTables(eng, tables); err != nil {
+		fatal(err)
+	}
+
+	run := func(src string) {
+		if strings.TrimSpace(src) == "" {
+			return
+		}
+		if *explain {
+			plan, err := eng.Explain(src)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				return
+			}
+			fmt.Print(plan)
+			return
+		}
+		res, err := eng.Exec(src)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return
+		}
+		if res != nil {
+			fmt.Print(res.Sort().Format(*maxRows))
+		}
+		if *metrics {
+			fmt.Println("--", eng.Metrics())
+			eng.ResetMetrics()
+		}
+	}
+
+	switch {
+	case *query != "":
+		run(*query)
+	case *file != "":
+		b, err := os.ReadFile(*file)
+		if err != nil {
+			fatal(err)
+		}
+		run(string(b))
+	default:
+		repl(eng, run)
+	}
+}
+
+func repl(eng *rasql.Engine, run func(string)) {
+	fmt.Println("RaSQL shell — terminate statements with ';', \\d lists tables, \\q quits.")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	fmt.Print("rasql> ")
+	for sc.Scan() {
+		line := sc.Text()
+		switch strings.TrimSpace(line) {
+		case `\q`, "exit", "quit":
+			return
+		case `\d`:
+			for _, n := range eng.Catalog().Names() {
+				fmt.Println(" ", n)
+			}
+			fmt.Print("rasql> ")
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.Contains(line, ";") {
+			run(buf.String())
+			buf.Reset()
+			fmt.Print("rasql> ")
+		} else {
+			fmt.Print("   ... ")
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rasql:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,107 @@
+// Corporate analytics: transitive company control through share majorities
+// (mutual recursion over a sum aggregate) and multi-level-marketing bonus
+// computation (paper Examples 5 and 8).
+//
+//	go run ./examples/company
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	rasql "github.com/rasql/rasql-go"
+	"github.com/rasql/rasql-go/queries"
+)
+
+func main() {
+	eng := rasql.New(rasql.Config{})
+	eng.MustRegister(makeShares(60, 4242))
+
+	control, err := eng.Query(`
+		WITH recursive cshares(ByCom, OfCom, sum() AS Tot) AS
+		    (SELECT By, Of, Percent FROM shares) UNION
+		    (SELECT control.Com1, cshares.OfCom, cshares.Tot
+		     FROM control, cshares WHERE control.Com2 = cshares.ByCom),
+		recursive control(Com1, Com2) AS
+		    (SELECT ByCom, OfCom FROM cshares WHERE Tot > 50)
+		SELECT Com1, Com2 FROM control`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Control relationships (direct + indirect majorities): %d\n", control.Len())
+	fmt.Print(control.Sort().Format(10))
+
+	holdings, err := eng.Query(queries.CompanyControl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nEffective share holdings (cshares): %d rows\n", holdings.Len())
+
+	// MLM bonuses on a sponsorship pyramid.
+	mlm := rasql.New(rasql.Config{})
+	sales, sponsor := makePyramid(5, 3, 7)
+	mlm.MustRegister(sales)
+	mlm.MustRegister(sponsor)
+	bonus, err := mlm.Query(queries.MLM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	top, err := mlm.Query(`
+		WITH recursive bonus(M, sum() as B) AS
+		    (SELECT M, P*0.1 FROM sales) UNION
+		    (SELECT sponsor.M1, bonus.B*0.5 FROM bonus, sponsor
+		     WHERE bonus.M = sponsor.M2)
+		SELECT M, B FROM bonus ORDER BY B DESC LIMIT 3`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nMLM: computed bonuses for %d members; top earners:\n", bonus.Len())
+	fmt.Print(top.Format(-1))
+}
+
+// makeShares generates a random share-holding relation among n companies
+// named c00..; percentages are small so control chains emerge from sums.
+func makeShares(n int, seed int64) *rasql.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	shares := rasql.NewRelation("shares", rasql.NewSchema(
+		rasql.Col("By", rasql.KindString), rasql.Col("Of", rasql.KindString),
+		rasql.Col("Percent", rasql.KindInt)))
+	name := func(i int) string { return fmt.Sprintf("c%02d", i) }
+	for of := 1; of < n; of++ {
+		remaining := int64(100)
+		holders := 1 + rng.Intn(3)
+		for h := 0; h < holders && remaining > 0; h++ {
+			by := rng.Intn(of) // earlier companies hold later ones
+			pct := rng.Int63n(remaining) + 1
+			remaining -= pct
+			shares.Append(rasql.Row{rasql.Str(name(by)), rasql.Str(name(of)), rasql.Int(pct)})
+		}
+	}
+	return shares
+}
+
+// makePyramid builds a sponsorship tree with per-member sales.
+func makePyramid(depth, fanout int, seed int64) (sales, sponsor *rasql.Relation) {
+	rng := rand.New(rand.NewSource(seed))
+	sales = rasql.NewRelation("sales", rasql.NewSchema(
+		rasql.Col("M", rasql.KindInt), rasql.Col("P", rasql.KindFloat)))
+	sponsor = rasql.NewRelation("sponsor", rasql.NewSchema(
+		rasql.Col("M1", rasql.KindInt), rasql.Col("M2", rasql.KindInt)))
+	next := int64(1)
+	frontier := []int64{0}
+	sales.Append(rasql.Row{rasql.Int(0), rasql.Float(float64(100 + rng.Intn(900)))})
+	for level := 0; level < depth; level++ {
+		var nf []int64
+		for _, p := range frontier {
+			for c := 0; c < fanout; c++ {
+				sponsor.Append(rasql.Row{rasql.Int(p), rasql.Int(next)})
+				sales.Append(rasql.Row{rasql.Int(next), rasql.Float(float64(100 + rng.Intn(900)))})
+				nf = append(nf, next)
+				next++
+			}
+		}
+		frontier = nf
+	}
+	return sales, sponsor
+}

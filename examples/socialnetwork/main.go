@@ -1,0 +1,94 @@
+// Social-network analytics: connected components by label propagation and
+// the mutually recursive Party Attendance query (paper Examples 2 and 7).
+//
+//	go run ./examples/socialnetwork
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	rasql "github.com/rasql/rasql-go"
+	"github.com/rasql/rasql-go/queries"
+)
+
+func main() {
+	eng := rasql.New(rasql.Config{})
+	eng.MustRegister(makeFriendGraph(400, 3, 77))
+
+	// Connected components: min() label propagation in recursion.
+	res, err := eng.Query(queries.CC)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("The friendship graph has %s connected components.\n", res.Rows[0][0])
+
+	sizes, err := eng.Query(`
+		WITH recursive cc (Src, min() AS CmpId) AS
+		    (SELECT Src, Src FROM edge) UNION
+		    (SELECT edge.Dst, cc.CmpId FROM cc, edge WHERE cc.Src = edge.Src)
+		SELECT CmpId, count(*) FROM cc GROUP BY CmpId ORDER BY 2 DESC LIMIT 5`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nLargest components (label, members):")
+	fmt.Print(sizes.Format(-1))
+
+	// Party attendance: mutual recursion between a set view (attend) and
+	// a count view (cntfriends) — who shows up if people need 3 attending
+	// friends?
+	party := rasql.New(rasql.Config{})
+	organizer, friend := makeParty(120, 5, 99)
+	party.MustRegister(organizer)
+	party.MustRegister(friend)
+	attendees, err := party.Query(queries.Party)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nParty: %d organizers convinced %d people to attend in total.\n",
+		organizer.Len(), attendees.Len())
+}
+
+// makeFriendGraph builds a symmetric random graph of k islands.
+func makeFriendGraph(n, islands int, seed int64) *rasql.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	edge := rasql.NewRelation("edge", rasql.NewSchema(
+		rasql.Col("Src", rasql.KindInt), rasql.Col("Dst", rasql.KindInt)))
+	per := n / islands
+	for i := 0; i < islands; i++ {
+		base := int64(i * per)
+		for e := 0; e < per*3; e++ {
+			a := base + rng.Int63n(int64(per))
+			b := base + rng.Int63n(int64(per))
+			if a == b {
+				continue
+			}
+			edge.Append(rasql.Row{rasql.Int(a), rasql.Int(b)})
+			edge.Append(rasql.Row{rasql.Int(b), rasql.Int(a)})
+		}
+	}
+	return edge
+}
+
+// makeParty builds organizers plus a random friendship relation; friend
+// rows are (Pname, Fname) pairs as in the paper.
+func makeParty(people, organizers int, seed int64) (organizer, friend *rasql.Relation) {
+	rng := rand.New(rand.NewSource(seed))
+	organizer = rasql.NewRelation("organizer", rasql.NewSchema(
+		rasql.Col("OrgName", rasql.KindString)))
+	friend = rasql.NewRelation("friend", rasql.NewSchema(
+		rasql.Col("Pname", rasql.KindString), rasql.Col("Fname", rasql.KindString)))
+	name := func(i int64) string { return fmt.Sprintf("p%03d", i) }
+	for i := 0; i < organizers; i++ {
+		organizer.Append(rasql.Row{rasql.Str(name(int64(i)))})
+	}
+	for i := 0; i < people*8; i++ {
+		a, b := rng.Int63n(int64(people)), rng.Int63n(int64(people))
+		if a == b {
+			continue
+		}
+		friend.Append(rasql.Row{rasql.Str(name(a)), rasql.Str(name(b))})
+	}
+	return organizer, friend
+}

@@ -1,0 +1,3 @@
+module github.com/rasql/rasql-go
+
+go 1.22

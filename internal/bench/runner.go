@@ -1,0 +1,246 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (Section 8 and the appendices) on the simulated cluster.
+// Dataset sizes scale down from the paper's 16-node/120-core testbed by a
+// configurable divisor; EXPERIMENTS.md records how the measured shapes
+// compare with the published ones.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	rasql "github.com/rasql/rasql-go"
+	"github.com/rasql/rasql-go/internal/cluster"
+	"github.com/rasql/rasql-go/internal/fixpoint"
+	"github.com/rasql/rasql-go/internal/gen"
+	"github.com/rasql/rasql-go/internal/relation"
+)
+
+// Config parameterizes a benchmark run.
+type Config struct {
+	// Scale divides the paper's RMAT vertex counts (default 1000:
+	// RMAT-16M becomes RMAT-16K).
+	Scale int
+	// TreeScale divides the paper's tree node counts (default 256).
+	TreeScale int
+	// Workers/Partitions size the simulated cluster (default 8,
+	// approximating the paper's cluster shape; sequential simulation
+	// keeps this meaningful regardless of host cores).
+	Workers, Partitions int
+	// Seed makes dataset generation reproducible.
+	Seed int64
+	// Repeat averages each measurement over this many runs (default 1;
+	// the paper averages 5).
+	Repeat int
+	// Quick shrinks sizes further for smoke tests and testing.B runs.
+	Quick bool
+	// Progress, when non-nil, receives progress lines.
+	Progress io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 1000
+	}
+	if c.TreeScale <= 0 {
+		c.TreeScale = 256
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Repeat <= 0 {
+		c.Repeat = 1
+	}
+	if c.Workers <= 0 {
+		// Eight simulated workers approximate the paper's cluster shape;
+		// sequential simulation keeps this meaningful on any host.
+		c.Workers = 8
+	}
+	if c.Partitions <= 0 {
+		c.Partitions = c.Workers
+	}
+	if c.Quick {
+		c.Scale *= 8
+		c.TreeScale *= 8
+	}
+	return c
+}
+
+// Runner executes experiments.
+type Runner struct {
+	cfg   Config
+	data  datasetCache
+	trees map[string]*gen.Tree
+}
+
+// NewRunner creates a runner.
+func NewRunner(cfg Config) *Runner { return &Runner{cfg: cfg.withDefaults()} }
+
+// Config returns the effective configuration.
+func (r *Runner) Config() Config { return r.cfg }
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.cfg.Progress != nil {
+		fmt.Fprintf(r.cfg.Progress, format+"\n", args...)
+	}
+}
+
+// Table is one regenerated figure or table.
+type Table struct {
+	// ID matches the paper ("Figure 5", "Table 3", ...).
+	ID    string
+	Title string
+	// Columns and Rows hold the rendered cells; column 0 is the row label.
+	Columns []string
+	Rows    [][]string
+	// Notes list scaling substitutions and caveats.
+	Notes []string
+}
+
+// String renders the table as aligned ASCII.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as GitHub-flavored markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat(" --- |", len(t.Columns)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n*Note: %s*\n", n)
+	}
+	return b.String()
+}
+
+// fmtDur renders a duration compactly (µs/ms/s).
+func fmtDur(d time.Duration) string {
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	case d < time.Second:
+		return fmt.Sprintf("%dms", d.Milliseconds())
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
+
+// timeIt measures fn's wall time averaged over cfg.Repeat runs.
+func (r *Runner) timeIt(fn func() error) (time.Duration, error) {
+	var total time.Duration
+	for i := 0; i < r.cfg.Repeat; i++ {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		total += time.Since(start)
+	}
+	return total / time.Duration(r.cfg.Repeat), nil
+}
+
+// timeSim measures a cluster-backed run averaged over cfg.Repeat runs,
+// returning the simulated elapsed time: wall time with the in-stage wall
+// replaced by the simulated clock (max per-worker time per stage), so that
+// worker counts matter even on few-core hosts. fn must return the metrics
+// snapshot of the cluster it used.
+func (r *Runner) timeSim(fn func() (cluster.Snapshot, error)) (time.Duration, error) {
+	var total time.Duration
+	for i := 0; i < r.cfg.Repeat; i++ {
+		start := time.Now()
+		m, err := fn()
+		if err != nil {
+			return 0, err
+		}
+		wall := time.Since(start)
+		total += wall - time.Duration(m.StageWallNanos) + time.Duration(m.SimNanos)
+	}
+	return total / time.Duration(r.cfg.Repeat), nil
+}
+
+// engineConfig builds a rasql.Config for one of the compared system
+// profiles. The mapping follows DESIGN.md's substitution table:
+//
+//	rasql      — all paper optimizations on (the default engine)
+//	bigdatalog — SetRDD-era engine: two-stage DSN, no stage combination,
+//	             no whole-stage fusion, uncompressed broadcast
+//	myria      — low per-stage overhead, communication degrading with
+//	             shuffle volume
+//	sql-sn     — per-iteration SQL jobs with deltas (see fixpoint)
+//	sql-naive  — per-iteration SQL jobs recomputing everything
+func engineConfig(system string, workers, partitions int) rasql.Config {
+	cl := rasql.ClusterConfig{Workers: workers, Partitions: partitions}
+	switch system {
+	case "rasql":
+		return rasql.Config{Cluster: cl}
+	case "bigdatalog":
+		cfg := rasql.Config{RawOptimizations: true, Cluster: cl}
+		cfg.Fixpoint.Volcano = true
+		return cfg
+	case "myria":
+		cl.StageOverheadOps = 2000
+		cl.ShufflePenaltyOpsPerByte = 60
+		cfg := rasql.Config{RawOptimizations: true, Cluster: cl}
+		return cfg
+	default:
+		panic("bench: unknown system " + system)
+	}
+}
+
+// runQuery times one query on a fresh engine with the given tables,
+// in simulated time.
+func (r *Runner) runQuery(cfg rasql.Config, query string, tables ...*relation.Relation) (time.Duration, error) {
+	return r.timeSim(func() (cluster.Snapshot, error) {
+		eng := rasql.New(cfg)
+		for _, t := range tables {
+			// Engines only scan registered relations; sharing them across
+			// runs keeps the measurement on query execution.
+			eng.MustRegister(t)
+		}
+		_, err := eng.Query(query)
+		return eng.Metrics(), err
+	})
+}
+
+// runClique times just the fixpoint of a query (loading included, final
+// projection excluded), used where the paper reports pure recursion time.
+func (r *Runner) runCliqueOpts(cfg rasql.Config, opts func(*fixpoint.DistOptions), query string, tables ...*relation.Relation) (time.Duration, error) {
+	if opts != nil {
+		opts(&cfg.Fixpoint)
+	}
+	return r.runQuery(cfg, query, tables...)
+}

@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/rasql/rasql-go/internal/gen"
+	"github.com/rasql/rasql-go/internal/relation"
+)
+
+// Workload queries. REACH and SSSP start from vertex 1, which every
+// generated graph contains.
+const (
+	qSSSP = `
+		WITH recursive path (Dst, min() AS Cost) AS
+		    (SELECT 1, 0) UNION
+		    (SELECT edge.Dst, path.Cost + edge.Cost
+		     FROM path, edge WHERE path.Dst = edge.Src)
+		SELECT Dst, Cost FROM path`
+	qReach = `
+		WITH recursive reach (Dst) AS
+		    (SELECT 1) UNION
+		    (SELECT edge.Dst FROM reach, edge WHERE reach.Dst = edge.Src)
+		SELECT Dst FROM reach`
+	qCC = `
+		WITH recursive cc (Src, min() AS CmpId) AS
+		    (SELECT Src, Src FROM edge) UNION
+		    (SELECT edge.Dst, cc.CmpId FROM cc, edge WHERE cc.Src = edge.Src)
+		SELECT count(distinct cc.CmpId) FROM cc`
+	qTC = `
+		WITH recursive tc (Src, Dst) AS
+		    (SELECT Src, Dst FROM edge) UNION
+		    (SELECT tc.Src, edge.Dst FROM tc, edge WHERE tc.Dst = edge.Src)
+		SELECT count(*) FROM tc`
+	qSG = `
+		WITH recursive sg (X, Y) AS
+		    (SELECT a.Child, b.Child FROM rel a, rel b
+		     WHERE a.Parent = b.Parent AND a.Child <> b.Child)
+		    UNION
+		    (SELECT a.Child, b.Child FROM rel a, sg, rel b
+		     WHERE a.Parent = sg.X AND b.Parent = sg.Y)
+		SELECT count(*) FROM sg`
+	qDelivery = `
+		WITH recursive waitfor(Part, max() as Days) AS
+		    (SELECT Part, Days FROM basic) UNION
+		    (SELECT assbl.Part, waitfor.Days
+		     FROM assbl, waitfor WHERE assbl.Spart = waitfor.Part)
+		SELECT Part, Days FROM waitfor`
+	qManagement = `
+		WITH recursive empCount (Mgr, count() AS Cnt) AS
+		    (SELECT report.Emp, 1 FROM report) UNION
+		    (SELECT report.Mgr, empCount.Cnt
+		     FROM empCount, report WHERE empCount.Mgr = report.Emp)
+		SELECT Mgr, Cnt FROM empCount`
+	qMLM = `
+		WITH recursive bonus(M, sum() as B) AS
+		    (SELECT M, P*0.1 FROM sales) UNION
+		    (SELECT sponsor.M1, bonus.B*0.5 FROM bonus, sponsor
+		     WHERE bonus.M = sponsor.M2)
+		SELECT M, B FROM bonus`
+	qSSSPStratified = `
+		WITH recursive path (Dst, Cost) AS
+		    (SELECT 1, 0) UNION
+		    (SELECT edge.Dst, path.Cost + edge.Cost
+		     FROM path, edge WHERE path.Dst = edge.Src)
+		SELECT Dst, min(Cost) FROM path GROUP BY Dst`
+	qCCStratified = `
+		WITH recursive cc (Src, CmpId) AS
+		    (SELECT Src, Src FROM edge) UNION
+		    (SELECT edge.Dst, cc.CmpId FROM cc, edge WHERE cc.Src = edge.Src),
+		labels(Src, M) AS
+		    (SELECT Src, min(CmpId) FROM cc GROUP BY Src)
+		SELECT count(distinct M) FROM labels`
+)
+
+// realGraphDiv returns the scale divisor for the Table 1 real-graph
+// analogs: 1/512 of the originals at the default Scale (the twitter analog
+// is then ~81K vertices / 2.8M edges, the largest dataset in the suite).
+func (r *Runner) realGraphDiv() int {
+	div := 512 * r.cfg.Scale / 1000
+	if div < 64 {
+		div = 64
+	}
+	return div
+}
+
+// cache memoizes generated datasets within one Runner.
+type datasetCache struct {
+	m map[string]*relation.Relation
+}
+
+func (r *Runner) dataset(key string, build func() *relation.Relation) *relation.Relation {
+	if r.data.m == nil {
+		r.data.m = map[string]*relation.Relation{}
+	}
+	if rel, ok := r.data.m[key]; ok {
+		return rel
+	}
+	r.logf("generating %s ...", key)
+	rel := build()
+	r.data.m[key] = rel
+	return rel
+}
+
+// rmat returns the weighted RMAT graph with the given paper vertex count,
+// scaled by cfg.Scale.
+func (r *Runner) rmat(paperMillions int) *relation.Relation {
+	n := paperMillions * 1000000 / r.cfg.Scale
+	if n < 256 {
+		n = 256
+	}
+	return r.dataset(fmt.Sprintf("rmat-%dM", paperMillions), func() *relation.Relation {
+		return gen.RMATDefault(n, r.cfg.Seed)
+	})
+}
+
+// rmatFor returns the RMAT graph prepared for one algorithm: weighted for
+// SSSP, plain for REACH, symmetrized plain for CC.
+func (r *Runner) rmatFor(paperMillions int, alg string) *relation.Relation {
+	g := r.rmat(paperMillions)
+	switch alg {
+	case "CC":
+		return r.dataset(fmt.Sprintf("rmat-%dM-sym", paperMillions), func() *relation.Relation {
+			return gen.Symmetrized(gen.Unweighted(g))
+		})
+	case "REACH":
+		return r.dataset(fmt.Sprintf("rmat-%dM-plain", paperMillions), func() *relation.Relation {
+			return gen.Unweighted(g)
+		})
+	default:
+		return g
+	}
+}
+
+func algQuery(alg string) string {
+	switch alg {
+	case "CC":
+		return qCC
+	case "REACH":
+		return qReach
+	default:
+		return qSSSP
+	}
+}
+
+// tree returns a random tree with roughly the given paper node count,
+// scaled by cfg.TreeScale (the paper's Section 8.2 parameters: 5-10
+// children, 20-60% leaf probability).
+func (r *Runner) tree(paperMillions int) *gen.Tree {
+	target := paperMillions * 1000000 / r.cfg.TreeScale
+	if target < 1000 {
+		target = 1000
+	}
+	key := fmt.Sprintf("tree-%dM", paperMillions)
+	if r.trees == nil {
+		r.trees = map[string]*gen.Tree{}
+	}
+	if t, ok := r.trees[key]; ok {
+		return t
+	}
+	r.logf("generating %s (%d nodes)...", key, target)
+	t := gen.NewTree(13, 5, 10, 0.4, target, r.cfg.Seed)
+	r.trees[key] = t
+	return t
+}

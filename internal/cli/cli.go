@@ -1,0 +1,110 @@
+// Package cli holds flag-parsing helpers shared by the command-line tools:
+// table specs, schema parsing and engine configuration.
+package cli
+
+import (
+	"fmt"
+	"strings"
+
+	rasql "github.com/rasql/rasql-go"
+)
+
+// TableSpec is a parsed -table flag: name=path:schema.
+type TableSpec struct {
+	Name   string
+	Path   string
+	Schema rasql.Schema
+}
+
+// ParseTableSpec parses "name=path:Col1 int,Col2 double,...".
+func ParseTableSpec(spec string) (TableSpec, error) {
+	eq := strings.IndexByte(spec, '=')
+	if eq < 0 {
+		return TableSpec{}, fmt.Errorf("table spec %q: want name=path:schema", spec)
+	}
+	name := strings.TrimSpace(spec[:eq])
+	rest := spec[eq+1:]
+	colon := strings.LastIndexByte(rest, ':')
+	if colon < 0 {
+		return TableSpec{}, fmt.Errorf("table spec %q: missing schema after path (name=path:Col kind,...)", spec)
+	}
+	path := strings.TrimSpace(rest[:colon])
+	schema, err := ParseSchema(rest[colon+1:])
+	if err != nil {
+		return TableSpec{}, fmt.Errorf("table spec %q: %w", spec, err)
+	}
+	if name == "" || path == "" {
+		return TableSpec{}, fmt.Errorf("table spec %q: empty name or path", spec)
+	}
+	return TableSpec{Name: name, Path: path, Schema: schema}, nil
+}
+
+// ParseSchema parses "Col1 int,Col2 double,Col3 string,Col4 boolean".
+func ParseSchema(s string) (rasql.Schema, error) {
+	var cols []rasql.Column
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.Fields(strings.TrimSpace(part))
+		if len(fields) != 2 {
+			return rasql.Schema{}, fmt.Errorf("bad column %q: want \"Name kind\"", part)
+		}
+		kind, err := ParseKind(fields[1])
+		if err != nil {
+			return rasql.Schema{}, err
+		}
+		cols = append(cols, rasql.Col(fields[0], kind))
+	}
+	if len(cols) == 0 {
+		return rasql.Schema{}, fmt.Errorf("empty schema")
+	}
+	return rasql.NewSchema(cols...), nil
+}
+
+// ParseKind parses a column kind name.
+func ParseKind(s string) (rasql.Kind, error) {
+	switch strings.ToLower(s) {
+	case "int", "integer", "bigint":
+		return rasql.KindInt, nil
+	case "double", "float", "real":
+		return rasql.KindFloat, nil
+	case "string", "varchar", "text", "str":
+		return rasql.KindString, nil
+	case "bool", "boolean":
+		return rasql.KindBool, nil
+	default:
+		return 0, fmt.Errorf("unknown column kind %q (int|double|string|boolean)", s)
+	}
+}
+
+// LoadTables reads every spec into a relation and registers it.
+func LoadTables(eng *rasql.Engine, specs []string) error {
+	for _, s := range specs {
+		ts, err := ParseTableSpec(s)
+		if err != nil {
+			return err
+		}
+		sep := ','
+		if strings.HasSuffix(ts.Path, ".tsv") {
+			sep = '\t'
+		}
+		rel, err := rasql.ReadCSVFile(ts.Path, ts.Name, ts.Schema, sep)
+		if err != nil {
+			return err
+		}
+		if err := eng.Register(rel); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MultiFlag collects repeated string flags.
+type MultiFlag []string
+
+// String implements flag.Value.
+func (m *MultiFlag) String() string { return strings.Join(*m, "; ") }
+
+// Set implements flag.Value.
+func (m *MultiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}

@@ -1,0 +1,94 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	rasql "github.com/rasql/rasql-go"
+)
+
+func TestParseSchema(t *testing.T) {
+	s, err := ParseSchema("Src int, Dst int, Cost double, Name string, Ok boolean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 5 {
+		t.Fatalf("cols = %d", s.Len())
+	}
+	if s.Columns[2].Type != rasql.KindFloat || s.Columns[3].Type != rasql.KindString {
+		t.Errorf("kinds = %v", s)
+	}
+	if _, err := ParseSchema(""); err == nil {
+		t.Error("empty schema must fail")
+	}
+	if _, err := ParseSchema("X unknownkind"); err == nil {
+		t.Error("unknown kind must fail")
+	}
+	if _, err := ParseSchema("JustAName"); err == nil {
+		t.Error("missing kind must fail")
+	}
+}
+
+func TestParseKindAliases(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want rasql.Kind
+	}{
+		{"INT", rasql.KindInt}, {"bigint", rasql.KindInt},
+		{"float", rasql.KindFloat}, {"REAL", rasql.KindFloat},
+		{"varchar", rasql.KindString}, {"text", rasql.KindString},
+		{"bool", rasql.KindBool},
+	} {
+		got, err := ParseKind(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseKind(%q) = %v, %v", c.in, got, err)
+		}
+	}
+}
+
+func TestParseTableSpec(t *testing.T) {
+	ts, err := ParseTableSpec("edge=/data/e.csv:Src int,Dst int")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Name != "edge" || ts.Path != "/data/e.csv" || ts.Schema.Len() != 2 {
+		t.Errorf("spec = %+v", ts)
+	}
+	for _, bad := range []string{"", "noequals", "n=p", "=p:X int", "n=:X int"} {
+		if _, err := ParseTableSpec(bad); err == nil {
+			t.Errorf("spec %q should fail", bad)
+		}
+	}
+}
+
+func TestLoadTables(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "e.csv")
+	if err := os.WriteFile(path, []byte("Src,Dst\n1,2\n2,3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	eng := rasql.New(rasql.Config{})
+	if err := LoadTables(eng, []string{"edge=" + path + ":Src int,Dst int"}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := eng.Query("SELECT count(*) FROM edge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Rows[0][0].Equal(rasql.Int(2)) {
+		t.Errorf("loaded rows = %v", out.Rows[0][0])
+	}
+	if err := LoadTables(eng, []string{"bad=missing.csv:X int"}); err == nil {
+		t.Error("missing file must fail")
+	}
+}
+
+func TestMultiFlag(t *testing.T) {
+	var m MultiFlag
+	_ = m.Set("a")
+	_ = m.Set("b")
+	if len(m) != 2 || m.String() != "a; b" {
+		t.Errorf("multiflag = %v", m)
+	}
+}

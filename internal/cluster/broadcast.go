@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"encoding/binary"
+
+	"github.com/rasql/rasql-go/internal/types"
+)
+
+// Broadcast is a relation replicated to every worker as a per-worker hash
+// table keyed on join-key columns — the build side of a broadcast-hash join.
+type Broadcast struct {
+	Schema types.Schema
+	Key    []int
+	// tables[w] is worker w's private hash table.
+	tables []*RowTable
+}
+
+// Table returns the hash table visible to the given worker.
+func (b *Broadcast) Table(worker int) *RowTable { return b.tables[worker] }
+
+// Broadcast replicates rows to every worker, keyed on key, honouring the
+// cluster's CompressBroadcast setting.
+//
+// With compression (the paper's Section 7.2 optimization) the raw relation
+// is serialized once in the compact varint wire format and every worker
+// decodes it and builds its own hash table. Without compression the master
+// builds the hash table first and ships the *hashed* relation — per-entry
+// key strings and bucket headers make it 2-3x larger on the wire, and
+// workers still pay the decode.
+func (c *Cluster) Broadcast(rows []types.Row, schema types.Schema, key []int) *Broadcast {
+	b := &Broadcast{
+		Schema: schema,
+		Key:    append([]int(nil), key...),
+		tables: make([]*RowTable, c.cfg.Workers),
+	}
+	var wire []byte
+	if c.cfg.CompressBroadcast {
+		wire = types.EncodeRows(rows)
+	} else {
+		wire = encodeHashed(buildTable(rows, key))
+	}
+	c.Metrics.BroadcastBytes.Add(int64(len(wire)) * int64(c.cfg.Workers))
+
+	tasks := make([]Task, c.cfg.Workers)
+	for w := range tasks {
+		worker := w
+		tasks[w] = Task{Part: worker, Preferred: worker, Run: func(onW int) {
+			if c.cfg.CompressBroadcast {
+				got, err := types.DecodeRows(wire)
+				if err != nil {
+					panic("cluster: broadcast wire corruption: " + err.Error())
+				}
+				b.tables[worker] = BuildRowTable(got, key)
+				return
+			}
+			// Re-bucket the shipped hashed relation into the worker's
+			// probe structure.
+			hashed := decodeHashed(wire)
+			var rows []types.Row
+			for _, bucket := range hashed {
+				rows = append(rows, bucket...)
+			}
+			b.tables[worker] = BuildRowTable(rows, key)
+		}}
+	}
+	c.RunStage("broadcast", tasks)
+	return b
+}
+
+func buildTable(rows []types.Row, key []int) map[string][]types.Row {
+	t := make(map[string][]types.Row, len(rows))
+	for _, r := range rows {
+		k := types.KeyString(r, key)
+		t[k] = append(t[k], r)
+	}
+	return t
+}
+
+// encodeHashed serializes a built hash table: per entry a 16-byte bucket
+// header, the key string, then the bucket rows. This mirrors how shipping a
+// pre-built hashed relation inflates the payload versus the raw rows.
+func encodeHashed(t map[string][]types.Row) []byte {
+	buf := make([]byte, 0, 64*len(t))
+	buf = binary.AppendUvarint(buf, uint64(len(t)))
+	var header [16]byte
+	for k, rows := range t {
+		buf = append(buf, header[:]...) // bucket metadata (hash, pointers)
+		buf = binary.AppendUvarint(buf, uint64(len(k)))
+		buf = append(buf, k...)
+		buf = append(buf, types.EncodeRows(rows)...)
+	}
+	return buf
+}
+
+func decodeHashed(buf []byte) map[string][]types.Row {
+	n, sz := binary.Uvarint(buf)
+	pos := sz
+	t := make(map[string][]types.Row, n)
+	for i := uint64(0); i < n; i++ {
+		pos += 16 // skip bucket header
+		l, sz := binary.Uvarint(buf[pos:])
+		pos += sz
+		k := string(buf[pos : pos+int(l)])
+		pos += int(l)
+		// DecodeRows reads a batch; we must know its length. Re-decode by
+		// scanning: batch header then rows.
+		rows, used, err := decodeRowsCounted(buf[pos:])
+		if err != nil {
+			panic("cluster: hashed broadcast corruption: " + err.Error())
+		}
+		pos += used
+		t[k] = rows
+	}
+	return t
+}
+
+func decodeRowsCounted(buf []byte) ([]types.Row, int, error) {
+	n, sz := binary.Uvarint(buf)
+	pos := sz
+	rows := make([]types.Row, 0, n)
+	for i := uint64(0); i < n; i++ {
+		r, used, err := types.DecodeRow(buf[pos:])
+		if err != nil {
+			return nil, 0, err
+		}
+		pos += used
+		rows = append(rows, r)
+	}
+	return rows, pos, nil
+}

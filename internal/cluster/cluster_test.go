@@ -1,0 +1,245 @@
+package cluster
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"github.com/rasql/rasql-go/internal/relation"
+	"github.com/rasql/rasql-go/internal/types"
+)
+
+func intRows(pairs ...[2]int64) []types.Row {
+	rows := make([]types.Row, len(pairs))
+	for i, p := range pairs {
+		rows[i] = types.Row{types.Int(p[0]), types.Int(p[1])}
+	}
+	return rows
+}
+
+func pairSchema() types.Schema {
+	return types.NewSchema(types.Col("A", types.KindInt), types.Col("B", types.KindInt))
+}
+
+func newTestCluster(workers, parts int) *Cluster {
+	return New(Config{Workers: workers, Partitions: parts, StageOverheadOps: -1})
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := New(Config{})
+	if c.Workers() <= 0 || c.Partitions() != c.Workers() {
+		t.Errorf("defaults: workers=%d partitions=%d", c.Workers(), c.Partitions())
+	}
+	if c.Config().StageOverheadOps != 20000 {
+		t.Errorf("default overhead = %d", c.Config().StageOverheadOps)
+	}
+}
+
+func TestRunStageExecutesEveryTask(t *testing.T) {
+	c := newTestCluster(4, 8)
+	var ran atomic.Int64
+	tasks := make([]Task, 8)
+	for i := range tasks {
+		tasks[i] = Task{Part: i, Preferred: -1, Run: func(w int) { ran.Add(1) }}
+	}
+	c.RunStage("t", tasks)
+	if ran.Load() != 8 {
+		t.Errorf("ran %d tasks, want 8", ran.Load())
+	}
+	snap := c.Metrics.Snapshot()
+	if snap.StagesRun != 1 || snap.TasksRun != 8 {
+		t.Errorf("metrics: %v", snap)
+	}
+}
+
+func TestPartitionAwarePlacement(t *testing.T) {
+	c := newTestCluster(4, 4)
+	got := make([]int, 4)
+	tasks := make([]Task, 4)
+	for i := range tasks {
+		part := i
+		pref := (i + 1) % 4
+		tasks[i] = Task{Part: part, Preferred: pref, Run: func(w int) { got[part] = w }}
+	}
+	c.RunStage("t", tasks)
+	for i := range got {
+		if got[i] != (i+1)%4 {
+			t.Errorf("task %d ran on %d, want preferred %d", i, got[i], (i+1)%4)
+		}
+	}
+}
+
+func TestHybridPlacementRotates(t *testing.T) {
+	c := New(Config{Workers: 4, Partitions: 4, Policy: PolicyHybrid, StageOverheadOps: -1})
+	first := make([]int, 4)
+	second := make([]int, 4)
+	run := func(dst []int) {
+		tasks := make([]Task, 4)
+		for i := range tasks {
+			part := i
+			tasks[i] = Task{Part: part, Preferred: part, Run: func(w int) { dst[part] = w }}
+		}
+		c.RunStage("t", tasks)
+	}
+	run(first)
+	run(second)
+	same := 0
+	for i := range first {
+		if first[i] == second[i] {
+			same++
+		}
+	}
+	if same == 4 {
+		t.Error("hybrid policy should not keep every task on the same worker across stages")
+	}
+}
+
+func TestPartitionRouting(t *testing.T) {
+	c := newTestCluster(2, 4)
+	rel := relation.FromRows("r", pairSchema(), intRows([2]int64{1, 2}, [2]int64{1, 3}, [2]int64{2, 4}, [2]int64{5, 6}))
+	p := c.Partition(rel, []int{0})
+	if p.NumPartitions() != 4 || p.Len() != 4 {
+		t.Fatalf("partitions=%d len=%d", p.NumPartitions(), p.Len())
+	}
+	// Rows with the same key must land in the same partition.
+	var partOf1 = -1
+	for i, part := range p.Parts {
+		for _, r := range part {
+			if r[0].AsInt() == 1 {
+				if partOf1 == -1 {
+					partOf1 = i
+				} else if partOf1 != i {
+					t.Error("rows with key 1 split across partitions")
+				}
+			}
+		}
+	}
+	// PartitionFor must agree with actual placement.
+	for i, part := range p.Parts {
+		for _, r := range part {
+			if p.PartitionFor(r) != i {
+				t.Errorf("PartitionFor(%v) = %d, actual %d", r, p.PartitionFor(r), i)
+			}
+		}
+	}
+}
+
+func TestRoundRobinPartition(t *testing.T) {
+	c := newTestCluster(2, 3)
+	rel := relation.FromRows("r", pairSchema(), intRows([2]int64{1, 1}, [2]int64{2, 2}, [2]int64{3, 3}))
+	p := c.Partition(rel, nil)
+	for i := range p.Parts {
+		if len(p.Parts[i]) != 1 {
+			t.Errorf("round robin partition %d has %d rows", i, len(p.Parts[i]))
+		}
+	}
+}
+
+func TestCollectPaysTransfer(t *testing.T) {
+	c := newTestCluster(2, 2)
+	rel := relation.FromRows("r", pairSchema(), intRows([2]int64{1, 2}, [2]int64{3, 4}))
+	p := c.Partition(rel, []int{0})
+	before := c.Metrics.Snapshot()
+	got := c.Collect(p, "out")
+	after := c.Metrics.Snapshot()
+	if !got.EqualAsBag(rel) {
+		t.Errorf("collect mismatch: %v vs %v", got, rel)
+	}
+	if after.RemoteFetchBytes <= before.RemoteFetchBytes {
+		t.Error("collect should count remote fetch bytes")
+	}
+}
+
+func TestFetchLocalIsFree(t *testing.T) {
+	c := newTestCluster(2, 2)
+	rows := intRows([2]int64{1, 2})
+	before := c.Metrics.Snapshot()
+	got := c.Fetch(rows, 1, 1)
+	if &got[0][0] != &rows[0][0] {
+		t.Error("local fetch should return the same backing storage")
+	}
+	if c.Metrics.Snapshot().RemoteFetchBytes != before.RemoteFetchBytes {
+		t.Error("local fetch must not count remote bytes")
+	}
+	got = c.Fetch(rows, 0, 1)
+	if len(got) != 1 || !got[0].Equal(rows[0]) {
+		t.Error("remote fetch should round-trip the rows")
+	}
+	if c.Metrics.Snapshot().RemoteFetchBytes == 0 {
+		t.Error("remote fetch must count bytes")
+	}
+}
+
+func TestExchangeRepartitions(t *testing.T) {
+	c := newTestCluster(3, 3)
+	rel := relation.New("r", pairSchema())
+	for i := int64(0); i < 100; i++ {
+		rel.Append(types.Row{types.Int(i), types.Int(i % 7)})
+	}
+	in := c.Partition(rel, []int{0})
+	out := c.Exchange("x", in, []int{1})
+	if out.Len() != 100 {
+		t.Fatalf("exchange lost rows: %d", out.Len())
+	}
+	// All rows with equal B must now share a partition.
+	seen := map[int64]int{}
+	for i, part := range out.Parts {
+		for _, r := range part {
+			b := r[1].AsInt()
+			if p, ok := seen[b]; ok && p != i {
+				t.Errorf("key %d split across partitions %d and %d", b, p, i)
+			}
+			seen[b] = i
+		}
+	}
+	if got := c.Collect(out, "c"); !got.EqualAsBag(rel) {
+		t.Error("exchange changed the bag of rows")
+	}
+}
+
+func TestMetricsSnapshotSubAndReset(t *testing.T) {
+	c := newTestCluster(2, 2)
+	c.Metrics.ShuffleBytes.Add(10)
+	a := c.Metrics.Snapshot()
+	c.Metrics.ShuffleBytes.Add(5)
+	d := c.Metrics.Snapshot().Sub(a)
+	if d.ShuffleBytes != 5 {
+		t.Errorf("Sub: %d", d.ShuffleBytes)
+	}
+	c.Metrics.Reset()
+	if c.Metrics.Snapshot().ShuffleBytes != 0 {
+		t.Error("Reset should zero counters")
+	}
+	if s := a.String(); s == "" {
+		t.Error("Snapshot.String should render")
+	}
+}
+
+func TestParallelStagesExecuteAllTasks(t *testing.T) {
+	c := New(Config{Workers: 4, Partitions: 8, StageOverheadOps: -1, ParallelStages: true})
+	var ran atomic.Int64
+	tasks := make([]Task, 16)
+	for i := range tasks {
+		tasks[i] = Task{Part: i, Preferred: -1, Run: func(w int) { ran.Add(1) }}
+	}
+	c.RunStage("p", tasks)
+	if ran.Load() != 16 {
+		t.Errorf("ran %d tasks, want 16", ran.Load())
+	}
+	if c.Metrics.Snapshot().SimNanos == 0 {
+		t.Error("parallel mode should record stage wall as sim time")
+	}
+}
+
+func TestParallelExchangeMatchesSequential(t *testing.T) {
+	rel := relation.New("r", pairSchema())
+	for i := int64(0); i < 500; i++ {
+		rel.Append(types.Row{types.Int(i), types.Int(i % 13)})
+	}
+	seq := newTestCluster(4, 8)
+	par := New(Config{Workers: 4, Partitions: 8, StageOverheadOps: -1, ParallelStages: true})
+	a := seq.Collect(seq.Exchange("x", seq.Partition(rel, []int{0}), []int{1}), "a")
+	b := par.Collect(par.Exchange("x", par.Partition(rel, []int{0}), []int{1}), "b")
+	if !a.EqualAsBag(b) {
+		t.Error("parallel exchange changed the bag of rows")
+	}
+}

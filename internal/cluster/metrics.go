@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Metrics aggregates execution counters for one cluster. All counters are
+// updated atomically by concurrently running tasks.
+//
+// The byte counters measure data that actually crossed a (simulated) worker
+// boundary and therefore paid the serialize/deserialize cost, mirroring
+// where a real Spark deployment pays network and serialization cost.
+type Metrics struct {
+	StagesRun        atomic.Int64
+	TasksRun         atomic.Int64
+	ShuffleRecords   atomic.Int64
+	ShuffleBytes     atomic.Int64
+	RemoteFetchBytes atomic.Int64
+	LocalFetchRows   atomic.Int64
+	BroadcastBytes   atomic.Int64
+	Iterations       atomic.Int64
+	// SimNanos accumulates simulated elapsed time: per stage, the
+	// maximum per-worker busy time (sequential mode) or the stage wall
+	// time (parallel mode).
+	SimNanos atomic.Int64
+	// StageWallNanos accumulates real wall time spent inside stages;
+	// subtracting it from end-to-end wall time isolates driver-side work.
+	StageWallNanos atomic.Int64
+}
+
+// Snapshot is a plain-value copy of the metrics at one instant.
+type Snapshot struct {
+	StagesRun        int64
+	TasksRun         int64
+	ShuffleRecords   int64
+	ShuffleBytes     int64
+	RemoteFetchBytes int64
+	LocalFetchRows   int64
+	BroadcastBytes   int64
+	Iterations       int64
+	SimNanos         int64
+	StageWallNanos   int64
+}
+
+// Snapshot copies the current counter values.
+func (m *Metrics) Snapshot() Snapshot {
+	return Snapshot{
+		StagesRun:        m.StagesRun.Load(),
+		TasksRun:         m.TasksRun.Load(),
+		ShuffleRecords:   m.ShuffleRecords.Load(),
+		ShuffleBytes:     m.ShuffleBytes.Load(),
+		RemoteFetchBytes: m.RemoteFetchBytes.Load(),
+		LocalFetchRows:   m.LocalFetchRows.Load(),
+		BroadcastBytes:   m.BroadcastBytes.Load(),
+		Iterations:       m.Iterations.Load(),
+		SimNanos:         m.SimNanos.Load(),
+		StageWallNanos:   m.StageWallNanos.Load(),
+	}
+}
+
+// Reset zeroes all counters.
+func (m *Metrics) Reset() {
+	m.StagesRun.Store(0)
+	m.TasksRun.Store(0)
+	m.ShuffleRecords.Store(0)
+	m.ShuffleBytes.Store(0)
+	m.RemoteFetchBytes.Store(0)
+	m.LocalFetchRows.Store(0)
+	m.BroadcastBytes.Store(0)
+	m.Iterations.Store(0)
+	m.SimNanos.Store(0)
+	m.StageWallNanos.Store(0)
+}
+
+// Sub returns the delta s - o, counter-wise.
+func (s Snapshot) Sub(o Snapshot) Snapshot {
+	return Snapshot{
+		StagesRun:        s.StagesRun - o.StagesRun,
+		TasksRun:         s.TasksRun - o.TasksRun,
+		ShuffleRecords:   s.ShuffleRecords - o.ShuffleRecords,
+		ShuffleBytes:     s.ShuffleBytes - o.ShuffleBytes,
+		RemoteFetchBytes: s.RemoteFetchBytes - o.RemoteFetchBytes,
+		LocalFetchRows:   s.LocalFetchRows - o.LocalFetchRows,
+		BroadcastBytes:   s.BroadcastBytes - o.BroadcastBytes,
+		Iterations:       s.Iterations - o.Iterations,
+		SimNanos:         s.SimNanos - o.SimNanos,
+		StageWallNanos:   s.StageWallNanos - o.StageWallNanos,
+	}
+}
+
+// String renders the snapshot as one line.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("stages=%d tasks=%d iters=%d shuffleRecs=%d shuffleBytes=%d remoteBytes=%d bcastBytes=%d",
+		s.StagesRun, s.TasksRun, s.Iterations, s.ShuffleRecords, s.ShuffleBytes, s.RemoteFetchBytes, s.BroadcastBytes)
+}

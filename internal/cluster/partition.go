@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"github.com/rasql/rasql-go/internal/relation"
+	"github.com/rasql/rasql-go/internal/types"
+)
+
+// PartitionedRelation is a relation split into hash partitions, each cached
+// on (owned by) a specific worker. It is the simulator's analog of a
+// partitioned, cached RDD.
+type PartitionedRelation struct {
+	Schema types.Schema
+	// Key holds the column indices the partitioning hash is computed
+	// over; nil means round-robin (no key partitioning guarantee).
+	Key []int
+	// Parts holds the rows of each partition.
+	Parts [][]types.Row
+	// Owner holds the worker caching each partition.
+	Owner []int
+}
+
+// NumPartitions returns the partition count.
+func (p *PartitionedRelation) NumPartitions() int { return len(p.Parts) }
+
+// Len returns the total row count across partitions.
+func (p *PartitionedRelation) Len() int {
+	n := 0
+	for _, part := range p.Parts {
+		n += len(part)
+	}
+	return n
+}
+
+// PartitionFor returns the partition index for a row under this relation's
+// key and partition count.
+func (p *PartitionedRelation) PartitionFor(row types.Row) int {
+	return int(types.HashRowKey(row, p.Key) % uint64(len(p.Parts)))
+}
+
+// Partition hash-partitions rel on the given key columns into the cluster's
+// default partition count, caching partition i on its default owner. A nil
+// key spreads rows round-robin.
+func (c *Cluster) Partition(rel *relation.Relation, key []int) *PartitionedRelation {
+	return c.PartitionN(rel, key, c.cfg.Partitions)
+}
+
+// PartitionN is Partition with an explicit partition count.
+func (c *Cluster) PartitionN(rel *relation.Relation, key []int, parts int) *PartitionedRelation {
+	p := &PartitionedRelation{
+		Schema: rel.Schema,
+		Key:    append([]int(nil), key...),
+		Parts:  make([][]types.Row, parts),
+		Owner:  make([]int, parts),
+	}
+	for i := range p.Owner {
+		p.Owner[i] = c.DefaultOwner(i)
+	}
+	for i, row := range rel.Rows {
+		var t int
+		if key == nil {
+			t = i % parts
+		} else {
+			t = int(types.HashRowKey(row, key) % uint64(parts))
+		}
+		p.Parts[t] = append(p.Parts[t], row)
+	}
+	return p
+}
+
+// Collect gathers all partitions into a single relation on the driver,
+// paying the transfer cost for every partition (the driver is not a worker).
+func (c *Cluster) Collect(p *PartitionedRelation, name string) *relation.Relation {
+	out := relation.New(name, p.Schema)
+	for _, part := range p.Parts {
+		out.Rows = append(out.Rows, c.transfer(part)...)
+	}
+	return out
+}
+
+// Empty creates an empty partitioned relation with the given schema and key
+// using the cluster's default partition count and ownership.
+func (c *Cluster) Empty(schema types.Schema, key []int) *PartitionedRelation {
+	return c.EmptyN(schema, key, c.cfg.Partitions)
+}
+
+// EmptyN is Empty with an explicit partition count.
+func (c *Cluster) EmptyN(schema types.Schema, key []int, parts int) *PartitionedRelation {
+	p := &PartitionedRelation{
+		Schema: schema,
+		Key:    append([]int(nil), key...),
+		Parts:  make([][]types.Row, parts),
+		Owner:  make([]int, parts),
+	}
+	for i := range p.Owner {
+		p.Owner[i] = c.DefaultOwner(i)
+	}
+	return p
+}

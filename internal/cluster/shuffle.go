@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"sync"
+
+	"github.com/rasql/rasql-go/internal/types"
+)
+
+// Shuffle collects map-side output buckets and materializes them on the
+// reduce side. Buckets produced on the same worker that consumes them are
+// handed over for free; buckets crossing workers pay the wire round trip —
+// the same cost model as Spark's shuffle fetch.
+type Shuffle struct {
+	c  *Cluster
+	mu sync.Mutex
+	// buckets[target] lists the buckets destined for target partition.
+	buckets [][]bucket
+}
+
+type bucket struct {
+	rows     []types.Row
+	producer int
+}
+
+// NewShuffle creates a shuffle with the given number of target partitions.
+func (c *Cluster) NewShuffle(targets int) *Shuffle {
+	return &Shuffle{c: c, buckets: make([][]bucket, targets)}
+}
+
+// Add registers one map task's output: out[t] holds the rows destined for
+// target partition t, produced on the given worker. Safe for concurrent use
+// by map tasks.
+func (s *Shuffle) Add(out [][]types.Row, producer int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	records := 0
+	for t, rows := range out {
+		if len(rows) == 0 {
+			continue
+		}
+		records += len(rows)
+		s.buckets[t] = append(s.buckets[t], bucket{rows: rows, producer: producer})
+	}
+	s.c.Metrics.ShuffleRecords.Add(int64(records))
+}
+
+// FetchTarget materializes all rows destined for target partition t on the
+// given reduce worker. Every bucket pays the serialize/deserialize round
+// trip — Spark writes shuffle output to serialized shuffle files even for
+// same-node readers — and cross-worker buckets additionally count as
+// network traffic (and incur the configured communication penalty).
+func (s *Shuffle) FetchTarget(t, onWorker int) []types.Row {
+	s.mu.Lock()
+	bs := s.buckets[t]
+	s.mu.Unlock()
+	var out []types.Row
+	for _, b := range bs {
+		buf := types.EncodeRows(b.rows)
+		s.c.Metrics.ShuffleBytes.Add(int64(len(buf)))
+		if b.producer == onWorker {
+			s.c.Metrics.LocalFetchRows.Add(int64(len(b.rows)))
+		} else {
+			s.c.Metrics.RemoteFetchBytes.Add(int64(len(buf)))
+			if p := s.c.cfg.ShufflePenaltyOpsPerByte; p > 0 {
+				burn(p * len(buf))
+			}
+		}
+		rows, err := types.DecodeRows(buf)
+		if err != nil {
+			panic("cluster: shuffle wire corruption: " + err.Error())
+		}
+		out = append(out, rows...)
+	}
+	return out
+}
+
+// TargetCount returns the number of target partitions.
+func (s *Shuffle) TargetCount() int { return len(s.buckets) }
+
+// Exchange repartitions input onto key columns: a map stage routes each row
+// by hash of the key, and a reduce stage materializes the target partitions.
+// The result's partition i is owned by the worker that ran reduce task i, so
+// a following stage scheduled partition-aware reads it locally.
+func (c *Cluster) Exchange(name string, in *PartitionedRelation, key []int) *PartitionedRelation {
+	targets := c.cfg.Partitions
+	sh := c.NewShuffle(targets)
+
+	mapTasks := make([]Task, in.NumPartitions())
+	for i := range mapTasks {
+		part := i
+		mapTasks[i] = Task{
+			Part:      part,
+			Preferred: in.Owner[part],
+			Run: func(w int) {
+				rows := c.Fetch(in.Parts[part], in.Owner[part], w)
+				out := make([][]types.Row, targets)
+				for _, row := range rows {
+					t := int(types.HashRowKey(row, key) % uint64(targets))
+					out[t] = append(out[t], row)
+				}
+				sh.Add(out, w)
+			},
+		}
+	}
+	c.RunStage(name+".map", mapTasks)
+
+	out := c.EmptyN(in.Schema, key, targets)
+	redTasks := make([]Task, targets)
+	for i := range redTasks {
+		part := i
+		redTasks[i] = Task{
+			Part:      part,
+			Preferred: -1,
+			Run: func(w int) {
+				out.Parts[part] = sh.FetchTarget(part, w)
+				out.Owner[part] = w
+			},
+		}
+	}
+	c.RunStage(name+".reduce", redTasks)
+	return out
+}

@@ -1,0 +1,432 @@
+package cluster
+
+import (
+	"github.com/rasql/rasql-go/internal/types"
+)
+
+// SetRDD is the paper's Section 6.1 data structure for the *all* relation of
+// a set-semantics recursive view: each partition keeps an append-only hash
+// set cached on its owner worker, so the per-iteration union/set-difference
+// only pays for genuinely new tuples instead of copying the whole RDD.
+//
+// When the cluster is configured with ImmutableState the merge instead
+// copies the full partition contents every iteration — vanilla immutable
+// RDD behaviour, kept for the ablation benchmark.
+type SetRDD struct {
+	Schema types.Schema
+	Owner  []int
+
+	c    *Cluster
+	sets []map[string]struct{}
+	// packed holds exact fixed-size keys for all-numeric schemas of up to
+	// three columns (no per-row string allocation); rows that fail to
+	// pack (e.g. NULLs) overflow into sets.
+	packed  []map[types.PackedKey]struct{}
+	allCols []int
+	rows    [][]types.Row
+}
+
+// NewSetRDD creates an empty SetRDD with the cluster's default partitions.
+func (c *Cluster) NewSetRDD(schema types.Schema) *SetRDD {
+	return c.NewSetRDDN(schema, c.cfg.Partitions)
+}
+
+// NewSetRDDN is NewSetRDD with an explicit partition count.
+func (c *Cluster) NewSetRDDN(schema types.Schema, parts int) *SetRDD {
+	s := &SetRDD{
+		Schema: schema,
+		Owner:  make([]int, parts),
+		c:      c,
+		sets:   make([]map[string]struct{}, parts),
+		rows:   make([][]types.Row, parts),
+	}
+	if schema.Len() <= 3 && types.AllNumeric(schema) {
+		s.packed = make([]map[types.PackedKey]struct{}, parts)
+		s.allCols = make([]int, schema.Len())
+		for i := range s.allCols {
+			s.allCols[i] = i
+		}
+	}
+	for i := range s.Owner {
+		s.Owner[i] = c.DefaultOwner(i)
+		s.sets[i] = make(map[string]struct{})
+		if s.packed != nil {
+			s.packed[i] = make(map[types.PackedKey]struct{})
+		}
+	}
+	return s
+}
+
+// add inserts the row's key if absent, reporting whether it was new.
+func (s *SetRDD) add(part int, r types.Row) bool {
+	if s.packed != nil {
+		if k, ok := types.PackRow(r, s.allCols); ok {
+			if _, dup := s.packed[part][k]; dup {
+				return false
+			}
+			s.packed[part][k] = struct{}{}
+			return true
+		}
+	}
+	k := types.RowKeyString(r)
+	if _, dup := s.sets[part][k]; dup {
+		return false
+	}
+	s.sets[part][k] = struct{}{}
+	return true
+}
+
+// has reports membership without inserting.
+func (s *SetRDD) has(part int, r types.Row) bool {
+	if s.packed != nil {
+		if k, ok := types.PackRow(r, s.allCols); ok {
+			_, dup := s.packed[part][k]
+			return dup
+		}
+	}
+	_, dup := s.sets[part][types.RowKeyString(r)]
+	return dup
+}
+
+// Merge set-differences incoming against partition part and unions the
+// survivors in, returning the genuinely new rows (the next delta). It must
+// be called from the task that owns the partition.
+func (s *SetRDD) Merge(part int, incoming []types.Row) []types.Row {
+	if s.c.cfg.ImmutableState {
+		// Simulate an immutable union: rebuild the partition's set and
+		// row storage from scratch, copying all previous data.
+		newSet := make(map[string]struct{}, len(s.sets[part])+len(incoming))
+		for k := range s.sets[part] {
+			newSet[k] = struct{}{}
+		}
+		s.sets[part] = newSet
+		if s.packed != nil {
+			newPacked := make(map[types.PackedKey]struct{}, len(s.packed[part])+len(incoming))
+			for k := range s.packed[part] {
+				newPacked[k] = struct{}{}
+			}
+			s.packed[part] = newPacked
+		}
+		newRows := make([]types.Row, len(s.rows[part]), len(s.rows[part])+len(incoming))
+		copy(newRows, s.rows[part])
+		s.rows[part] = newRows
+	}
+
+	var delta []types.Row
+	for _, r := range incoming {
+		if !s.add(part, r) {
+			continue
+		}
+		s.rows[part] = append(s.rows[part], r)
+		delta = append(delta, r)
+	}
+	return delta
+}
+
+// Contains reports whether the partition already holds the row.
+func (s *SetRDD) Contains(part int, r types.Row) bool {
+	return s.has(part, r)
+}
+
+// Rows returns the accumulated rows of a partition (no copy; callers must
+// not mutate).
+func (s *SetRDD) Rows(part int) []types.Row { return s.rows[part] }
+
+// Len returns the total number of distinct rows.
+func (s *SetRDD) Len() int {
+	n := 0
+	for _, r := range s.rows {
+		n += len(r)
+	}
+	return n
+}
+
+// NumPartitions returns the partition count.
+func (s *SetRDD) NumPartitions() int { return len(s.rows) }
+
+// AggRDD is the *all* relation of a recursive view with an aggregate in its
+// head: each partition maps a group key to the row holding the group's
+// current aggregate value. Merging incoming contributions yields the delta —
+// groups that are new or whose value improved (min/max) or changed
+// (sum/count) this iteration, which is exactly the paper's Algorithm 5
+// Reduce stage.
+type AggRDD struct {
+	Schema types.Schema
+	// Key holds the group-by column indices (all head columns except the
+	// aggregate, per RaSQL's implicit group-by rule).
+	Key []int
+	// ValIdx is the aggregate value column index.
+	ValIdx int
+	// Kind is the aggregate.
+	Kind  types.AggKind
+	Owner []int
+
+	c    *Cluster
+	maps []map[string]int // group key -> index into entries[part]
+	// pmaps holds exact packed keys when the group columns are numeric
+	// and at most three; rows that fail to pack overflow into maps.
+	pmaps []map[types.PackedKey]int
+	rows  [][]types.Row // entry rows, value column holds the running total/extremum
+}
+
+// AggDelta is the delta produced by one AggRDD merge: the updated rows
+// (value column = new total / new extremum) plus, for additive aggregates,
+// the aligned increments that semi-naive propagation must feed into
+// downstream sums instead of the totals.
+type AggDelta struct {
+	Rows []types.Row
+	Incs []types.Value
+	// News marks entries whose group first appeared in this merge.
+	News []bool
+}
+
+// Empty reports whether the delta carries no updates.
+func (d AggDelta) Empty() bool { return len(d.Rows) == 0 }
+
+// NewAggRDD creates an empty AggRDD.
+func (c *Cluster) NewAggRDD(schema types.Schema, key []int, valIdx int, kind types.AggKind) *AggRDD {
+	return c.NewAggRDDN(schema, key, valIdx, kind, c.cfg.Partitions)
+}
+
+// NewAggRDDN is NewAggRDD with an explicit partition count.
+func (c *Cluster) NewAggRDDN(schema types.Schema, key []int, valIdx int, kind types.AggKind, parts int) *AggRDD {
+	a := &AggRDD{
+		Schema: schema,
+		Key:    append([]int(nil), key...),
+		ValIdx: valIdx,
+		Kind:   kind,
+		Owner:  make([]int, parts),
+		c:      c,
+		maps:   make([]map[string]int, parts),
+		rows:   make([][]types.Row, parts),
+	}
+	packable := len(key) <= 3
+	for _, kc := range key {
+		switch schema.Columns[kc].Type {
+		case types.KindInt, types.KindFloat, types.KindBool:
+		default:
+			packable = false
+		}
+	}
+	if packable {
+		a.pmaps = make([]map[types.PackedKey]int, parts)
+	}
+	for i := range a.Owner {
+		a.Owner[i] = c.DefaultOwner(i)
+		a.maps[i] = make(map[string]int)
+		if a.pmaps != nil {
+			a.pmaps[i] = make(map[types.PackedKey]int)
+		}
+	}
+	return a
+}
+
+// lookup finds the entry index for a row's group key; insert registers a
+// new index under the same key.
+func (a *AggRDD) lookup(part int, r types.Row) (int, bool) {
+	if a.pmaps != nil {
+		if k, ok := types.PackRow(r, a.Key); ok {
+			idx, hit := a.pmaps[part][k]
+			return idx, hit
+		}
+	}
+	idx, hit := a.maps[part][types.KeyString(r, a.Key)]
+	return idx, hit
+}
+
+func (a *AggRDD) insert(part int, r types.Row, idx int) {
+	if a.pmaps != nil {
+		if k, ok := types.PackRow(r, a.Key); ok {
+			a.pmaps[part][k] = idx
+			return
+		}
+	}
+	a.maps[part][types.KeyString(r, a.Key)] = idx
+}
+
+// Merge folds incoming contribution rows into partition part. For min/max
+// the value column of an incoming row is a candidate value; for sum/count it
+// is an increment. Must be called from the task owning the partition.
+//
+// Ownership: Merge adopts the incoming rows, and the returned delta rows
+// alias the stored state (the value column reflects the new total or
+// extremum at merge time). Callers must treat delta rows as read-only and
+// consume them before the next merge of the same partition — exactly the
+// lifecycle of semi-naive deltas.
+func (a *AggRDD) Merge(part int, incoming []types.Row) AggDelta {
+	if a.c.cfg.ImmutableState {
+		a.copyPartition(part)
+	}
+	var d AggDelta
+	additive := a.Kind.Additive()
+	for _, r := range incoming {
+		v := r[a.ValIdx]
+		idx, ok := a.lookup(part, r)
+		if !ok {
+			if additive && v.AsFloat() == 0 {
+				continue // zero increment on a fresh group derives nothing
+			}
+			a.insert(part, r, len(a.rows[part]))
+			a.rows[part] = append(a.rows[part], r)
+			d.Rows = append(d.Rows, r)
+			d.News = append(d.News, true)
+			if additive {
+				d.Incs = append(d.Incs, v)
+			}
+			continue
+		}
+		cur := a.rows[part][idx][a.ValIdx]
+		if additive {
+			if v.AsFloat() == 0 {
+				continue
+			}
+			nv := cur.Add(v)
+			a.rows[part][idx][a.ValIdx] = nv
+			d.Rows = append(d.Rows, a.rows[part][idx])
+			d.News = append(d.News, false)
+			d.Incs = append(d.Incs, v)
+			continue
+		}
+		if a.Kind.Improves(v, cur) {
+			a.rows[part][idx][a.ValIdx] = v
+			d.Rows = append(d.Rows, a.rows[part][idx])
+			d.News = append(d.News, false)
+		}
+	}
+	return d
+}
+
+// copyPartition simulates an immutable-RDD union by duplicating the
+// partition's entire map and row storage before mutation.
+func (a *AggRDD) copyPartition(part int) {
+	nm := make(map[string]int, len(a.maps[part]))
+	for k, v := range a.maps[part] {
+		nm[k] = v
+	}
+	if a.pmaps != nil {
+		np := make(map[types.PackedKey]int, len(a.pmaps[part]))
+		for k, v := range a.pmaps[part] {
+			np[k] = v
+		}
+		a.pmaps[part] = np
+	}
+	nr := make([]types.Row, len(a.rows[part]))
+	for i, r := range a.rows[part] {
+		nr[i] = r.Clone()
+	}
+	a.maps[part] = nm
+	a.rows[part] = nr
+}
+
+// Rows returns the accumulated group rows of a partition (no copy; callers
+// must not mutate).
+func (a *AggRDD) Rows(part int) []types.Row { return a.rows[part] }
+
+// Lookup returns the current row whose group key matches the given row's,
+// if present.
+func (a *AggRDD) Lookup(part int, r types.Row) (types.Row, bool) {
+	idx, ok := a.lookup(part, r)
+	if !ok {
+		return nil, false
+	}
+	return a.rows[part][idx], true
+}
+
+// Len returns the total number of groups across partitions.
+func (a *AggRDD) Len() int {
+	n := 0
+	for _, r := range a.rows {
+		n += len(r)
+	}
+	return n
+}
+
+// NumPartitions returns the partition count.
+func (a *AggRDD) NumPartitions() int { return len(a.rows) }
+
+// The paper's Section 6.1 argues SetRDD's mutability does not compromise
+// fault recovery: the accumulated state acts as a checkpoint, so a failure
+// replays only the current iteration's job. Checkpoint/Restore implement
+// that mechanism — a cheap per-partition snapshot taken before a merge,
+// restored if the task must be replayed. Snapshots share row storage with
+// the live state (rows are only appended or have their value column
+// replaced), so a checkpoint costs O(partition size) pointer copies, not a
+// deep clone.
+
+// SetCheckpoint captures one SetRDD partition's state.
+type SetCheckpoint struct {
+	part   int
+	rowLen int
+	set    map[string]struct{}
+	packed map[types.PackedKey]struct{}
+}
+
+// Checkpoint snapshots a partition before a merge.
+func (s *SetRDD) Checkpoint(part int) *SetCheckpoint {
+	cp := &SetCheckpoint{part: part, rowLen: len(s.rows[part])}
+	cp.set = make(map[string]struct{}, len(s.sets[part]))
+	for k := range s.sets[part] {
+		cp.set[k] = struct{}{}
+	}
+	if s.packed != nil {
+		cp.packed = make(map[types.PackedKey]struct{}, len(s.packed[part]))
+		for k := range s.packed[part] {
+			cp.packed[k] = struct{}{}
+		}
+	}
+	return cp
+}
+
+// Restore rolls the partition back to the checkpoint, undoing any merges
+// applied since.
+func (s *SetRDD) Restore(cp *SetCheckpoint) {
+	s.rows[cp.part] = s.rows[cp.part][:cp.rowLen]
+	s.sets[cp.part] = cp.set
+	if s.packed != nil {
+		s.packed[cp.part] = cp.packed
+	}
+}
+
+// AggCheckpoint captures one AggRDD partition's state: the group index
+// plus the aggregate values (rows themselves are updated in place, so the
+// values must be saved).
+type AggCheckpoint struct {
+	part   int
+	rowLen int
+	vals   []types.Value
+	m      map[string]int
+	pm     map[types.PackedKey]int
+}
+
+// Checkpoint snapshots a partition before a merge.
+func (a *AggRDD) Checkpoint(part int) *AggCheckpoint {
+	cp := &AggCheckpoint{part: part, rowLen: len(a.rows[part])}
+	cp.vals = make([]types.Value, cp.rowLen)
+	for i, r := range a.rows[part] {
+		cp.vals[i] = r[a.ValIdx]
+	}
+	cp.m = make(map[string]int, len(a.maps[part]))
+	for k, v := range a.maps[part] {
+		cp.m[k] = v
+	}
+	if a.pmaps != nil {
+		cp.pm = make(map[types.PackedKey]int, len(a.pmaps[part]))
+		for k, v := range a.pmaps[part] {
+			cp.pm[k] = v
+		}
+	}
+	return cp
+}
+
+// Restore rolls the partition back to the checkpoint: groups added since
+// are dropped and updated aggregate values are reverted.
+func (a *AggRDD) Restore(cp *AggCheckpoint) {
+	a.rows[cp.part] = a.rows[cp.part][:cp.rowLen]
+	for i, v := range cp.vals {
+		a.rows[cp.part][i][a.ValIdx] = v
+	}
+	a.maps[cp.part] = cp.m
+	if a.pmaps != nil {
+		a.pmaps[cp.part] = cp.pm
+	}
+}

@@ -1,0 +1,248 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/rasql/rasql-go/internal/types"
+)
+
+func TestSetRDDMergeDedups(t *testing.T) {
+	for _, immutable := range []bool{false, true} {
+		c := New(Config{Workers: 2, Partitions: 2, StageOverheadOps: -1, ImmutableState: immutable})
+		s := c.NewSetRDD(pairSchema())
+		d1 := s.Merge(0, intRows([2]int64{1, 2}, [2]int64{1, 2}, [2]int64{3, 4}))
+		if len(d1) != 2 {
+			t.Errorf("immutable=%v: first merge delta = %d, want 2", immutable, len(d1))
+		}
+		d2 := s.Merge(0, intRows([2]int64{1, 2}, [2]int64{5, 6}))
+		if len(d2) != 1 || !d2[0].Equal(types.Row{types.Int(5), types.Int(6)}) {
+			t.Errorf("immutable=%v: second merge delta = %v", immutable, d2)
+		}
+		if s.Len() != 3 {
+			t.Errorf("immutable=%v: Len = %d, want 3", immutable, s.Len())
+		}
+		if !s.Contains(0, types.Row{types.Int(3), types.Int(4)}) {
+			t.Errorf("immutable=%v: Contains failed", immutable)
+		}
+		if s.Contains(0, types.Row{types.Int(9), types.Int(9)}) {
+			t.Errorf("immutable=%v: Contains false positive", immutable)
+		}
+		if len(s.Rows(0)) != 3 || len(s.Rows(1)) != 0 {
+			t.Errorf("immutable=%v: Rows per partition wrong", immutable)
+		}
+	}
+}
+
+func aggRow(k int64, v float64) types.Row {
+	return types.Row{types.Int(k), types.Float(v)}
+}
+
+func TestAggRDDMinMerge(t *testing.T) {
+	c := newTestCluster(2, 2)
+	a := c.NewAggRDD(types.NewSchema(types.Col("Dst", types.KindInt), types.Col("Cost", types.KindFloat)),
+		[]int{0}, 1, types.AggMin)
+
+	d := a.Merge(0, []types.Row{aggRow(1, 5), aggRow(2, 7)})
+	if len(d.Rows) != 2 || d.Incs != nil {
+		t.Fatalf("fresh groups delta = %v", d)
+	}
+	// Improvement produces a delta; a worse value does not.
+	d = a.Merge(0, []types.Row{aggRow(1, 3), aggRow(2, 9)})
+	if len(d.Rows) != 1 || !d.Rows[0].Equal(aggRow(1, 3)) {
+		t.Fatalf("improvement delta = %v", d.Rows)
+	}
+	// Equal value is not an improvement.
+	if d = a.Merge(0, []types.Row{aggRow(1, 3)}); !d.Empty() {
+		t.Errorf("equal value should not produce delta: %v", d.Rows)
+	}
+	// Stored value reflects the improvement.
+	row, ok := a.Lookup(0, aggRow(1, 0))
+	if !ok || !row[1].Equal(types.Float(3)) {
+		t.Errorf("stored value = %v", row)
+	}
+}
+
+func TestAggRDDMaxMerge(t *testing.T) {
+	c := newTestCluster(2, 2)
+	a := c.NewAggRDD(pairSchemaFloat(), []int{0}, 1, types.AggMax)
+	a.Merge(0, []types.Row{aggRow(1, 5)})
+	if d := a.Merge(0, []types.Row{aggRow(1, 4)}); !d.Empty() {
+		t.Error("smaller value should not improve max")
+	}
+	if d := a.Merge(0, []types.Row{aggRow(1, 6)}); len(d.Rows) != 1 {
+		t.Error("larger value should improve max")
+	}
+}
+
+func pairSchemaFloat() types.Schema {
+	return types.NewSchema(types.Col("K", types.KindInt), types.Col("V", types.KindFloat))
+}
+
+func TestAggRDDSumCarriesIncrements(t *testing.T) {
+	c := newTestCluster(2, 2)
+	a := c.NewAggRDD(pairSchemaFloat(), []int{0}, 1, types.AggSum)
+
+	d := a.Merge(0, []types.Row{aggRow(1, 10)})
+	if len(d.Rows) != 1 || !d.Rows[0][1].Equal(types.Float(10)) || !d.Incs[0].Equal(types.Float(10)) {
+		t.Fatalf("fresh sum delta = %+v", d)
+	}
+	d = a.Merge(0, []types.Row{aggRow(1, 5)})
+	if len(d.Rows) != 1 || !d.Rows[0][1].Equal(types.Float(15)) || !d.Incs[0].Equal(types.Float(5)) {
+		t.Fatalf("sum delta should carry total 15 and increment 5: %+v", d)
+	}
+	// Zero increments derive nothing.
+	if d = a.Merge(0, []types.Row{aggRow(1, 0), aggRow(2, 0)}); !d.Empty() {
+		t.Errorf("zero increments should produce no delta: %+v", d)
+	}
+}
+
+func TestAggRDDSumMultipleContributionsInBatch(t *testing.T) {
+	c := newTestCluster(2, 2)
+	a := c.NewAggRDD(pairSchemaFloat(), []int{0}, 1, types.AggSum)
+	a.Merge(0, []types.Row{aggRow(1, 1), aggRow(1, 2), aggRow(1, 3)})
+	row, ok := a.Lookup(0, aggRow(1, 0))
+	if !ok || !row[1].Equal(types.Float(6)) {
+		t.Errorf("batched sum = %v, want 6", row)
+	}
+}
+
+func TestAggRDDImmutableStateCopies(t *testing.T) {
+	c := New(Config{Workers: 2, Partitions: 2, StageOverheadOps: -1, ImmutableState: true})
+	a := c.NewAggRDD(pairSchemaFloat(), []int{0}, 1, types.AggMin)
+	a.Merge(0, []types.Row{aggRow(1, 5)})
+	a.Merge(0, []types.Row{aggRow(1, 3)})
+	row, ok := a.Lookup(0, aggRow(1, 0))
+	if !ok || !row[1].Equal(types.Float(3)) {
+		t.Errorf("immutable merge result = %v", row)
+	}
+	if a.Len() != 1 {
+		t.Errorf("Len = %d", a.Len())
+	}
+}
+
+func TestAggRDDDeltaAliasesState(t *testing.T) {
+	// Documented ownership: delta rows alias stored state and are
+	// read-only snapshots, consumed before the next merge.
+	c := newTestCluster(2, 2)
+	a := c.NewAggRDD(pairSchemaFloat(), []int{0}, 1, types.AggMin)
+	d := a.Merge(0, []types.Row{aggRow(1, 5)})
+	if !d.Rows[0][1].Equal(types.Float(5)) {
+		t.Errorf("delta value = %v", d.Rows[0][1])
+	}
+	a.Merge(0, []types.Row{aggRow(1, 3)})
+	row, _ := a.Lookup(0, aggRow(1, 0))
+	if !row[1].Equal(types.Float(3)) {
+		t.Errorf("stored value = %v", row[1])
+	}
+}
+
+func TestPartialAggregate(t *testing.T) {
+	rows := []types.Row{aggRow(1, 5), aggRow(1, 3), aggRow(2, 7), aggRow(1, 9)}
+	out := types.PartialAggregate(rows, []int{0}, 1, types.AggMin)
+	if len(out) != 2 {
+		t.Fatalf("partial agg groups = %d", len(out))
+	}
+	vals := map[int64]float64{}
+	for _, r := range out {
+		vals[r[0].AsInt()] = r[1].AsFloat()
+	}
+	if vals[1] != 3 || vals[2] != 7 {
+		t.Errorf("partial min = %v", vals)
+	}
+	out = types.PartialAggregate(rows, []int{0}, 1, types.AggSum)
+	vals = map[int64]float64{}
+	for _, r := range out {
+		vals[r[0].AsInt()] = r[1].AsFloat()
+	}
+	if vals[1] != 17 || vals[2] != 7 {
+		t.Errorf("partial sum = %v", vals)
+	}
+	// Input rows must not be mutated (they may alias cached state).
+	if !rows[0].Equal(aggRow(1, 5)) {
+		t.Error("PartialAggregate mutated its input")
+	}
+}
+
+func TestBroadcastBothModes(t *testing.T) {
+	rows := intRows([2]int64{1, 10}, [2]int64{1, 11}, [2]int64{2, 20})
+	var sizes [2]int64
+	for i, compress := range []bool{false, true} {
+		c := New(Config{Workers: 3, Partitions: 3, StageOverheadOps: -1, CompressBroadcast: compress})
+		b := c.Broadcast(rows, pairSchema(), []int{0})
+		for w := 0; w < 3; w++ {
+			tab := b.Table(w)
+			if tab.Len() != 2 {
+				t.Fatalf("compress=%v worker %d: %d keys, want 2", compress, w, tab.Len())
+			}
+			if got := tab.ProbeValues([]types.Value{types.Int(1)}); len(got) != 2 {
+				t.Errorf("compress=%v: key 1 bucket = %d rows", compress, len(got))
+			}
+		}
+		sizes[i] = c.Metrics.Snapshot().BroadcastBytes
+	}
+	if sizes[1] >= sizes[0] {
+		t.Errorf("compressed broadcast (%d bytes) should be smaller than hashed (%d bytes)",
+			sizes[1], sizes[0])
+	}
+}
+
+func TestCountContribution(t *testing.T) {
+	if !types.CountContribution(types.Int(5)).Equal(types.Int(5)) {
+		t.Error("numeric count contributions propagate")
+	}
+	if !types.CountContribution(types.Str("bob")).Equal(types.Int(1)) {
+		t.Error("non-numeric count contributions count as 1")
+	}
+}
+
+func TestSetRDDCheckpointRestore(t *testing.T) {
+	c := newTestCluster(2, 2)
+	s := c.NewSetRDD(pairSchema())
+	s.Merge(0, intRows([2]int64{1, 2}))
+	cp := s.Checkpoint(0)
+	s.Merge(0, intRows([2]int64{3, 4}, [2]int64{5, 6}))
+	s.Restore(cp)
+	if s.Len() != 1 || s.Contains(0, types.Row{types.Int(3), types.Int(4)}) {
+		t.Fatalf("restore failed: len=%d", s.Len())
+	}
+	// Replaying the same merge after restore yields the same delta.
+	d := s.Merge(0, intRows([2]int64{3, 4}, [2]int64{5, 6}))
+	if len(d) != 2 || s.Len() != 3 {
+		t.Errorf("replay delta = %d, len = %d", len(d), s.Len())
+	}
+}
+
+func TestAggRDDCheckpointRestoreAdditive(t *testing.T) {
+	c := newTestCluster(2, 2)
+	a := c.NewAggRDD(pairSchemaFloat(), []int{0}, 1, types.AggSum)
+	a.Merge(0, []types.Row{aggRow(1, 10)})
+	cp := a.Checkpoint(0)
+	a.Merge(0, []types.Row{aggRow(1, 5), aggRow(2, 7)})
+	a.Restore(cp)
+	row, ok := a.Lookup(0, aggRow(1, 0))
+	if !ok || !row[1].Equal(types.Float(10)) {
+		t.Fatalf("restored total = %v", row)
+	}
+	if _, ok := a.Lookup(0, aggRow(2, 0)); ok {
+		t.Fatal("new group should be gone after restore")
+	}
+	// Replay: exactly-once accumulation despite the earlier failed merge.
+	a.Merge(0, []types.Row{aggRow(1, 5), aggRow(2, 7)})
+	row, _ = a.Lookup(0, aggRow(1, 0))
+	if !row[1].Equal(types.Float(15)) {
+		t.Errorf("replayed total = %v, want 15", row[1])
+	}
+}
+
+func TestAggRDDCheckpointRestoreExtremum(t *testing.T) {
+	c := newTestCluster(2, 2)
+	a := c.NewAggRDD(pairSchemaFloat(), []int{0}, 1, types.AggMin)
+	a.Merge(0, []types.Row{aggRow(1, 10)})
+	cp := a.Checkpoint(0)
+	a.Merge(0, []types.Row{aggRow(1, 3)})
+	a.Restore(cp)
+	row, _ := a.Lookup(0, aggRow(1, 0))
+	if !row[1].Equal(types.Float(10)) {
+		t.Errorf("restored extremum = %v", row[1])
+	}
+}

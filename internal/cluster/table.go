@@ -1,0 +1,96 @@
+package cluster
+
+import "github.com/rasql/rasql-go/internal/types"
+
+// RowTable is a hash table over rows keyed by a column subset. Keys of up
+// to three numeric columns use exact packed 64-bit keys (no per-probe
+// string allocation — the data-layout half of whole-stage code
+// generation); anything else falls back to encoded string keys.
+type RowTable struct {
+	cols   []int
+	packed map[types.PackedKey][]types.Row
+	byStr  map[string][]types.Row
+}
+
+// BuildRowTable indexes rows on the given key columns.
+func BuildRowTable(rows []types.Row, cols []int) *RowTable {
+	t := &RowTable{cols: append([]int(nil), cols...)}
+	if len(cols) <= 3 {
+		t.packed = make(map[types.PackedKey][]types.Row, len(rows))
+		ok := true
+		for _, r := range rows {
+			k, isNum := types.PackRow(r, cols)
+			if !isNum {
+				ok = false
+				break
+			}
+			t.packed[k] = append(t.packed[k], r)
+		}
+		if ok {
+			return t
+		}
+		t.packed = nil
+	}
+	t.byStr = make(map[string][]types.Row, len(rows))
+	for _, r := range rows {
+		k := types.KeyString(r, cols)
+		t.byStr[k] = append(t.byStr[k], r)
+	}
+	return t
+}
+
+// ProbeRow returns the bucket matching the probe row's values at probeCols
+// (aligned with the table's key columns).
+func (t *RowTable) ProbeRow(r types.Row, probeCols []int) []types.Row {
+	if t.packed != nil {
+		k, ok := types.PackRow(r, probeCols)
+		if !ok {
+			return nil // numeric build keys cannot equal non-numeric probes
+		}
+		return t.packed[k]
+	}
+	return t.byStr[types.KeyString(r, probeCols)]
+}
+
+// ProbeValues returns the bucket matching the given key values.
+func (t *RowTable) ProbeValues(vals []types.Value) []types.Row {
+	if t.packed != nil {
+		var k types.PackedKey
+		for i, v := range vals {
+			u, ok := types.NumKey(v)
+			if !ok {
+				return nil
+			}
+			k[i] = u
+		}
+		return t.packed[k]
+	}
+	cols := make([]int, len(vals))
+	for i := range cols {
+		cols[i] = i
+	}
+	return t.byStr[types.KeyString(types.Row(vals), cols)]
+}
+
+// Len returns the number of distinct keys.
+func (t *RowTable) Len() int {
+	if t.packed != nil {
+		return len(t.packed)
+	}
+	return len(t.byStr)
+}
+
+// Rows iterates all bucketed rows (used when a table must be re-shipped).
+func (t *RowTable) Rows() []types.Row {
+	var out []types.Row
+	if t.packed != nil {
+		for _, b := range t.packed {
+			out = append(out, b...)
+		}
+		return out
+	}
+	for _, b := range t.byStr {
+		out = append(out, b...)
+	}
+	return out
+}

@@ -1,0 +1,556 @@
+package fixpoint
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"github.com/rasql/rasql-go/internal/cluster"
+	"github.com/rasql/rasql-go/internal/relation"
+	"github.com/rasql/rasql-go/internal/sql/analyze"
+	"github.com/rasql/rasql-go/internal/sql/ast"
+	"github.com/rasql/rasql-go/internal/sql/exec"
+	"github.com/rasql/rasql-go/internal/sql/expr"
+	"github.com/rasql/rasql-go/internal/types"
+)
+
+// DistOptions configures the distributed DSN engine.
+type DistOptions struct {
+	Options
+	// StageCombination fuses the Reduce stage of iteration i with the Map
+	// stage of iteration i+1 into one ShuffleMap stage (Algorithm 6,
+	// Section 7.1). Off reproduces the two-stage Algorithm 4/5.
+	StageCombination bool
+	// Join selects the co-partitioned join implementation (Appendix D).
+	Join JoinStrategy
+	// Volcano disables the fused ("code generation") kernels and runs the
+	// classical iterator model instead (Section 7.3 ablation).
+	Volcano bool
+	// DisableDecomposition forces shuffle execution even for decomposable
+	// plans (Section 7.2 ablation).
+	DisableDecomposition bool
+	// RebuildJoinState rebuilds the cached build-side hash tables /
+	// sorted runs and re-broadcasts every iteration, modelling an
+	// iterative-SQL loop that cannot cache across statements (the
+	// Spark-SQL-SN baseline of Section 8.2).
+	RebuildJoinState bool
+	// InjectFailure, when non-nil, simulates an executor dying once,
+	// mid-iteration, after it has already merged its input into the
+	// cached state. The stage-combined runner restores the partition from
+	// its iteration checkpoint and replays the task — the Section 6.1
+	// recovery story for mutable SetRDD state.
+	InjectFailure *FailurePoint
+}
+
+// FailurePoint names the task the injected failure kills (1-based
+// iteration, partition index).
+type FailurePoint struct {
+	Iteration int
+	Partition int
+}
+
+// Distributed evaluates a linear single-view clique on the simulated
+// cluster with Distributed Semi-Naive evaluation. Callers should fall back
+// to Local when PlanDistributed rejects the clique.
+func Distributed(clique *analyze.Clique, ctx *exec.Context, c *cluster.Cluster, opt DistOptions) (*Result, error) {
+	plan, err := PlanDistributed(clique)
+	if err != nil {
+		return nil, err
+	}
+	if opt.DisableDecomposition && plan.Decomposed {
+		plan = replanShuffled(clique)
+	}
+	return runDistributed(plan, ctx, c, opt)
+}
+
+// replanShuffled rebuilds the plan with decomposition disabled; the rules
+// keep their broadcast joins but the output shuffles each iteration.
+func replanShuffled(clique *analyze.Clique) *Plan {
+	v := clique.Views[0]
+	p := &Plan{View: v}
+	if v.IsAgg() {
+		p.PartKey = append([]int(nil), v.GroupIdx...)
+	} else {
+		p.PartKey = allColumns(v)
+	}
+	for _, r := range v.RecRules {
+		rp, err := planRule(r, p.PartKey, true)
+		if err != nil {
+			// planRule with forceBroadcast cannot fail for rules that
+			// already planned once.
+			panic("fixpoint: replan failed: " + err.Error())
+		}
+		rp.Strategy = StrategyBroadcast
+		p.Rules = append(p.Rules, rp)
+	}
+	return p
+}
+
+// viewState wraps SetRDD/AggRDD behind one merge interface.
+type viewState struct {
+	v   *analyze.RecView
+	set *cluster.SetRDD
+	agg *cluster.AggRDD
+}
+
+func newViewState(c *cluster.Cluster, v *analyze.RecView) *viewState {
+	if v.IsAgg() {
+		return &viewState{v: v, agg: c.NewAggRDD(v.Schema, v.GroupIdx, v.AggIdx, v.Agg)}
+	}
+	return &viewState{v: v, set: c.NewSetRDD(v.Schema)}
+}
+
+func (s *viewState) merge(part int, rows []types.Row) deltaBatch {
+	if s.set != nil {
+		return deltaBatch{Rows: s.set.Merge(part, rows)}
+	}
+	d := s.agg.Merge(part, rows)
+	return deltaBatch{Rows: d.Rows, Incs: d.Incs, News: d.News}
+}
+
+func (s *viewState) len() int {
+	if s.set != nil {
+		return s.set.Len()
+	}
+	return s.agg.Len()
+}
+
+func (s *viewState) owner(part int) int {
+	if s.set != nil {
+		return s.set.Owner[part]
+	}
+	return s.agg.Owner[part]
+}
+
+func (s *viewState) partitions() int {
+	if s.set != nil {
+		return s.set.NumPartitions()
+	}
+	return s.agg.NumPartitions()
+}
+
+func (s *viewState) rows(part int) []types.Row {
+	if s.set != nil {
+		return s.set.Rows(part)
+	}
+	return s.agg.Rows(part)
+}
+
+// checkpoint/restore wrap the state's Section 6.1 snapshots.
+type stateCheckpoint struct {
+	set *cluster.SetCheckpoint
+	agg *cluster.AggCheckpoint
+}
+
+func (s *viewState) checkpoint(part int) stateCheckpoint {
+	if s.set != nil {
+		return stateCheckpoint{set: s.set.Checkpoint(part)}
+	}
+	return stateCheckpoint{agg: s.agg.Checkpoint(part)}
+}
+
+func (s *viewState) restore(cp stateCheckpoint) {
+	if s.set != nil {
+		s.set.Restore(cp.set)
+		return
+	}
+	s.agg.Restore(cp.agg)
+}
+
+func runDistributed(plan *Plan, ctx *exec.Context, c *cluster.Cluster, opt DistOptions) (*Result, error) {
+	if opt.Volcano && opt.Join == SortMerge {
+		opt.Join = ShuffleHash // sort-merge is implemented in the fused path
+	}
+	v := plan.View
+	parts := c.Partitions()
+
+	kernels, err := makeKernels(plan, ctx, c, opt)
+	if err != nil {
+		return nil, err
+	}
+
+	state := newViewState(c, v)
+
+	// Evaluate base cases on the driver and bucket them by partition key.
+	var baseRows []types.Row
+	for _, rule := range v.BaseRules {
+		rows, err := evalRuleLocal(rule, nil, ctx, nil)
+		if err != nil {
+			return nil, err
+		}
+		baseRows = append(baseRows, rows...)
+	}
+	seed := make([][]types.Row, parts)
+	for _, r := range baseRows {
+		p := int(types.HashRowKey(r, plan.PartKey) % uint64(parts))
+		seed[p] = append(seed[p], r)
+	}
+
+	if plan.Decomposed {
+		return runDecomposed(plan, state, kernels, seed, c, opt)
+	}
+	if opt.StageCombination {
+		return runCombined(plan, state, kernels, seed, c, opt)
+	}
+	return runTwoStage(plan, state, kernels, seed, ctx, c, opt)
+}
+
+// makeKernels builds the per-rule kernels: cached co-partitioned hash
+// tables or sorted runs, and compressed/hashed broadcasts.
+func makeKernels(plan *Plan, ctx *exec.Context, c *cluster.Cluster, opt DistOptions) ([]*ruleKernel, error) {
+	kernels := make([]*ruleKernel, len(plan.Rules))
+	for i, rp := range plan.Rules {
+		k := &ruleKernel{rp: rp, volcano: opt.Volcano, join: opt.Join}
+		if rp.Strategy == StrategyCoPartition {
+			rel, err := ctx.SourceRelation(rp.Rule.Sources[rp.CoPartSource])
+			if err != nil {
+				return nil, err
+			}
+			k.copart = buildCopart(c, rel.Rows, rp.CoPartBuildCols, opt.Join)
+		}
+		for _, st := range rp.Steps {
+			rel, err := ctx.SourceRelation(rp.Rule.Sources[st.Source])
+			if err != nil {
+				return nil, err
+			}
+			k.bcasts = append(k.bcasts, c.Broadcast(rel.Rows, rel.Schema, st.BuildCols))
+		}
+		kernels[i] = k
+	}
+	return kernels, nil
+}
+
+// project evaluates rule heads over kernel emissions, bucketing output rows
+// by the view partition key, with map-side partial aggregation (Algorithm
+// 5 line 5). Head expressions are compiled to closures once per rule and
+// output rows carve slices out of chunked arenas — the allocation-shape
+// half of whole-stage code generation.
+type projector struct {
+	plan  *Plan
+	parts int
+	// heads[rule][col] is the compiled projection.
+	heads [][]func(expr.Env) types.Value
+}
+
+func newProjector(plan *Plan, parts int) *projector {
+	pr := &projector{plan: plan, parts: parts}
+	pr.heads = make([][]func(expr.Env) types.Value, len(plan.Rules))
+	for i, rp := range plan.Rules {
+		fns := make([]func(expr.Env) types.Value, len(rp.Rule.Head))
+		for j, h := range rp.Rule.Head {
+			fns[j] = compileExpr(h)
+		}
+		pr.heads[i] = fns
+	}
+	return pr
+}
+
+// compileExpr flattens the common expression shapes into direct closures,
+// removing the per-row interface dispatch of the generic evaluator.
+func compileExpr(e expr.Expr) func(expr.Env) types.Value {
+	switch x := e.(type) {
+	case *expr.Col:
+		in, idx := x.Input, x.Idx
+		return func(env expr.Env) types.Value { return env[in][idx] }
+	case *expr.Lit:
+		v := x.V
+		return func(expr.Env) types.Value { return v }
+	case *expr.Bin:
+		l, r := compileExpr(x.L), compileExpr(x.R)
+		switch x.Op {
+		case ast.OpAdd:
+			return func(env expr.Env) types.Value { return l(env).Add(r(env)) }
+		case ast.OpSub:
+			return func(env expr.Env) types.Value { return l(env).Sub(r(env)) }
+		case ast.OpMul:
+			return func(env expr.Env) types.Value { return l(env).Mul(r(env)) }
+		case ast.OpDiv:
+			return func(env expr.Env) types.Value { return l(env).Div(r(env)) }
+		}
+	}
+	return e.Eval
+}
+
+// rowArena allocates output rows in chunks to cut allocator and GC
+// pressure in the emit hot path.
+type rowArena struct {
+	buf   []types.Value
+	width int
+}
+
+func (a *rowArena) next() types.Row {
+	if len(a.buf) < a.width {
+		a.buf = make([]types.Value, 4096*a.width)
+	}
+	r := a.buf[:a.width:a.width]
+	a.buf = a.buf[a.width:]
+	return r
+}
+
+func (pr *projector) run(c *cluster.Cluster, kernels []*ruleKernel, delta deltaBatch, part, worker int) [][]types.Row {
+	v := pr.plan.View
+	out := make([][]types.Row, pr.parts)
+	arena := rowArena{width: v.Schema.Len()}
+	for ki, k := range kernels {
+		rp := pr.plan.Rules[ki]
+		stream := delta.streamRows(rp, aggIdxOf(v))
+		if len(stream) == 0 {
+			continue
+		}
+		head := pr.heads[ki]
+		k.run(c, stream, part, worker, func(env expr.Env) {
+			row := arena.next()
+			for i, h := range head {
+				row[i] = h(env)
+			}
+			if v.Agg == types.AggCount {
+				row[v.AggIdx] = types.CountContribution(row[v.AggIdx])
+			}
+			t := int(types.HashRowKey(row, pr.plan.PartKey) % uint64(pr.parts))
+			out[t] = append(out[t], row)
+		})
+	}
+	if v.IsAgg() {
+		for t := range out {
+			// Output rows are arena-owned and private to this call.
+			out[t] = types.PartialAggregateOwned(out[t], v.GroupIdx, v.AggIdx, v.Agg)
+		}
+	}
+	return out
+}
+
+func aggIdxOf(v *analyze.RecView) int {
+	if v.AggIdx >= 0 {
+		return v.AggIdx
+	}
+	return 0
+}
+
+// runTwoStage is Algorithm 4/5: a Map stage (join + partial aggregate +
+// shuffle) and a Reduce stage (merge into the all relation, emit delta) per
+// iteration.
+func runTwoStage(plan *Plan, state *viewState, kernels []*ruleKernel, seed [][]types.Row, ctx *exec.Context, c *cluster.Cluster, opt DistOptions) (*Result, error) {
+	parts := state.partitions()
+	pr := newProjector(plan, parts)
+	deltas := make([]deltaBatch, parts)
+
+	// Seed: merge the base case in one reduce-like stage.
+	seedTasks := make([]cluster.Task, parts)
+	for i := range seedTasks {
+		p := i
+		seedTasks[i] = cluster.Task{Part: p, Preferred: state.owner(p), Run: func(w int) {
+			rows := c.Fetch(seed[p], -1, w)
+			deltas[p] = state.merge(p, rows)
+		}}
+	}
+	c.RunStage("fixpoint.seed", seedTasks)
+
+	iter := 0
+	for {
+		if allEmpty(deltas) {
+			break
+		}
+		iter++
+		c.Metrics.Iterations.Add(1)
+		if iter > opt.maxIter() || (opt.MaxRows > 0 && state.len() > opt.MaxRows) {
+			return nil, &ErrNonTermination{Iterations: iter, Rows: state.len()}
+		}
+		if opt.RebuildJoinState {
+			var err error
+			kernels, err = makeKernels(plan, ctx, c, opt)
+			if err != nil {
+				return nil, err
+			}
+		}
+		sh := c.NewShuffle(parts)
+		mapTasks := make([]cluster.Task, 0, parts)
+		for p := 0; p < parts; p++ {
+			if deltas[p].empty() {
+				continue
+			}
+			p := p
+			d := deltas[p]
+			mapTasks = append(mapTasks, cluster.Task{Part: p, Preferred: state.owner(p), Run: func(w int) {
+				// The delta RDD was produced by the previous Reduce stage
+				// on the state owner; a Map task placed elsewhere (the
+				// default scheduler's locality-oblivious pickup) fetches
+				// it remotely — the inter-iteration locality loss the
+				// paper's partition-aware scheduling removes.
+				d.Rows = c.Fetch(d.Rows, state.owner(p), w)
+				sh.Add(pr.run(c, kernels, d, p, w), w)
+			}})
+		}
+		c.RunStage("fixpoint.map", mapTasks)
+
+		next := make([]deltaBatch, parts)
+		redTasks := make([]cluster.Task, parts)
+		for i := range redTasks {
+			p := i
+			redTasks[i] = cluster.Task{Part: p, Preferred: state.owner(p), Run: func(w int) {
+				rows := sh.FetchTarget(p, w)
+				// State lives on its owner; a task placed elsewhere must
+				// move the data there (the hybrid scheduler pays this).
+				if w != state.owner(p) {
+					rows = c.Fetch(rows, w, state.owner(p))
+				}
+				next[p] = state.merge(p, rows)
+			}}
+		}
+		c.RunStage("fixpoint.reduce", redTasks)
+		deltas = next
+	}
+	return collect(plan, state, c, iter)
+}
+
+// runCombined is Algorithm 6: one ShuffleMap stage per iteration that
+// merges the incoming shuffle data, derives the new delta, joins and
+// partially aggregates it, and emits the next shuffle — made possible by
+// partition-aware scheduling keeping state, base partition and shuffle
+// output on the same worker.
+func runCombined(plan *Plan, state *viewState, kernels []*ruleKernel, seed [][]types.Row, c *cluster.Cluster, opt DistOptions) (*Result, error) {
+	parts := state.partitions()
+	pr := newProjector(plan, parts)
+
+	sh := c.NewShuffle(parts)
+	sh.Add(seed, -1)
+
+	var pending atomic.Int64
+	var failureFired atomic.Bool
+	pending.Store(1) // seed data
+	iter := 0
+	for pending.Load() > 0 {
+		iter++
+		// The first pass merges the base case — the seed stage of the
+		// two-stage runner — so iterations count from the second pass to
+		// keep the metric comparable across execution modes.
+		if iter > 1 {
+			c.Metrics.Iterations.Add(1)
+		}
+		if iter > opt.maxIter() || (opt.MaxRows > 0 && state.len() > opt.MaxRows) {
+			return nil, &ErrNonTermination{Iterations: iter, Rows: state.len()}
+		}
+		next := c.NewShuffle(parts)
+		pending.Store(0)
+		tasks := make([]cluster.Task, parts)
+		for i := range tasks {
+			p := i
+			curIter := iter
+			tasks[i] = cluster.Task{Part: p, Preferred: state.owner(p), Run: func(w int) {
+				rows := sh.FetchTarget(p, w)
+				if w != state.owner(p) {
+					rows = c.Fetch(rows, w, state.owner(p))
+				}
+				var cp stateCheckpoint
+				inject := opt.InjectFailure != nil && !failureFired.Load() &&
+					opt.InjectFailure.Iteration == curIter && opt.InjectFailure.Partition == p
+				if inject {
+					cp = state.checkpoint(p)
+				}
+				d := state.merge(p, rows)
+				if inject {
+					// The executor dies after mutating the cached state;
+					// recovery restores the iteration checkpoint and
+					// replays the task (Section 6.1).
+					failureFired.Store(true)
+					state.restore(cp)
+					d = state.merge(p, rows)
+				}
+				if d.empty() {
+					return
+				}
+				out := pr.run(c, kernels, d, p, w)
+				for _, bucket := range out {
+					if len(bucket) > 0 {
+						pending.Add(1)
+						break
+					}
+				}
+				next.Add(out, w)
+			}}
+		}
+		c.RunStage("fixpoint.shufflemap", tasks)
+		sh = next
+	}
+	return collect(plan, state, c, iter-1)
+}
+
+// runDecomposed is the Section 7.2 execution: with the partition key
+// carried by every rule head and all base relations broadcast, each
+// partition iterates to its own fixpoint with no synchronization or
+// shuffling at all — a single stage for the whole recursion.
+func runDecomposed(plan *Plan, state *viewState, kernels []*ruleKernel, seed [][]types.Row, c *cluster.Cluster, opt DistOptions) (*Result, error) {
+	parts := state.partitions()
+	pr := newProjector(plan, parts)
+	var maxIters atomic.Int64
+	var failed atomic.Bool
+	var mu sync.Mutex
+	var firstErr error
+
+	tasks := make([]cluster.Task, parts)
+	for i := range tasks {
+		p := i
+		tasks[i] = cluster.Task{Part: p, Preferred: state.owner(p), Run: func(w int) {
+			rows := c.Fetch(seed[p], -1, w)
+			d := state.merge(p, rows)
+			local := 0
+			for !d.empty() {
+				local++
+				if local > opt.maxIter() || (opt.MaxRows > 0 && len(state.rows(p))*parts > opt.MaxRows) {
+					failed.Store(true)
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = &ErrNonTermination{Iterations: local, Rows: state.len()}
+					}
+					mu.Unlock()
+					return
+				}
+				out := pr.run(c, kernels, d, p, w)
+				// All output stays in this partition by construction;
+				// anything else is a planner bug.
+				var mine []types.Row
+				for t, bucket := range out {
+					if len(bucket) > 0 && t != p {
+						panic("fixpoint: decomposed plan leaked rows across partitions")
+					}
+					if t == p {
+						mine = bucket
+					}
+				}
+				d = state.merge(p, mine)
+			}
+			for {
+				cur := maxIters.Load()
+				if int64(local) <= cur || maxIters.CompareAndSwap(cur, int64(local)) {
+					break
+				}
+			}
+		}}
+	}
+	c.RunStage("fixpoint.decomposed", tasks)
+	if failed.Load() {
+		return nil, firstErr
+	}
+	c.Metrics.Iterations.Add(maxIters.Load())
+	return collect(plan, state, c, int(maxIters.Load()))
+}
+
+func allEmpty(ds []deltaBatch) bool {
+	for _, d := range ds {
+		if !d.empty() {
+			return false
+		}
+	}
+	return true
+}
+
+// collect gathers the final state onto the driver.
+func collect(plan *Plan, state *viewState, c *cluster.Cluster, iters int) (*Result, error) {
+	out := relation.New(plan.View.Name, plan.View.Schema)
+	for p := 0; p < state.partitions(); p++ {
+		out.Rows = append(out.Rows, c.Fetch(state.rows(p), state.owner(p), -1)...)
+	}
+	return &Result{
+		Relations:  map[string]*relation.Relation{strings.ToLower(plan.View.Name): out},
+		Iterations: iters,
+	}, nil
+}

@@ -1,0 +1,22 @@
+package prem
+
+import (
+	"github.com/rasql/rasql-go/internal/fixpoint"
+	"github.com/rasql/rasql-go/internal/relation"
+	"github.com/rasql/rasql-go/internal/sql/analyze"
+	"github.com/rasql/rasql-go/internal/sql/exec"
+)
+
+// localFixpoint runs a program end to end with the local engine (test
+// helper; the full engine lives in the root package, which this internal
+// package cannot import without a cycle).
+func localFixpoint(prog *analyze.Program, ctx *exec.Context) (*relation.Relation, error) {
+	if prog.Clique != nil && len(prog.Clique.Views) > 0 {
+		res, err := fixpoint.Local(prog.Clique, ctx, fixpoint.Options{})
+		if err != nil {
+			return nil, err
+		}
+		res.Bind(ctx)
+	}
+	return exec.Query(prog.Final, ctx)
+}

@@ -1,0 +1,120 @@
+package prem
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/rasql/rasql-go/internal/sql/ast"
+	"github.com/rasql/rasql-go/internal/sql/parser"
+	"github.com/rasql/rasql-go/internal/types"
+)
+
+// RewriteCheckingQuery produces the Appendix G PreM-checking version of an
+// endo-min/max query: an additional recursive view `all` holding the
+// un-minimized counterpart, with the original view's recursive case reading
+// `all` instead of itself. The returned text is itself a valid RaSQL query
+// (Query G2 in the paper).
+func RewriteCheckingQuery(src string) (string, error) {
+	stmt, err := parser.ParseQuery(src)
+	if err != nil {
+		return "", err
+	}
+	w, ok := stmt.(*ast.With)
+	if !ok {
+		return "", fmt.Errorf("prem: PreM rewriting applies to WITH queries")
+	}
+	if len(w.Views) != 1 {
+		return "", fmt.Errorf("prem: PreM rewriting applies to a single recursive view")
+	}
+	v := w.Views[0]
+	aggIdx := -1
+	for i, h := range v.Head {
+		if h.Agg == types.AggMin || h.Agg == types.AggMax {
+			if aggIdx >= 0 {
+				return "", fmt.Errorf("prem: more than one extremum in the head")
+			}
+			aggIdx = i
+		} else if h.Agg != types.AggNone {
+			return "", fmt.Errorf("prem: %s is handled by the monotonic counting argument, not PreM rewriting", h.Agg)
+		}
+	}
+	if aggIdx < 0 {
+		return "", fmt.Errorf("prem: view %s has no min/max head column", v.Name)
+	}
+
+	// The paper names the twin `all`; that collides with SQL's UNION ALL
+	// keyword, so the rewrite uses <view>_all.
+	allName := freshName(v, v.Name+"_all")
+
+	// The `all` view: same branches, aggregate dropped, self-references
+	// kept (they refer to all itself).
+	allView := &ast.CTE{Recursive: true, Name: allName}
+	for _, h := range v.Head {
+		allView.Head = append(allView.Head, ast.HeadCol{Name: h.Name})
+	}
+	for _, b := range v.Branches {
+		allView.Branches = append(allView.Branches, renameRefs(b, v.Name, allName))
+	}
+
+	// The original view keeps its aggregate head but its recursive cases
+	// read `all` instead of itself (γ(T(I)) per Appendix G).
+	// Declared recursive so the analyzer evaluates it inside the fixpoint
+	// alongside `all`, even though it no longer references itself.
+	checkView := &ast.CTE{Recursive: true, Name: v.Name, Head: v.Head}
+	for _, b := range v.Branches {
+		checkView.Branches = append(checkView.Branches, renameRefs(b, v.Name, allName))
+	}
+
+	out := &ast.With{Views: []*ast.CTE{allView, checkView}, Body: w.Body}
+	return out.String(), nil
+}
+
+func freshName(v *ast.CTE, base string) string {
+	name := base
+	for i := 0; strings.EqualFold(name, v.Name); i++ {
+		name = fmt.Sprintf("%s%d", base, i)
+	}
+	return name
+}
+
+// renameRefs deep-copies a select branch, renaming FROM references and
+// column qualifiers from old to new.
+func renameRefs(s *ast.Select, old, nu string) *ast.Select {
+	out := *s
+	out.From = append([]ast.TableRef(nil), s.From...)
+	for i := range out.From {
+		if strings.EqualFold(out.From[i].Name, old) && out.From[i].Alias == "" {
+			out.From[i].Name = nu
+		}
+	}
+	out.Items = append([]ast.SelectItem(nil), s.Items...)
+	for i := range out.Items {
+		out.Items[i].Expr = renameExpr(out.Items[i].Expr, old, nu)
+	}
+	out.Where = renameExpr(s.Where, old, nu)
+	return &out
+}
+
+func renameExpr(e ast.Expr, old, nu string) ast.Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *ast.ColumnRef:
+		if strings.EqualFold(x.Table, old) {
+			return &ast.ColumnRef{Table: nu, Name: x.Name}
+		}
+		return x
+	case *ast.Binary:
+		return &ast.Binary{Op: x.Op, L: renameExpr(x.L, old, nu), R: renameExpr(x.R, old, nu)}
+	case *ast.Unary:
+		return &ast.Unary{Op: x.Op, E: renameExpr(x.E, old, nu)}
+	case *ast.FuncCall:
+		args := make([]ast.Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = renameExpr(a, old, nu)
+		}
+		return &ast.FuncCall{Name: x.Name, Agg: x.Agg, Distinct: x.Distinct, Star: x.Star, Args: args}
+	default:
+		return e
+	}
+}

@@ -1,0 +1,101 @@
+package relation
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/rasql/rasql-go/internal/types"
+)
+
+// ReadCSV loads a relation from CSV (or TSV when sep is '\t'). The schema
+// must be supplied; a leading header row matching the schema column names
+// is skipped automatically.
+func ReadCSV(r io.Reader, name string, schema types.Schema, sep rune) (*Relation, error) {
+	cr := csv.NewReader(bufio.NewReaderSize(r, 1<<16))
+	cr.Comma = sep
+	cr.FieldsPerRecord = schema.Len()
+	cr.ReuseRecord = true
+	rel := New(name, schema)
+	first := true
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return rel, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: read %s: %w", name, err)
+		}
+		if first {
+			first = false
+			if isHeader(rec, schema) {
+				continue
+			}
+		}
+		row := make(types.Row, len(rec))
+		for i, f := range rec {
+			v, err := types.ParseValue(strings.TrimSpace(f), schema.Columns[i].Type)
+			if err != nil {
+				return nil, fmt.Errorf("relation: %s row %d: %w", name, rel.Len()+1, err)
+			}
+			row[i] = v
+		}
+		rel.Append(row)
+	}
+}
+
+func isHeader(rec []string, schema types.Schema) bool {
+	for i, f := range rec {
+		if !strings.EqualFold(strings.TrimSpace(f), schema.Columns[i].Name) {
+			return false
+		}
+	}
+	return true
+}
+
+// ReadCSVFile loads a relation from a file path.
+func ReadCSVFile(path, name string, schema types.Schema, sep rune) (*Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f, name, schema, sep)
+}
+
+// WriteCSV writes the relation as CSV with a header row.
+func WriteCSV(w io.Writer, rel *Relation, sep rune) error {
+	cw := csv.NewWriter(w)
+	cw.Comma = sep
+	if err := cw.Write(rel.Schema.Names()); err != nil {
+		return err
+	}
+	rec := make([]string, rel.Schema.Len())
+	for _, row := range rel.Rows {
+		for i, v := range row {
+			rec[i] = v.String()
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile writes the relation to a file path.
+func WriteCSVFile(path string, rel *Relation, sep rune) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriterSize(f, 1<<16)
+	if err := WriteCSV(w, rel, sep); err != nil {
+		return err
+	}
+	return w.Flush()
+}

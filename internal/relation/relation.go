@@ -1,0 +1,163 @@
+// Package relation provides the in-memory relation abstraction: a schema
+// plus a slice of rows, with helpers for building, sorting, deduplicating
+// and comparing relations, and CSV input/output.
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/rasql/rasql-go/internal/types"
+)
+
+// Relation is an in-memory table: a schema and its rows.
+type Relation struct {
+	// Name is an optional identifier (catalog name or derived label).
+	Name string
+	// Schema describes the columns.
+	Schema types.Schema
+	// Rows holds the tuples. Callers may append directly while building.
+	Rows []types.Row
+}
+
+// New creates an empty relation with the given name and schema.
+func New(name string, schema types.Schema) *Relation {
+	return &Relation{Name: name, Schema: schema}
+}
+
+// FromRows creates a relation from pre-built rows.
+func FromRows(name string, schema types.Schema, rows []types.Row) *Relation {
+	return &Relation{Name: name, Schema: schema, Rows: rows}
+}
+
+// Append adds a row. The row arity must match the schema; this is checked
+// only in debug paths, not per append, to keep bulk loading cheap.
+func (r *Relation) Append(row types.Row) { r.Rows = append(r.Rows, row) }
+
+// Len returns the number of rows.
+func (r *Relation) Len() int { return len(r.Rows) }
+
+// Clone deep-copies the relation (rows are re-sliced; values are immutable).
+func (r *Relation) Clone() *Relation {
+	rows := make([]types.Row, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = row.Clone()
+	}
+	return &Relation{Name: r.Name, Schema: r.Schema, Rows: rows}
+}
+
+// Sort orders rows lexicographically in place and returns the relation.
+func (r *Relation) Sort() *Relation {
+	sort.Slice(r.Rows, func(i, j int) bool {
+		return r.Rows[i].Compare(r.Rows[j]) < 0
+	})
+	return r
+}
+
+// Dedup removes duplicate rows (set semantics) in place and returns r.
+func (r *Relation) Dedup() *Relation {
+	seen := make(map[string]struct{}, len(r.Rows))
+	out := r.Rows[:0]
+	for _, row := range r.Rows {
+		k := types.RowKeyString(row)
+		if _, ok := seen[k]; ok {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, row)
+	}
+	r.Rows = out
+	return r
+}
+
+// EqualAsSet reports whether two relations hold the same set of rows,
+// ignoring order and duplicates.
+func (r *Relation) EqualAsSet(o *Relation) bool {
+	a := countRows(r.Rows, true)
+	b := countRows(o.Rows, true)
+	return mapsEqual(a, b)
+}
+
+// EqualAsBag reports whether two relations hold the same multiset of rows,
+// ignoring order.
+func (r *Relation) EqualAsBag(o *Relation) bool {
+	a := countRows(r.Rows, false)
+	b := countRows(o.Rows, false)
+	return mapsEqual(a, b)
+}
+
+func countRows(rows []types.Row, set bool) map[string]int {
+	m := make(map[string]int, len(rows))
+	for _, row := range rows {
+		k := types.RowKeyString(row)
+		if set {
+			m[k] = 1
+		} else {
+			m[k]++
+		}
+	}
+	return m
+}
+
+func mapsEqual(a, b map[string]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the relation as a small ASCII table, truncated to 20 rows.
+func (r *Relation) String() string { return r.Format(20) }
+
+// Format renders the relation as an ASCII table with at most maxRows rows.
+func (r *Relation) Format(maxRows int) string {
+	var b strings.Builder
+	name := r.Name
+	if name == "" {
+		name = "relation"
+	}
+	fmt.Fprintf(&b, "%s %s: %d rows\n", name, r.Schema, len(r.Rows))
+	n := len(r.Rows)
+	if maxRows >= 0 && n > maxRows {
+		n = maxRows
+	}
+	for i := 0; i < n; i++ {
+		b.WriteString("  ")
+		b.WriteString(r.Rows[i].String())
+		b.WriteByte('\n')
+	}
+	if n < len(r.Rows) {
+		fmt.Fprintf(&b, "  ... (%d more)\n", len(r.Rows)-n)
+	}
+	return b.String()
+}
+
+// Validate checks that every row matches the schema arity and that each
+// non-null value is compatible with the declared column type.
+func (r *Relation) Validate() error {
+	for i, row := range r.Rows {
+		if len(row) != r.Schema.Len() {
+			return fmt.Errorf("relation %s: row %d has %d values, schema has %d columns",
+				r.Name, i, len(row), r.Schema.Len())
+		}
+		for j, v := range row {
+			if v.IsNull() {
+				continue
+			}
+			want := r.Schema.Columns[j].Type
+			ok := v.K == want ||
+				(want == types.KindFloat && v.K == types.KindInt) // ints widen to double
+			if !ok {
+				return fmt.Errorf("relation %s: row %d col %s: value %v has kind %v, want %v",
+					r.Name, i, r.Schema.Columns[j].Name, v, v.K, want)
+			}
+		}
+	}
+	return nil
+}

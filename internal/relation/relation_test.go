@@ -1,0 +1,148 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/rasql/rasql-go/internal/types"
+)
+
+func edgeSchema() types.Schema {
+	return types.NewSchema(types.Col("Src", types.KindInt), types.Col("Dst", types.KindInt))
+}
+
+func testRel() *Relation {
+	r := New("edge", edgeSchema())
+	r.Append(types.Row{types.Int(1), types.Int(2)})
+	r.Append(types.Row{types.Int(2), types.Int(3)})
+	r.Append(types.Row{types.Int(1), types.Int(2)})
+	return r
+}
+
+func TestDedup(t *testing.T) {
+	r := testRel()
+	r.Dedup()
+	if r.Len() != 2 {
+		t.Errorf("after dedup: %d rows, want 2", r.Len())
+	}
+}
+
+func TestSort(t *testing.T) {
+	r := New("x", edgeSchema())
+	r.Append(types.Row{types.Int(2), types.Int(1)})
+	r.Append(types.Row{types.Int(1), types.Int(9)})
+	r.Append(types.Row{types.Int(1), types.Int(2)})
+	r.Sort()
+	want := []types.Row{
+		{types.Int(1), types.Int(2)},
+		{types.Int(1), types.Int(9)},
+		{types.Int(2), types.Int(1)},
+	}
+	for i, w := range want {
+		if !r.Rows[i].Equal(w) {
+			t.Errorf("row %d = %v, want %v", i, r.Rows[i], w)
+		}
+	}
+}
+
+func TestEqualAsSetAndBag(t *testing.T) {
+	a := testRel()         // {(1,2) x2, (2,3)}
+	b := testRel().Dedup() // {(1,2), (2,3)}
+	if !a.EqualAsSet(b) {
+		t.Error("set equality should ignore duplicates")
+	}
+	if a.EqualAsBag(b) {
+		t.Error("bag equality should see the duplicate")
+	}
+	c := New("c", edgeSchema())
+	c.Append(types.Row{types.Int(9), types.Int(9)})
+	if a.EqualAsSet(c) {
+		t.Error("different contents must not be set-equal")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := testRel()
+	b := a.Clone()
+	b.Rows[0][0] = types.Int(99)
+	if a.Rows[0][0].Equal(types.Int(99)) {
+		t.Error("clone must not share row storage")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	r := testRel()
+	if err := r.Validate(); err != nil {
+		t.Errorf("valid relation: %v", err)
+	}
+	r.Append(types.Row{types.Int(1)})
+	if err := r.Validate(); err == nil {
+		t.Error("arity mismatch should fail validation")
+	}
+	r.Rows = r.Rows[:len(r.Rows)-1]
+	r.Append(types.Row{types.Str("x"), types.Int(1)})
+	if err := r.Validate(); err == nil {
+		t.Error("kind mismatch should fail validation")
+	}
+	// Ints are allowed in double columns.
+	f := New("f", types.NewSchema(types.Col("C", types.KindFloat)))
+	f.Append(types.Row{types.Int(3)})
+	if err := f.Validate(); err != nil {
+		t.Errorf("int in double column should validate: %v", err)
+	}
+}
+
+func TestFormatTruncation(t *testing.T) {
+	r := testRel()
+	s := r.Format(1)
+	if !strings.Contains(s, "(2 more)") {
+		t.Errorf("Format should note truncation: %q", s)
+	}
+	if !strings.Contains(r.String(), "edge") {
+		t.Error("String should include the relation name")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	r := testRel()
+	var buf strings.Builder
+	if err := WriteCSV(&buf, r, ','); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(strings.NewReader(buf.String()), "edge", edgeSchema(), ',')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualAsBag(r) {
+		t.Errorf("CSV round trip mismatch:\n%v\n%v", got, r)
+	}
+}
+
+func TestCSVNoHeader(t *testing.T) {
+	in := "1,2\n3,4\n"
+	got, err := ReadCSV(strings.NewReader(in), "e", edgeSchema(), ',')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Errorf("got %d rows, want 2", got.Len())
+	}
+}
+
+func TestCSVBadValue(t *testing.T) {
+	in := "1,notanint\n"
+	if _, err := ReadCSV(strings.NewReader(in), "e", edgeSchema(), ','); err == nil {
+		t.Error("bad int should error")
+	}
+}
+
+func TestCSVTabSeparated(t *testing.T) {
+	in := "1\t2\n2\t3\n"
+	got, err := ReadCSV(strings.NewReader(in), "e", edgeSchema(), '\t')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Errorf("got %d rows, want 2", got.Len())
+	}
+}

@@ -1,0 +1,388 @@
+package analyze
+
+import (
+	"github.com/rasql/rasql-go/internal/sql/ast"
+	"github.com/rasql/rasql-go/internal/sql/catalog"
+	"github.com/rasql/rasql-go/internal/sql/expr"
+	"github.com/rasql/rasql-go/internal/types"
+)
+
+// analyzeWith performs the paper's two-step compile for a WITH statement:
+// step one recognizes recursive table references and partitions the CTEs
+// into a recursive clique plus plain views; step two analyzes every branch
+// into resolved base/recursive rules with implicit group-by applied, and
+// analyzes the body query with the clique in scope.
+func (a *analyzer) analyzeWith(w *ast.With) (*Program, error) {
+	names := map[string]int{}
+	for i, v := range w.Views {
+		if _, dup := names[toLower(v.Name)]; dup {
+			return nil, errf("", "duplicate CTE name %q", v.Name)
+		}
+		names[toLower(v.Name)] = i
+	}
+
+	// Dependency edges between CTEs, from FROM references.
+	n := len(w.Views)
+	adj := make([][]bool, n)
+	for i := range adj {
+		adj[i] = make([]bool, n)
+	}
+	for i, v := range w.Views {
+		for _, b := range v.Branches {
+			for _, name := range referencedTables(b) {
+				if j, ok := names[toLower(name)]; ok {
+					adj[i][j] = true
+				}
+			}
+		}
+	}
+	recursive := cyclic(adj)
+	// A CTE declared `recursive` that reads a recursive view joins the
+	// clique even without a self-reference — the paper's Appendix G
+	// PreM-checking queries and the Company Control pattern rely on the
+	// view being evaluated inside the fixpoint rather than after it.
+	for changed := true; changed; {
+		changed = false
+		for i, v := range w.Views {
+			if recursive[i] || !v.Recursive {
+				continue
+			}
+			for j := range w.Views {
+				if adj[i][j] && recursive[j] {
+					recursive[i] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	clique := &Clique{}
+	a.clique = clique
+	localViews := map[string]*catalog.ViewDef{}
+	for i, v := range w.Views {
+		if !recursive[i] {
+			vd := &catalog.ViewDef{Name: v.Name, Columns: headNames(v.Head), Query: branchesAsSelect(v)}
+			if hasAggHead(v.Head) {
+				return nil, errf("view "+v.Name, "aggregate heads require a recursive view")
+			}
+			localViews[toLower(v.Name)] = vd
+			clique.NonRec = append(clique.NonRec, vd)
+			continue
+		}
+		rv := &RecView{Name: v.Name, Agg: types.AggNone, AggIdx: -1, Index: len(clique.Views)}
+		cols := make([]types.Column, len(v.Head))
+		for ci, h := range v.Head {
+			cols[ci] = types.Col(h.Name, types.KindNull)
+			if h.Agg == types.AggNone {
+				rv.GroupIdx = append(rv.GroupIdx, ci)
+				continue
+			}
+			if rv.AggIdx >= 0 {
+				return nil, errf("view "+v.Name, "at most one aggregate column per recursive head")
+			}
+			if !h.Agg.MonotonicInRecursion() {
+				return nil, errf("view "+v.Name, "%s is not monotonic and cannot be used in recursion", h.Agg)
+			}
+			rv.Agg = h.Agg
+			rv.AggIdx = ci
+		}
+		rv.Schema = types.NewSchema(cols...)
+		clique.Views = append(clique.Views, rv)
+	}
+	a.localViews = localViews
+
+	if len(clique.Views) == 0 {
+		// Purely non-recursive WITH: analyze the body with the views.
+		q, err := a.analyzeSelect(w.Body, "query")
+		if err != nil {
+			return nil, err
+		}
+		return &Program{Clique: clique, Final: q}, nil
+	}
+
+	// A clique must be grounded: at least one branch somewhere that
+	// references no clique view. Check syntactically before type
+	// inference, which cannot converge without a ground branch.
+	hasBase := false
+	for i, v := range w.Views {
+		if !recursive[i] {
+			continue
+		}
+		for _, b := range v.Branches {
+			refsClique := false
+			for _, name := range referencedTables(b) {
+				if j, ok := names[toLower(name)]; ok && recursive[j] {
+					refsClique = true
+				}
+			}
+			if !refsClique {
+				hasBase = true
+			}
+		}
+	}
+	if !hasBase {
+		return nil, errf("", "recursive clique has no base case")
+	}
+
+	// Type-inference rounds: head column types start unknown and are
+	// unified across branches until stable (bounded by clique size).
+	cliqueIdx := 0
+	astViews := make([]*ast.CTE, 0, len(clique.Views))
+	for i, v := range w.Views {
+		if recursive[i] {
+			astViews = append(astViews, v)
+			cliqueIdx++
+		}
+	}
+	for round := 0; round < n+2; round++ {
+		changed := false
+		for vi, rv := range clique.Views {
+			for _, branch := range astViews[vi].Branches {
+				rule, err := a.analyzeRule(rv, branch)
+				if err != nil {
+					if round == 0 {
+						// Errors on round 0 may be caused by unresolved
+						// sibling types; give later rounds a chance
+						// unless they persist.
+						continue
+					}
+					return nil, err
+				}
+				for ci, h := range rule.Head {
+					inferred := expr.InferKind(h, ruleSchemas(rule))
+					if ci == rv.AggIdx && rv.Agg == types.AggCount {
+						// count() columns hold counts regardless of what
+						// is being counted (Party Attendance counts
+						// friend names).
+						inferred = types.KindInt
+					}
+					k, err := unifyKind("view "+rv.Name, rv.Schema.Columns[ci].Name,
+						rv.Schema.Columns[ci].Type, inferred)
+					if err != nil {
+						return nil, err
+					}
+					if k != rv.Schema.Columns[ci].Type {
+						rv.Schema.Columns[ci].Type = k
+						changed = true
+					}
+				}
+			}
+		}
+		if !changed && round > 0 {
+			break
+		}
+	}
+	for _, rv := range clique.Views {
+		for _, c := range rv.Schema.Columns {
+			if c.Type == types.KindNull {
+				return nil, errf("view "+rv.Name, "cannot infer a type for column %q", c.Name)
+			}
+		}
+	}
+
+	// Final pass: build the resolved rules.
+	for vi, rv := range clique.Views {
+		for _, branch := range astViews[vi].Branches {
+			rule, err := a.analyzeRule(rv, branch)
+			if err != nil {
+				return nil, err
+			}
+			if err := a.checkRuleStratification(rule); err != nil {
+				return nil, err
+			}
+			if len(rule.RecSources) == 0 {
+				rv.BaseRules = append(rv.BaseRules, rule)
+			} else {
+				rv.RecRules = append(rv.RecRules, rule)
+			}
+		}
+	}
+	final, err := a.analyzeSelect(w.Body, "query")
+	if err != nil {
+		return nil, err
+	}
+	return &Program{Clique: clique, Final: final}, nil
+}
+
+// analyzeRule resolves one CTE branch into a rule of its view.
+func (a *analyzer) analyzeRule(rv *RecView, branch *ast.Select) (*Rule, error) {
+	ctx := "view " + rv.Name
+	switch {
+	case len(branch.GroupBy) > 0 || branch.Having != nil:
+		return nil, errf(ctx, "recursive CTE branches use RaSQL's implicit group-by; explicit GROUP BY/HAVING is not allowed")
+	case branch.Distinct:
+		return nil, errf(ctx, "DISTINCT is not allowed in recursive CTE branches")
+	case len(branch.OrderBy) > 0 || branch.Limit >= 0:
+		return nil, errf(ctx, "ORDER BY/LIMIT are not allowed in recursive CTE branches")
+	}
+	sources, err := a.resolveSources(branch.From, ctx)
+	if err != nil {
+		return nil, err
+	}
+	rule := &Rule{View: rv, Sources: sources, NoFrom: len(branch.From) == 0}
+	for i, s := range sources {
+		if s.Kind == SourceRec {
+			rule.RecSources = append(rule.RecSources, i)
+		}
+	}
+	sc := &scope{sources: sources, ctx: ctx}
+	if branch.Where != nil {
+		if ast.HasAggregate(branch.Where) {
+			return nil, errf(ctx, "aggregates are not allowed in WHERE")
+		}
+		w, err := sc.resolveExpr(branch.Where)
+		if err != nil {
+			return nil, err
+		}
+		rule.Conjuncts = expr.SplitConjuncts(expr.Fold(w))
+	}
+	items := branch.Items
+	if len(items) == 1 && items[0].Star {
+		items = nil
+		for _, src := range sources {
+			for _, col := range src.Schema.Columns {
+				items = append(items, ast.SelectItem{Expr: &ast.ColumnRef{Table: src.Binding, Name: col.Name}})
+			}
+		}
+	}
+	if len(items) != rv.Schema.Len() {
+		return nil, errf(ctx, "head declares %d columns but branch selects %d", rv.Schema.Len(), len(items))
+	}
+	rule.Head = make([]expr.Expr, len(items))
+	for i, it := range items {
+		if it.Star {
+			return nil, errf(ctx, "mixed * and expressions in a recursive branch")
+		}
+		if ast.HasAggregate(it.Expr) {
+			return nil, errf(ctx, "aggregates in recursive branches are declared in the view head (e.g. `min() AS %s`), not the SELECT list", rv.Schema.Columns[i].Name)
+		}
+		e, err := sc.resolveExpr(it.Expr)
+		if err != nil {
+			return nil, err
+		}
+		rule.Head[i] = expr.Fold(e)
+	}
+	return rule, nil
+}
+
+// checkRuleStratification rejects rules whose named-view sources themselves
+// read recursive views: a view materialized before the fixpoint cannot
+// depend on fixpoint results.
+func (a *analyzer) checkRuleStratification(rule *Rule) error {
+	var check func(q *Query) error
+	check = func(q *Query) error {
+		for _, s := range q.Sources {
+			switch s.Kind {
+			case SourceRec:
+				return errf("view "+rule.View.Name,
+					"view %q reads recursive view %q; referencing recursion through a plain view is not supported inside rules",
+					s.Binding, s.Rec.Name)
+			case SourceView:
+				if err := check(s.ViewQuery); err != nil {
+					return err
+				}
+			}
+		}
+		for _, u := range q.Unions {
+			if err := check(u); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, s := range rule.Sources {
+		if s.Kind == SourceView {
+			if err := check(s.ViewQuery); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func ruleSchemas(r *Rule) []types.Schema {
+	out := make([]types.Schema, len(r.Sources))
+	for i, s := range r.Sources {
+		out[i] = s.Schema
+	}
+	return out
+}
+
+// cyclic returns, for each node, whether it lies on a cycle (including
+// self-loops) in the adjacency matrix, via reachability.
+func cyclic(adj [][]bool) []bool {
+	n := len(adj)
+	reach := make([][]bool, n)
+	for i := range reach {
+		reach[i] = append([]bool(nil), adj[i]...)
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if !reach[i][k] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if reach[k][j] {
+					reach[i][j] = true
+				}
+			}
+		}
+	}
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = reach[i][i]
+	}
+	return out
+}
+
+func headNames(head []ast.HeadCol) []string {
+	out := make([]string, len(head))
+	for i, h := range head {
+		out[i] = h.Name
+	}
+	return out
+}
+
+func hasAggHead(head []ast.HeadCol) bool {
+	for _, h := range head {
+		if h.Agg != types.AggNone {
+			return true
+		}
+	}
+	return false
+}
+
+// referencedTables lists every table/view name a select references,
+// including inside derived tables and union branches.
+func referencedTables(s *ast.Select) []string {
+	var out []string
+	var walk func(sel *ast.Select)
+	walk = func(sel *ast.Select) {
+		if sel == nil {
+			return
+		}
+		for _, t := range sel.From {
+			if t.Sub != nil {
+				walk(t.Sub)
+				continue
+			}
+			out = append(out, t.Name)
+		}
+		for _, u := range sel.Unions {
+			walk(u.Select)
+		}
+	}
+	walk(s)
+	return out
+}
+
+// branchesAsSelect reassembles a non-recursive CTE's branches into a single
+// select with unions, for registration as a plain view.
+func branchesAsSelect(v *ast.CTE) *ast.Select {
+	first := v.Branches[0]
+	for _, b := range v.Branches[1:] {
+		first.Unions = append(first.Unions, ast.UnionPart{Select: b})
+	}
+	return first
+}

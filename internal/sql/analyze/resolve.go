@@ -1,0 +1,165 @@
+package analyze
+
+import (
+	"strings"
+
+	"github.com/rasql/rasql-go/internal/sql/ast"
+	"github.com/rasql/rasql-go/internal/sql/catalog"
+	"github.com/rasql/rasql-go/internal/sql/expr"
+	"github.com/rasql/rasql-go/internal/types"
+)
+
+// analyzer carries per-statement analysis state.
+type analyzer struct {
+	cat    *catalog.Catalog
+	clique *Clique
+	// viewStack detects cyclic non-recursive view definitions.
+	viewStack []string
+	// viewCache caches analyzed named views by lower-cased name.
+	viewCache map[string]*Query
+	// localViews holds non-recursive CTEs of the WITH under analysis,
+	// visible ahead of catalog views.
+	localViews map[string]*catalog.ViewDef
+}
+
+// scope is the name-resolution context of one SELECT.
+type scope struct {
+	sources []Source
+	ctx     string
+}
+
+func (s *scope) schemas() []types.Schema {
+	out := make([]types.Schema, len(s.sources))
+	for i, src := range s.sources {
+		out[i] = src.Schema
+	}
+	return out
+}
+
+// resolveColumn binds a column reference to a (source, column) position.
+func (s *scope) resolveColumn(c *ast.ColumnRef) (*expr.Col, error) {
+	if c.Table != "" {
+		for i, src := range s.sources {
+			if equalFold(src.Binding, c.Table) {
+				j := src.Schema.Index(c.Name)
+				if j < 0 {
+					return nil, errf(s.ctx, "column %s.%s not found (schema %s)", c.Table, c.Name, src.Schema)
+				}
+				return &expr.Col{Input: i, Idx: j, Name: c.Table + "." + c.Name}, nil
+			}
+		}
+		return nil, errf(s.ctx, "unknown table %q in column reference %s", c.Table, c)
+	}
+	found := (*expr.Col)(nil)
+	for i, src := range s.sources {
+		j := src.Schema.Index(c.Name)
+		if j < 0 {
+			continue
+		}
+		if found != nil {
+			return nil, errf(s.ctx, "ambiguous column %q (in %s and %s)", c.Name,
+				s.sources[found.Input].Binding, src.Binding)
+		}
+		found = &expr.Col{Input: i, Idx: j, Name: c.Name}
+	}
+	if found == nil {
+		return nil, errf(s.ctx, "unknown column %q", c.Name)
+	}
+	return found, nil
+}
+
+// resolveExpr rewrites a parsed expression into resolved form. Aggregate
+// calls are rejected; grouped queries route through the grouped rewriter
+// instead.
+func (s *scope) resolveExpr(e ast.Expr) (expr.Expr, error) {
+	switch x := e.(type) {
+	case *ast.ColumnRef:
+		return s.resolveColumn(x)
+	case *ast.Literal:
+		return &expr.Lit{V: x.Value}, nil
+	case *ast.Binary:
+		l, err := s.resolveExpr(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := s.resolveExpr(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Bin{Op: x.Op, L: l, R: r}, nil
+	case *ast.Unary:
+		inner, err := s.resolveExpr(x.E)
+		if err != nil {
+			return nil, err
+		}
+		if x.Op == "NOT" {
+			return &expr.Not{E: inner}, nil
+		}
+		return &expr.Neg{E: inner}, nil
+	case *ast.FuncCall:
+		if x.Agg != types.AggNone {
+			return nil, errf(s.ctx, "aggregate %s() not allowed here", x.Name)
+		}
+		return nil, errf(s.ctx, "unknown function %q", x.Name)
+	default:
+		return nil, errf(s.ctx, "unsupported expression %s", e)
+	}
+}
+
+// outName derives an output column name for a select item.
+func outName(item ast.SelectItem, pos int) string {
+	if item.Alias != "" {
+		return item.Alias
+	}
+	switch x := item.Expr.(type) {
+	case *ast.ColumnRef:
+		return x.Name
+	case *ast.FuncCall:
+		return x.Name
+	default:
+		return "col" + itoa(pos+1)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// unifyKind merges a newly inferred kind into an existing assignment,
+// widening int to double and letting null absorb anything.
+func unifyKind(ctx, col string, cur, nu types.Kind) (types.Kind, error) {
+	switch {
+	case cur == types.KindNull:
+		return nu, nil
+	case nu == types.KindNull || cur == nu:
+		return cur, nil
+	case cur == types.KindInt && nu == types.KindFloat,
+		cur == types.KindFloat && nu == types.KindInt:
+		return types.KindFloat, nil
+	default:
+		return cur, errf(ctx, "column %s has conflicting types %v and %v", col, cur, nu)
+	}
+}
+
+// matchesGroupExpr reports whether a parsed expression is (textually) one of
+// the GROUP BY expressions; SQL treats such occurrences as group key
+// references.
+func matchesGroupExpr(e ast.Expr, groupBy []ast.Expr) int {
+	es := strings.ToLower(e.String())
+	for i, g := range groupBy {
+		if strings.ToLower(g.String()) == es {
+			return i
+		}
+	}
+	return -1
+}

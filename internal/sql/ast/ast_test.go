@@ -1,0 +1,97 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/rasql/rasql-go/internal/types"
+)
+
+func TestWalkVisitsAll(t *testing.T) {
+	e := &Binary{Op: OpAdd,
+		L: &FuncCall{Name: "min", Agg: types.AggMin, Args: []Expr{&ColumnRef{Name: "x"}}},
+		R: &Unary{Op: "-", E: &Literal{Value: types.Int(3)}},
+	}
+	var seen []string
+	Walk(e, func(x Expr) bool {
+		seen = append(seen, strings.Split(strings.TrimPrefix(typeName(x), "*ast."), ".")[0])
+		return true
+	})
+	if len(seen) != 5 {
+		t.Errorf("visited %d nodes, want 5: %v", len(seen), seen)
+	}
+}
+
+func typeName(e Expr) string {
+	switch e.(type) {
+	case *Binary:
+		return "Binary"
+	case *Unary:
+		return "Unary"
+	case *FuncCall:
+		return "FuncCall"
+	case *ColumnRef:
+		return "ColumnRef"
+	case *Literal:
+		return "Literal"
+	default:
+		return "?"
+	}
+}
+
+func TestWalkStopsOnFalse(t *testing.T) {
+	e := &Binary{Op: OpAdd, L: &ColumnRef{Name: "a"}, R: &ColumnRef{Name: "b"}}
+	count := 0
+	Walk(e, func(x Expr) bool {
+		count++
+		return false // do not descend
+	})
+	if count != 1 {
+		t.Errorf("walk should stop at the root, visited %d", count)
+	}
+}
+
+func TestHasAggregateOnHead(t *testing.T) {
+	agg := &FuncCall{Name: "sum", Agg: types.AggSum, Args: []Expr{&ColumnRef{Name: "x"}}}
+	plain := &FuncCall{Name: "lower", Args: []Expr{&ColumnRef{Name: "x"}}}
+	if !HasAggregate(&Binary{Op: OpAdd, L: agg, R: &Literal{Value: types.Int(1)}}) {
+		t.Error("nested aggregate should be found")
+	}
+	if HasAggregate(plain) {
+		t.Error("scalar call is not an aggregate")
+	}
+	if HasAggregate(nil) {
+		t.Error("nil has no aggregate")
+	}
+}
+
+func TestHeadColString(t *testing.T) {
+	h := HeadCol{Name: "Cost", Agg: types.AggMin}
+	if h.String() != "min() AS Cost" {
+		t.Errorf("head col = %q", h.String())
+	}
+	h = HeadCol{Name: "Dst"}
+	if h.String() != "Dst" {
+		t.Errorf("plain head col = %q", h.String())
+	}
+}
+
+func TestTableRefBinding(t *testing.T) {
+	if (TableRef{Name: "edge"}).Binding() != "edge" {
+		t.Error("binding without alias")
+	}
+	if (TableRef{Name: "edge", Alias: "e"}).Binding() != "e" {
+		t.Error("binding with alias")
+	}
+}
+
+func TestLiteralStringQuotesStrings(t *testing.T) {
+	l := &Literal{Value: types.Str("bob")}
+	if l.String() != "'bob'" {
+		t.Errorf("literal = %q", l.String())
+	}
+	n := &Literal{Value: types.Int(5)}
+	if n.String() != "5" {
+		t.Errorf("literal = %q", n.String())
+	}
+}

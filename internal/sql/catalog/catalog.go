@@ -1,0 +1,87 @@
+// Package catalog tracks the base tables and named (non-recursive) views
+// visible to query analysis, keyed case-insensitively.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/rasql/rasql-go/internal/relation"
+	"github.com/rasql/rasql-go/internal/sql/ast"
+)
+
+// ViewDef is a CREATE VIEW definition awaiting analysis/materialization.
+type ViewDef struct {
+	Name    string
+	Columns []string
+	Query   *ast.Select
+}
+
+// Catalog maps names to base tables and view definitions.
+type Catalog struct {
+	tables map[string]*relation.Relation
+	views  map[string]*ViewDef
+}
+
+// New creates an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		tables: map[string]*relation.Relation{},
+		views:  map[string]*ViewDef{},
+	}
+}
+
+func key(name string) string { return strings.ToLower(name) }
+
+// Register adds or replaces a base table.
+func (c *Catalog) Register(rel *relation.Relation) error {
+	if rel.Name == "" {
+		return fmt.Errorf("catalog: relation must be named")
+	}
+	if _, ok := c.views[key(rel.Name)]; ok {
+		return fmt.Errorf("catalog: %q already defined as a view", rel.Name)
+	}
+	c.tables[key(rel.Name)] = rel
+	return nil
+}
+
+// RegisterView adds a view definition.
+func (c *Catalog) RegisterView(v *ViewDef) error {
+	if _, ok := c.tables[key(v.Name)]; ok {
+		return fmt.Errorf("catalog: %q already defined as a table", v.Name)
+	}
+	if _, ok := c.views[key(v.Name)]; ok {
+		return fmt.Errorf("catalog: view %q already defined", v.Name)
+	}
+	c.views[key(v.Name)] = v
+	return nil
+}
+
+// Table looks up a base table.
+func (c *Catalog) Table(name string) (*relation.Relation, bool) {
+	t, ok := c.tables[key(name)]
+	return t, ok
+}
+
+// View looks up a view definition.
+func (c *Catalog) View(name string) (*ViewDef, bool) {
+	v, ok := c.views[key(name)]
+	return v, ok
+}
+
+// DropView removes a view (used by sessions re-running scripts).
+func (c *Catalog) DropView(name string) { delete(c.views, key(name)) }
+
+// Names lists all registered table and view names, sorted.
+func (c *Catalog) Names() []string {
+	out := make([]string, 0, len(c.tables)+len(c.views))
+	for _, t := range c.tables {
+		out = append(out, t.Name)
+	}
+	for _, v := range c.views {
+		out = append(out, v.Name)
+	}
+	sort.Strings(out)
+	return out
+}

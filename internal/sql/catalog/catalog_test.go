@@ -1,0 +1,86 @@
+package catalog
+
+import (
+	"testing"
+
+	"github.com/rasql/rasql-go/internal/relation"
+	"github.com/rasql/rasql-go/internal/types"
+)
+
+func rel(name string) *relation.Relation {
+	return relation.New(name, types.NewSchema(types.Col("X", types.KindInt)))
+}
+
+func TestRegisterAndLookup(t *testing.T) {
+	c := New()
+	if err := c.Register(rel("Edge")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Table("edge"); !ok {
+		t.Error("lookup should be case-insensitive")
+	}
+	if _, ok := c.Table("EDGE"); !ok {
+		t.Error("lookup should be case-insensitive (upper)")
+	}
+	if _, ok := c.Table("nope"); ok {
+		t.Error("missing table should not resolve")
+	}
+}
+
+func TestRegisterUnnamedFails(t *testing.T) {
+	c := New()
+	if err := c.Register(rel("")); err == nil {
+		t.Error("unnamed relation must be rejected")
+	}
+}
+
+func TestViewTableNameConflicts(t *testing.T) {
+	c := New()
+	if err := c.Register(rel("t")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterView(&ViewDef{Name: "T"}); err == nil {
+		t.Error("view name colliding with table must be rejected")
+	}
+	if err := c.RegisterView(&ViewDef{Name: "v"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterView(&ViewDef{Name: "V"}); err == nil {
+		t.Error("duplicate view must be rejected")
+	}
+	if err := c.Register(rel("v")); err == nil {
+		t.Error("table name colliding with view must be rejected")
+	}
+	if _, ok := c.View("v"); !ok {
+		t.Error("view lookup failed")
+	}
+	c.DropView("V")
+	if _, ok := c.View("v"); ok {
+		t.Error("dropped view should not resolve")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	c := New()
+	_ = c.Register(rel("zeta"))
+	_ = c.Register(rel("alpha"))
+	_ = c.RegisterView(&ViewDef{Name: "mid"})
+	names := c.Names()
+	if len(names) != 3 || names[0] != "alpha" || names[1] != "mid" || names[2] != "zeta" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestReRegisterTableReplaces(t *testing.T) {
+	c := New()
+	_ = c.Register(rel("t"))
+	r2 := rel("t")
+	r2.Append(types.Row{types.Int(1)})
+	if err := c.Register(r2); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := c.Table("t")
+	if got.Len() != 1 {
+		t.Error("re-registration should replace the table")
+	}
+}

@@ -1,0 +1,33 @@
+package parser
+
+import "testing"
+
+// FuzzParse exercises the lexer and parser against arbitrary inputs: they
+// must never panic, and anything that parses must render to text that
+// parses again to the same rendering (print/parse fixed point).
+func FuzzParse(f *testing.F) {
+	for _, q := range paperQueries {
+		f.Add(q)
+	}
+	f.Add(`SELECT a.b FROM t a JOIN u ON a.x = u.y WHERE z BETWEEN 1 AND 2`)
+	f.Add(`SELECT * FROM (SELECT 1, 'x') d WHERE d.col1 IN (1,2,3)`)
+	f.Add(`WITH recursive v(x, min() AS m) AS (SELECT 1, 0) UNION (SELECT v.x, v.m FROM v) SELECT x FROM v`)
+	f.Add(`-- comment only`)
+	f.Add(`SELECT 'unterminated`)
+	f.Fuzz(func(t *testing.T, src string) {
+		stmts, err := Parse(src)
+		if err != nil {
+			return
+		}
+		for _, s := range stmts {
+			text := s.String()
+			again, err := ParseQuery(text)
+			if err != nil {
+				t.Fatalf("rendered statement does not reparse: %q: %v", text, err)
+			}
+			if again.String() != text {
+				t.Fatalf("print/parse not stable:\n%s\n%s", text, again.String())
+			}
+		}
+	})
+}

@@ -1,0 +1,811 @@
+// Package parser implements a recursive-descent parser for the RaSQL
+// dialect: the SQL:99 subset used by the paper's queries plus RaSQL's
+// aggregate-in-head recursive CTE extension.
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/rasql/rasql-go/internal/sql/ast"
+	"github.com/rasql/rasql-go/internal/sql/token"
+	"github.com/rasql/rasql-go/internal/types"
+)
+
+// Parse parses a script: one or more statements separated by semicolons.
+func Parse(src string) ([]ast.Statement, error) {
+	toks, err := token.Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var stmts []ast.Statement
+	for {
+		for p.at(token.Semi) {
+			p.next()
+		}
+		if p.at(token.EOF) {
+			break
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+		if !p.at(token.Semi) && !p.at(token.EOF) {
+			return nil, p.errorf("expected ';' or end of input, found %s", p.cur())
+		}
+	}
+	if len(stmts) == 0 {
+		return nil, fmt.Errorf("parse: empty input")
+	}
+	return stmts, nil
+}
+
+// ParseQuery parses a single statement and errors if more follow.
+func ParseQuery(src string) (ast.Statement, error) {
+	stmts, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) != 1 {
+		return nil, fmt.Errorf("parse: expected one statement, found %d", len(stmts))
+	}
+	return stmts[0], nil
+}
+
+type parser struct {
+	toks []token.Token
+	pos  int
+}
+
+func (p *parser) cur() token.Token     { return p.toks[p.pos] }
+func (p *parser) at(k token.Kind) bool { return p.cur().Kind == k }
+
+func (p *parser) atKeyword(kw string) bool {
+	return p.cur().Kind == token.Keyword && p.cur().Text == kw
+}
+
+func (p *parser) next() token.Token {
+	t := p.toks[p.pos]
+	if t.Kind != token.EOF {
+		p.pos++
+	}
+	return t
+}
+
+// expectContextual consumes an identifier that acts as a keyword only in
+// this position (e.g. BY after GROUP/ORDER, which is not reserved because
+// the paper's Company Control query uses By as a column name).
+func (p *parser) expectContextual(word string) error {
+	if p.at(token.Ident) && strings.EqualFold(p.cur().Text, word) {
+		p.next()
+		return nil
+	}
+	return p.errorf("expected %s, found %s", word, p.cur())
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.atKeyword(kw) {
+		return p.errorf("expected %s, found %s", kw, p.cur())
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) expect(k token.Kind, what string) (token.Token, error) {
+	if !p.at(k) {
+		return token.Token{}, p.errorf("expected %s, found %s", what, p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	t := p.cur()
+	return fmt.Errorf("parse: line %d:%d: %s", t.Line, t.Col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) statement() (ast.Statement, error) {
+	switch {
+	case p.atKeyword("CREATE"):
+		return p.createView()
+	case p.atKeyword("WITH"):
+		return p.with()
+	case p.atKeyword("SELECT"), p.at(token.LParen):
+		return p.selectExpr()
+	default:
+		return nil, p.errorf("expected CREATE, WITH or SELECT, found %s", p.cur())
+	}
+}
+
+func (p *parser) createView() (*ast.CreateView, error) {
+	p.next() // CREATE
+	if err := p.expectKeyword("VIEW"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(token.Ident, "view name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.LParen, "'('"); err != nil {
+		return nil, err
+	}
+	var cols []string
+	for {
+		c, err := p.expect(token.Ident, "column name")
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, c.Text)
+		if p.at(token.Comma) {
+			p.next()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(token.RParen, "')'"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return nil, err
+	}
+	q, err := p.selectExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.CreateView{Name: name.Text, Columns: cols, Query: q}, nil
+}
+
+func (p *parser) with() (*ast.With, error) {
+	p.next() // WITH
+	var views []*ast.CTE
+	for {
+		cte, err := p.cte()
+		if err != nil {
+			return nil, err
+		}
+		views = append(views, cte)
+		if p.at(token.Comma) {
+			p.next()
+			continue
+		}
+		break
+	}
+	body, err := p.selectExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.With{Views: views, Body: body}, nil
+}
+
+func (p *parser) cte() (*ast.CTE, error) {
+	c := &ast.CTE{}
+	if p.atKeyword("RECURSIVE") {
+		c.Recursive = true
+		p.next()
+	}
+	name, err := p.expect(token.Ident, "view name")
+	if err != nil {
+		return nil, err
+	}
+	c.Name = name.Text
+	if _, err := p.expect(token.LParen, "'('"); err != nil {
+		return nil, err
+	}
+	for {
+		h, err := p.headCol()
+		if err != nil {
+			return nil, err
+		}
+		c.Head = append(c.Head, h)
+		if p.at(token.Comma) {
+			p.next()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(token.RParen, "')'"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return nil, err
+	}
+	body, err := p.selectExpr()
+	if err != nil {
+		return nil, err
+	}
+	// Flatten the union chain into CTE branches; the analyzer classifies
+	// each branch as a base or recursive case.
+	c.Branches = append(c.Branches, body)
+	for _, u := range body.Unions {
+		c.Branches = append(c.Branches, u.Select)
+	}
+	body.Unions = nil
+	return c, nil
+}
+
+// headCol parses `ident` or `agg() AS ident`.
+func (p *parser) headCol() (ast.HeadCol, error) {
+	id, err := p.expect(token.Ident, "column name or aggregate")
+	if err != nil {
+		return ast.HeadCol{}, err
+	}
+	if !p.at(token.LParen) {
+		return ast.HeadCol{Name: id.Text}, nil
+	}
+	agg, ok := types.ParseAgg(id.Text)
+	if !ok {
+		return ast.HeadCol{}, p.errorf("unknown aggregate %q in view head", id.Text)
+	}
+	p.next() // (
+	if _, err := p.expect(token.RParen, "')' (RaSQL head aggregates take no argument)"); err != nil {
+		return ast.HeadCol{}, err
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return ast.HeadCol{}, err
+	}
+	name, err := p.expect(token.Ident, "column name")
+	if err != nil {
+		return ast.HeadCol{}, err
+	}
+	return ast.HeadCol{Name: name.Text, Agg: agg}, nil
+}
+
+// selectExpr parses `sel (UNION [ALL] sel)*` where sel may be parenthesized.
+func (p *parser) selectExpr() (*ast.Select, error) {
+	first, err := p.selectPrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("UNION") {
+		p.next()
+		all := false
+		if p.atKeyword("ALL") {
+			all = true
+			p.next()
+		}
+		s, err := p.selectPrimary()
+		if err != nil {
+			return nil, err
+		}
+		first.Unions = append(first.Unions, ast.UnionPart{All: all, Select: s})
+		// A parenthesized branch may itself have parsed trailing unions;
+		// hoist them so the chain stays flat and left-deep.
+		for _, u := range s.Unions {
+			first.Unions = append(first.Unions, u)
+		}
+		s.Unions = nil
+	}
+	return first, nil
+}
+
+func (p *parser) selectPrimary() (*ast.Select, error) {
+	if p.at(token.LParen) {
+		p.next()
+		s, err := p.selectExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RParen, "')'"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	return p.selectCore()
+}
+
+func (p *parser) selectCore() (*ast.Select, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	s := &ast.Select{Limit: -1}
+	if p.atKeyword("DISTINCT") {
+		s.Distinct = true
+		p.next()
+	}
+	for {
+		item, err := p.selectItem()
+		if err != nil {
+			return nil, err
+		}
+		s.Items = append(s.Items, item)
+		if p.at(token.Comma) {
+			p.next()
+			continue
+		}
+		break
+	}
+	var joinConds []ast.Expr
+	if p.atKeyword("FROM") {
+		p.next()
+		for {
+			t, err := p.tableRef()
+			if err != nil {
+				return nil, err
+			}
+			s.From = append(s.From, t)
+			// `[INNER] JOIN t ON cond` desugars to another FROM item
+			// plus a WHERE conjunct.
+			for p.atKeyword("JOIN") || p.atKeyword("INNER") {
+				if p.atKeyword("INNER") {
+					p.next()
+				}
+				if err := p.expectKeyword("JOIN"); err != nil {
+					return nil, err
+				}
+				jt, err := p.tableRef()
+				if err != nil {
+					return nil, err
+				}
+				s.From = append(s.From, jt)
+				if err := p.expectKeyword("ON"); err != nil {
+					return nil, err
+				}
+				cond, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				joinConds = append(joinConds, cond)
+			}
+			if p.at(token.Comma) {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if p.atKeyword("WHERE") {
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = e
+	}
+	for _, c := range joinConds {
+		if s.Where == nil {
+			s.Where = c
+		} else {
+			s.Where = &ast.Binary{Op: ast.OpAnd, L: s.Where, R: c}
+		}
+	}
+	if p.atKeyword("GROUP") {
+		p.next()
+		if err := p.expectContextual("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.GroupBy = append(s.GroupBy, e)
+			if p.at(token.Comma) {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if p.atKeyword("HAVING") {
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Having = e
+	}
+	if p.atKeyword("ORDER") {
+		p.next()
+		if err := p.expectContextual("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			item := ast.OrderItem{Expr: e}
+			if p.atKeyword("DESC") {
+				item.Desc = true
+				p.next()
+			} else if p.atKeyword("ASC") {
+				p.next()
+			}
+			s.OrderBy = append(s.OrderBy, item)
+			if p.at(token.Comma) {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if p.atKeyword("LIMIT") {
+		p.next()
+		n, err := p.expect(token.Number, "limit count")
+		if err != nil {
+			return nil, err
+		}
+		v, err := strconv.Atoi(n.Text)
+		if err != nil || v < 0 {
+			return nil, p.errorf("bad LIMIT %q", n.Text)
+		}
+		s.Limit = v
+	}
+	return s, nil
+}
+
+func (p *parser) selectItem() (ast.SelectItem, error) {
+	if p.at(token.Star) {
+		p.next()
+		return ast.SelectItem{Star: true}, nil
+	}
+	e, err := p.expr()
+	if err != nil {
+		return ast.SelectItem{}, err
+	}
+	item := ast.SelectItem{Expr: e}
+	if p.atKeyword("AS") {
+		p.next()
+		a, err := p.expect(token.Ident, "alias")
+		if err != nil {
+			return ast.SelectItem{}, err
+		}
+		item.Alias = a.Text
+	} else if p.at(token.Ident) {
+		item.Alias = p.next().Text
+	}
+	return item, nil
+}
+
+func (p *parser) tableRef() (ast.TableRef, error) {
+	if p.at(token.LParen) {
+		p.next()
+		sub, err := p.selectExpr()
+		if err != nil {
+			return ast.TableRef{}, err
+		}
+		if _, err := p.expect(token.RParen, "')'"); err != nil {
+			return ast.TableRef{}, err
+		}
+		t := ast.TableRef{Sub: sub}
+		if p.atKeyword("AS") {
+			p.next()
+		}
+		a, err := p.expect(token.Ident, "derived table alias")
+		if err != nil {
+			return ast.TableRef{}, err
+		}
+		t.Alias = a.Text
+		return t, nil
+	}
+	name, err := p.expect(token.Ident, "table name")
+	if err != nil {
+		return ast.TableRef{}, err
+	}
+	t := ast.TableRef{Name: name.Text}
+	if p.atKeyword("AS") {
+		p.next()
+		a, err := p.expect(token.Ident, "alias")
+		if err != nil {
+			return ast.TableRef{}, err
+		}
+		t.Alias = a.Text
+	} else if p.at(token.Ident) {
+		t.Alias = p.next().Text
+	}
+	return t, nil
+}
+
+// Expression parsing, lowest precedence first: OR, AND, NOT, comparison,
+// additive, multiplicative, unary, primary.
+
+func (p *parser) expr() (ast.Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (ast.Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("OR") {
+		p.next()
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.Binary{Op: ast.OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (ast.Expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("AND") {
+		p.next()
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.Binary{Op: ast.OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) notExpr() (ast.Expr, error) {
+	if p.atKeyword("NOT") {
+		p.next()
+		e, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Unary{Op: "NOT", E: e}, nil
+	}
+	return p.comparison()
+}
+
+var cmpOps = map[token.Kind]ast.BinaryOp{
+	token.Eq: ast.OpEq, token.Ne: ast.OpNe,
+	token.Lt: ast.OpLt, token.Le: ast.OpLe,
+	token.Gt: ast.OpGt, token.Ge: ast.OpGe,
+}
+
+func (p *parser) comparison() (ast.Expr, error) {
+	l, err := p.additive()
+	if err != nil {
+		return nil, err
+	}
+	negate := false
+	if p.atKeyword("NOT") && (p.peekKeyword(1, "BETWEEN") || p.peekKeyword(1, "IN")) {
+		negate = true
+		p.next()
+	}
+	switch {
+	case p.atKeyword("BETWEEN"):
+		p.next()
+		lo, err := p.additive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.additive()
+		if err != nil {
+			return nil, err
+		}
+		e := ast.Expr(&ast.Binary{Op: ast.OpAnd,
+			L: &ast.Binary{Op: ast.OpGe, L: l, R: lo},
+			R: &ast.Binary{Op: ast.OpLe, L: l, R: hi}})
+		if negate {
+			e = &ast.Unary{Op: "NOT", E: e}
+		}
+		return e, nil
+	case p.atKeyword("IN"):
+		p.next()
+		if _, err := p.expect(token.LParen, "'('"); err != nil {
+			return nil, err
+		}
+		var e ast.Expr
+		for {
+			item, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			eq := ast.Expr(&ast.Binary{Op: ast.OpEq, L: l, R: item})
+			if e == nil {
+				e = eq
+			} else {
+				e = &ast.Binary{Op: ast.OpOr, L: e, R: eq}
+			}
+			if p.at(token.Comma) {
+				p.next()
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(token.RParen, "')'"); err != nil {
+			return nil, err
+		}
+		if negate {
+			e = &ast.Unary{Op: "NOT", E: e}
+		}
+		return e, nil
+	}
+	if negate {
+		return nil, p.errorf("expected BETWEEN or IN after NOT")
+	}
+	if op, ok := cmpOps[p.cur().Kind]; ok {
+		p.next()
+		r, err := p.additive()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Binary{Op: op, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+// peekKeyword reports whether the token at offset n ahead is the keyword.
+func (p *parser) peekKeyword(n int, kw string) bool {
+	i := p.pos + n
+	if i >= len(p.toks) {
+		return false
+	}
+	return p.toks[i].Kind == token.Keyword && p.toks[i].Text == kw
+}
+
+func (p *parser) additive() (ast.Expr, error) {
+	l, err := p.multiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(token.Plus) || p.at(token.Minus) {
+		op := ast.OpAdd
+		if p.at(token.Minus) {
+			op = ast.OpSub
+		}
+		p.next()
+		r, err := p.multiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) multiplicative() (ast.Expr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(token.Star) || p.at(token.Slash) || p.at(token.Percent) {
+		var op ast.BinaryOp
+		switch p.cur().Kind {
+		case token.Star:
+			op = ast.OpMul
+		case token.Slash:
+			op = ast.OpDiv
+		default:
+			op = ast.OpMod
+		}
+		p.next()
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) unary() (ast.Expr, error) {
+	if p.at(token.Minus) {
+		p.next()
+		e, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold negation of literals immediately so -1 is a literal.
+		if lit, ok := e.(*ast.Literal); ok && lit.Value.IsNumeric() {
+			switch lit.Value.K {
+			case types.KindInt:
+				return &ast.Literal{Value: types.Int(-lit.Value.I)}, nil
+			default:
+				return &ast.Literal{Value: types.Float(-lit.Value.F)}, nil
+			}
+		}
+		return &ast.Unary{Op: "-", E: e}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (ast.Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case token.Number:
+		p.next()
+		if strings.Contains(t.Text, ".") {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, p.errorf("bad number %q", t.Text)
+			}
+			return &ast.Literal{Value: types.Float(f)}, nil
+		}
+		i, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad number %q", t.Text)
+		}
+		return &ast.Literal{Value: types.Int(i)}, nil
+	case token.String:
+		p.next()
+		return &ast.Literal{Value: types.Str(t.Text)}, nil
+	case token.Keyword:
+		switch t.Text {
+		case "NULL":
+			p.next()
+			return &ast.Literal{Value: types.Null()}, nil
+		case "TRUE":
+			p.next()
+			return &ast.Literal{Value: types.Bool(true)}, nil
+		case "FALSE":
+			p.next()
+			return &ast.Literal{Value: types.Bool(false)}, nil
+		}
+		return nil, p.errorf("unexpected %s in expression", t)
+	case token.LParen:
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RParen, "')'"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case token.Ident:
+		p.next()
+		if p.at(token.LParen) {
+			return p.funcCall(t.Text)
+		}
+		if p.at(token.Dot) {
+			p.next()
+			col, err := p.expect(token.Ident, "column name")
+			if err != nil {
+				return nil, err
+			}
+			return &ast.ColumnRef{Table: t.Text, Name: col.Text}, nil
+		}
+		return &ast.ColumnRef{Name: t.Text}, nil
+	default:
+		return nil, p.errorf("unexpected %s in expression", t)
+	}
+}
+
+func (p *parser) funcCall(name string) (ast.Expr, error) {
+	p.next() // (
+	f := &ast.FuncCall{Name: strings.ToLower(name)}
+	if agg, ok := types.ParseAgg(name); ok {
+		f.Agg = agg
+	}
+	if p.at(token.Star) {
+		p.next()
+		f.Star = true
+		if _, err := p.expect(token.RParen, "')'"); err != nil {
+			return nil, err
+		}
+		if f.Agg != types.AggCount {
+			return nil, p.errorf("only count(*) takes a star argument")
+		}
+		return f, nil
+	}
+	if p.atKeyword("DISTINCT") {
+		f.Distinct = true
+		p.next()
+	}
+	if !p.at(token.RParen) {
+		for {
+			a, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			f.Args = append(f.Args, a)
+			if p.at(token.Comma) {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if _, err := p.expect(token.RParen, "')'"); err != nil {
+		return nil, err
+	}
+	if f.Agg != types.AggNone && len(f.Args) != 1 {
+		return nil, p.errorf("%s takes exactly one argument", f.Name)
+	}
+	return f, nil
+}

@@ -1,0 +1,430 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/rasql/rasql-go/internal/sql/ast"
+	"github.com/rasql/rasql-go/internal/types"
+)
+
+// The paper's example queries, verbatim (§2, §4, Appendix C, Appendix G).
+var paperQueries = map[string]string{
+	"Q1-stratified-BOM": `
+		WITH recursive waitfor(Part, Days) AS
+		    (SELECT Part, Days FROM basic) UNION
+		    (SELECT assbl.Part, waitfor.Days
+		     FROM assbl, waitfor
+		     WHERE assbl.Spart = waitfor.Part)
+		SELECT Part, max(Days) FROM waitfor GROUP BY Part`,
+	"Q2-endo-max-BOM": `
+		WITH recursive waitfor(Part, max() as Days) AS
+		    (SELECT Part, Days FROM basic) UNION
+		    (SELECT assbl.Part, waitfor.Days
+		     FROM assbl, waitfor
+		     WHERE assbl.Spart = waitfor.Part)
+		SELECT Part, Days FROM waitfor`,
+	"SSSP": `
+		WITH recursive path (Dst, min() AS Cost) AS
+		    (SELECT 1, 0) UNION
+		    (SELECT edge.Dst, path.Cost + edge.Cost
+		     FROM path, edge
+		     WHERE path.Dst = edge.Src)
+		SELECT Dst, Cost FROM path`,
+	"CC": `
+		WITH recursive cc (Src, min() AS CmpId) AS
+		    (SELECT Src, Src FROM edge) UNION
+		    (SELECT edge.Dst, cc.CmpId FROM cc, edge
+		     WHERE cc.Src = edge.Src)
+		SELECT count(distinct cc.CmpId) FROM cc`,
+	"CountPaths": `
+		WITH recursive cpaths (Dst, sum() AS Cnt) AS
+		    (SELECT 1, 1) UNION
+		    (SELECT edge.Dst, cpaths.Cnt FROM cpaths, edge
+		     WHERE cpaths.Dst = edge.Src)
+		SELECT Dst, Cnt FROM cpaths`,
+	"Management": `
+		WITH recursive empCount (Mgr, count() AS Cnt) AS
+		    (SELECT report.Emp, 1 FROM report) UNION
+		    (SELECT report.Mgr, empCount.Cnt
+		     FROM empCount, report
+		     WHERE empCount.Mgr = report.Emp)
+		SELECT Mgr, Cnt FROM empCount`,
+	"MLM": `
+		WITH recursive bonus(M, sum() as B) AS
+		    (SELECT M, P*0.1 FROM sales) UNION
+		    (SELECT sponsor.M1, bonus.B*0.5 FROM bonus, sponsor
+		     WHERE bonus.M = sponsor.M2)
+		SELECT M, B FROM bonus`,
+	"IntervalCoalesce": `
+		CREATE VIEW lstart(T) AS
+		    (SELECT a.S FROM inter a, inter b
+		     WHERE a.S <= b.E
+		     GROUP BY a.S HAVING a.S = min(b.S));
+		WITH recursive coal (S, max() AS E) AS
+		    (SELECT lstart.T, inter.E FROM lstart, inter
+		     WHERE lstart.T = inter.S) UNION
+		    (SELECT coal.S, inter.E FROM coal, inter
+		     WHERE coal.S <= inter.S AND inter.S <= coal.E)
+		SELECT S, E FROM coal`,
+	"PartyAttendance": `
+		WITH recursive attend(Person) AS
+		    (SELECT OrgName FROM organizer) UNION
+		    (SELECT Name FROM cntfriends
+		     WHERE Ncount >= 3),
+		recursive cntfriends(Name, count() AS Ncount) AS
+		    (SELECT friend.FName, friend.Pname
+		     FROM attend, friend
+		     WHERE attend.Person = friend.Pname)
+		SELECT Person FROM attend`,
+	"CompanyControl": `
+		WITH recursive cshares(ByCom, OfCom, sum() AS Tot) AS
+		    (SELECT By, Of, Percent FROM shares) UNION
+		    (SELECT control.Com1, cshares.OfCom, cshares.Tot
+		     FROM control, cshares
+		     WHERE control.Com2 = cshares.ByCom),
+		recursive control(Com1, Com2) AS
+		    (SELECT ByCom, OfCom FROM cshares WHERE Tot > 50)
+		SELECT ByCom, OfCom, Tot FROM cshares`,
+	"TC": `
+		WITH recursive tc (Src, Dst) AS
+		    (SELECT Src, Dst FROM edge) UNION
+		    (SELECT tc.Src, edge.Dst FROM tc, edge
+		     WHERE tc.Dst = edge.Src)
+		SELECT Src, Dst FROM tc`,
+	"SG": `
+		WITH recursive sg (X, Y) AS
+		    (SELECT a.Child, b.Child FROM rel a, rel b
+		     WHERE a.Parent = b.Parent AND a.Child <> b.Child)
+		    UNION
+		    (SELECT a.Child, b.Child FROM rel a, sg, rel b
+		     WHERE a.Parent = sg.X AND b.Parent = sg.Y)
+		SELECT X, Y FROM sg`,
+	"REACH": `
+		WITH recursive reach (Dst) AS
+		    (SELECT 1) UNION
+		    (SELECT edge.Dst FROM reach, edge
+		     WHERE reach.Dst = edge.Src)
+		SELECT Dst FROM reach`,
+	"APSP": `
+		WITH recursive path (Src, Dst, min() AS Cost) AS
+		    (SELECT Src, Dst, Cost FROM edge) UNION
+		    (SELECT path.Src, edge.Dst, path.Cost + edge.Cost
+		     FROM path, edge WHERE path.Dst = edge.Src)
+		SELECT Src, Dst, Cost FROM path`,
+}
+
+func TestParsePaperQueries(t *testing.T) {
+	for name, q := range paperQueries {
+		if _, err := Parse(q); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestParseRoundTripStable(t *testing.T) {
+	// Rendering a parsed statement and re-parsing it must succeed and
+	// render identically (fixed point of String∘Parse).
+	for name, q := range paperQueries {
+		stmts, err := Parse(q)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, s := range stmts {
+			again, err := ParseQuery(s.String())
+			if err != nil {
+				t.Errorf("%s: reparse of %q: %v", name, s.String(), err)
+				continue
+			}
+			if again.String() != s.String() {
+				t.Errorf("%s: render not stable:\n  first:  %s\n  second: %s", name, s, again)
+			}
+		}
+	}
+}
+
+func TestParseRecursiveAggregateHead(t *testing.T) {
+	s, err := ParseQuery(paperQueries["SSSP"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, ok := s.(*ast.With)
+	if !ok {
+		t.Fatalf("not a WITH: %T", s)
+	}
+	if len(w.Views) != 1 {
+		t.Fatalf("views = %d", len(w.Views))
+	}
+	v := w.Views[0]
+	if !v.Recursive || v.Name != "path" {
+		t.Errorf("view = %+v", v)
+	}
+	if len(v.Head) != 2 || v.Head[0].Agg != types.AggNone || v.Head[1].Agg != types.AggMin || v.Head[1].Name != "Cost" {
+		t.Errorf("head = %+v", v.Head)
+	}
+	if len(v.Branches) != 2 {
+		t.Errorf("branches = %d", len(v.Branches))
+	}
+	// The base case is a literal select with no FROM.
+	if len(v.Branches[0].From) != 0 || len(v.Branches[0].Items) != 2 {
+		t.Errorf("base branch = %+v", v.Branches[0])
+	}
+}
+
+func TestParseMutualRecursion(t *testing.T) {
+	s, err := ParseQuery(paperQueries["CompanyControl"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := s.(*ast.With)
+	if len(w.Views) != 2 {
+		t.Fatalf("views = %d", len(w.Views))
+	}
+	if w.Views[0].Name != "cshares" || w.Views[1].Name != "control" {
+		t.Errorf("view names = %s, %s", w.Views[0].Name, w.Views[1].Name)
+	}
+	if w.Views[0].Head[2].Agg != types.AggSum {
+		t.Errorf("cshares head = %+v", w.Views[0].Head)
+	}
+	if len(w.Views[1].Branches) != 1 {
+		t.Errorf("control branches = %d", len(w.Views[1].Branches))
+	}
+}
+
+func TestParseMultiStatementScript(t *testing.T) {
+	stmts, err := Parse(paperQueries["IntervalCoalesce"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 2 {
+		t.Fatalf("statements = %d", len(stmts))
+	}
+	cv, ok := stmts[0].(*ast.CreateView)
+	if !ok {
+		t.Fatalf("first statement: %T", stmts[0])
+	}
+	if cv.Name != "lstart" || len(cv.Columns) != 1 || cv.Columns[0] != "T" {
+		t.Errorf("create view = %+v", cv)
+	}
+	if cv.Query.Having == nil || len(cv.Query.GroupBy) != 1 {
+		t.Errorf("lstart query lost GROUP BY/HAVING: %s", cv.Query)
+	}
+}
+
+func TestParseExpressionPrecedence(t *testing.T) {
+	s, err := ParseQuery(`SELECT 1+2*3 FROM t WHERE a = 1 OR b = 2 AND c = 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := s.(*ast.Select)
+	if got := sel.Items[0].Expr.String(); got != "(1 + (2 * 3))" {
+		t.Errorf("arith precedence: %s", got)
+	}
+	// AND binds tighter than OR.
+	if got := sel.Where.String(); got != "((a = 1) OR ((b = 2) AND (c = 3)))" {
+		t.Errorf("bool precedence: %s", got)
+	}
+}
+
+func TestParseNegativeNumberFolds(t *testing.T) {
+	s, err := ParseQuery(`SELECT -5, -2.5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := s.(*ast.Select)
+	l0 := sel.Items[0].Expr.(*ast.Literal)
+	l1 := sel.Items[1].Expr.(*ast.Literal)
+	if !l0.Value.Equal(types.Int(-5)) || !l1.Value.Equal(types.Float(-2.5)) {
+		t.Errorf("negatives = %v, %v", l0.Value, l1.Value)
+	}
+}
+
+func TestParseCountStarAndDistinct(t *testing.T) {
+	s, err := ParseQuery(`SELECT count(*), count(distinct x), sum(y) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := s.(*ast.Select)
+	f0 := sel.Items[0].Expr.(*ast.FuncCall)
+	f1 := sel.Items[1].Expr.(*ast.FuncCall)
+	f2 := sel.Items[2].Expr.(*ast.FuncCall)
+	if !f0.Star || f0.Agg != types.AggCount {
+		t.Errorf("count(*) = %+v", f0)
+	}
+	if !f1.Distinct || f1.Agg != types.AggCount {
+		t.Errorf("count(distinct) = %+v", f1)
+	}
+	if f2.Agg != types.AggSum || f2.Distinct {
+		t.Errorf("sum = %+v", f2)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	q := `-- line comment
+	SELECT /* block
+	comment */ 1`
+	if _, err := Parse(q); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseStringLiterals(t *testing.T) {
+	s, err := ParseQuery(`SELECT 'it''s', 'plain' FROM t WHERE name = 'bob'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := s.(*ast.Select)
+	if got := sel.Items[0].Expr.(*ast.Literal).Value.S; got != "it's" {
+		t.Errorf("escaped quote = %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`SELECT`,
+		`SELECT 1 FROM`,
+		`WITH v(a) AS SELECT 1 2`,
+		`SELECT 'unterminated`,
+		`SELECT 1.2.3`,
+		`CREATE VIEW v AS SELECT 1`, // missing column list
+		`WITH recursive v(bogus() AS x) AS (SELECT 1) SELECT x FROM v`, // unknown aggregate
+		`SELECT min(a, b) FROM t`,                                      // aggregate arity
+		`SELECT sum(*) FROM t`,                                         // star on non-count
+		`SELECT 1 ~ 2`,                                                 // bad character
+		`SELECT 1 SELECT 2`,                                            // missing separator
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) should fail", q)
+		}
+	}
+}
+
+func TestParseUnionAll(t *testing.T) {
+	s, err := ParseQuery(`(SELECT 1) UNION ALL (SELECT 2) UNION (SELECT 3)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := s.(*ast.Select)
+	if len(sel.Unions) != 2 || !sel.Unions[0].All || sel.Unions[1].All {
+		t.Errorf("unions = %+v", sel.Unions)
+	}
+}
+
+func TestParseOrderByLimit(t *testing.T) {
+	s, err := ParseQuery(`SELECT a FROM t ORDER BY a DESC, b LIMIT 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := s.(*ast.Select)
+	if len(sel.OrderBy) != 2 || !sel.OrderBy[0].Desc || sel.OrderBy[1].Desc {
+		t.Errorf("order by = %+v", sel.OrderBy)
+	}
+	if sel.Limit != 10 {
+		t.Errorf("limit = %d", sel.Limit)
+	}
+}
+
+func TestParseKeywordsCaseInsensitive(t *testing.T) {
+	if _, err := Parse(`select A from T where A > 1 group by A`); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseStarItem(t *testing.T) {
+	s, err := ParseQuery(`SELECT * FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.(*ast.Select).Items[0].Star {
+		t.Error("star item not recognized")
+	}
+}
+
+func TestHasAggregate(t *testing.T) {
+	s, _ := ParseQuery(`SELECT a + max(b) FROM t`)
+	if !ast.HasAggregate(s.(*ast.Select).Items[0].Expr) {
+		t.Error("HasAggregate should find nested aggregate")
+	}
+	s, _ = ParseQuery(`SELECT a + b FROM t`)
+	if ast.HasAggregate(s.(*ast.Select).Items[0].Expr) {
+		t.Error("HasAggregate false positive")
+	}
+}
+
+func TestParseImplicitAlias(t *testing.T) {
+	s, err := ParseQuery(`SELECT a x, b AS y FROM t u`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := s.(*ast.Select)
+	if sel.Items[0].Alias != "x" || sel.Items[1].Alias != "y" {
+		t.Errorf("aliases = %+v", sel.Items)
+	}
+	if sel.From[0].Binding() != "u" {
+		t.Errorf("table binding = %s", sel.From[0].Binding())
+	}
+}
+
+func TestStatementStringHasKeywords(t *testing.T) {
+	s, _ := ParseQuery(paperQueries["Q2-endo-max-BOM"])
+	str := s.String()
+	for _, want := range []string{"WITH", "recursive", "max() AS Days", "UNION"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String() missing %q: %s", want, str)
+		}
+	}
+}
+
+func TestParseJoinOnDesugarsToConjuncts(t *testing.T) {
+	s, err := ParseQuery(`SELECT a.X FROM t a JOIN u b ON a.X = b.Y JOIN v c ON b.Y = c.Z WHERE a.X > 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := s.(*ast.Select)
+	if len(sel.From) != 3 {
+		t.Fatalf("FROM items = %d", len(sel.From))
+	}
+	str := sel.Where.String()
+	for _, want := range []string{"a.X = b.Y", "b.Y = c.Z", "a.X > 1"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("WHERE missing %q: %s", want, str)
+		}
+	}
+}
+
+func TestParseBetweenIn(t *testing.T) {
+	s, err := ParseQuery(`SELECT X FROM t WHERE X BETWEEN 1 AND 5 AND Y IN (1, 2) AND Z NOT IN (3)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	str := s.(*ast.Select).Where.String()
+	for _, want := range []string{"(X >= 1)", "(X <= 5)", "(Y = 1)", "(Y = 2)", "NOT(Z = 3)"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("desugar missing %q: %s", want, str)
+		}
+	}
+	if _, err := ParseQuery(`SELECT X FROM t WHERE X NOT 5`); err == nil {
+		t.Error("bare NOT in comparison position should fail")
+	}
+}
+
+func TestParseDerivedTable(t *testing.T) {
+	s, err := ParseQuery(`SELECT d.N FROM (SELECT count(*) N FROM t) d`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := s.(*ast.Select)
+	if sel.From[0].Sub == nil || sel.From[0].Alias != "d" {
+		t.Fatalf("derived table = %+v", sel.From[0])
+	}
+	if _, err := ParseQuery(`SELECT 1 FROM (SELECT 2)`); err == nil {
+		t.Error("derived table without alias should fail")
+	}
+	// Round-trip stability.
+	again, err := ParseQuery(s.String())
+	if err != nil || again.String() != s.String() {
+		t.Errorf("derived table render unstable: %v / %s", err, s)
+	}
+}

@@ -1,0 +1,257 @@
+// Package token defines lexical tokens for the RaSQL dialect and a lexer
+// producing them.
+package token
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind classifies a token.
+type Kind uint8
+
+// The token kinds.
+const (
+	EOF Kind = iota
+	Ident
+	Keyword
+	Number
+	String
+	// Punctuation and operators.
+	LParen
+	RParen
+	Comma
+	Semi
+	Dot
+	Star
+	Plus
+	Minus
+	Slash
+	Percent
+	Eq
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+// Token is one lexical token with its source position (1-based line/col).
+type Token struct {
+	Kind Kind
+	// Text is the raw text; for keywords it is upper-cased.
+	Text string
+	Line int
+	Col  int
+}
+
+// String renders the token for error messages.
+func (t Token) String() string {
+	switch t.Kind {
+	case EOF:
+		return "end of input"
+	case String:
+		return fmt.Sprintf("'%s'", t.Text)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// Keywords recognized by the lexer; all other identifiers lex as Ident.
+var keywords = map[string]bool{
+	// Note: BY is deliberately not reserved — the paper's Company Control
+	// query uses it as a column name; the parser matches it contextually
+	// after GROUP and ORDER.
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "UNION": true, "ALL": true,
+	"WITH": true, "RECURSIVE": true, "AS": true, "CREATE": true, "VIEW": true,
+	"AND": true, "OR": true, "NOT": true, "DISTINCT": true, "DESC": true,
+	"ASC": true, "NULL": true, "TRUE": true, "FALSE": true,
+	"JOIN": true, "INNER": true, "ON": true, "BETWEEN": true, "IN": true,
+}
+
+// IsKeyword reports whether the upper-cased word is a reserved keyword.
+func IsKeyword(w string) bool { return keywords[strings.ToUpper(w)] }
+
+// Lexer tokenizes an input string.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer creates a lexer over src.
+func NewLexer(src string) *Lexer { return &Lexer{src: src, line: 1, col: 1} }
+
+// Next returns the next token, or an error for malformed input.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpaceAndComments()
+	if l.pos >= len(l.src) {
+		return Token{Kind: EOF, Line: l.line, Col: l.col}, nil
+	}
+	start := Token{Line: l.line, Col: l.col}
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		w := l.takeWhile(isIdentPart)
+		if IsKeyword(w) {
+			start.Kind, start.Text = Keyword, strings.ToUpper(w)
+		} else {
+			start.Kind, start.Text = Ident, w
+		}
+		return start, nil
+	case c >= '0' && c <= '9':
+		start.Kind = Number
+		start.Text = l.takeWhile(func(b byte) bool {
+			return b >= '0' && b <= '9' || b == '.'
+		})
+		if strings.Count(start.Text, ".") > 1 {
+			return start, fmt.Errorf("line %d:%d: malformed number %q", start.Line, start.Col, start.Text)
+		}
+		return start, nil
+	case c == '\'':
+		l.advance()
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return start, fmt.Errorf("line %d:%d: unterminated string", start.Line, start.Col)
+			}
+			ch := l.src[l.pos]
+			l.advance()
+			if ch == '\'' {
+				if l.pos < len(l.src) && l.src[l.pos] == '\'' { // escaped quote
+					b.WriteByte('\'')
+					l.advance()
+					continue
+				}
+				break
+			}
+			b.WriteByte(ch)
+		}
+		start.Kind, start.Text = String, b.String()
+		return start, nil
+	}
+	// Operators and punctuation.
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<>", "!=":
+		l.advance()
+		l.advance()
+		start.Kind, start.Text = Ne, "<>"
+		return start, nil
+	case "<=":
+		l.advance()
+		l.advance()
+		start.Kind, start.Text = Le, "<="
+		return start, nil
+	case ">=":
+		l.advance()
+		l.advance()
+		start.Kind, start.Text = Ge, ">="
+		return start, nil
+	}
+	l.advance()
+	switch c {
+	case '(':
+		start.Kind, start.Text = LParen, "("
+	case ')':
+		start.Kind, start.Text = RParen, ")"
+	case ',':
+		start.Kind, start.Text = Comma, ","
+	case ';':
+		start.Kind, start.Text = Semi, ";"
+	case '.':
+		start.Kind, start.Text = Dot, "."
+	case '*':
+		start.Kind, start.Text = Star, "*"
+	case '+':
+		start.Kind, start.Text = Plus, "+"
+	case '-':
+		start.Kind, start.Text = Minus, "-"
+	case '/':
+		start.Kind, start.Text = Slash, "/"
+	case '%':
+		start.Kind, start.Text = Percent, "%"
+	case '=':
+		start.Kind, start.Text = Eq, "="
+	case '<':
+		start.Kind, start.Text = Lt, "<"
+	case '>':
+		start.Kind, start.Text = Gt, ">"
+	default:
+		return start, fmt.Errorf("line %d:%d: unexpected character %q", start.Line, start.Col, string(c))
+	}
+	return start, nil
+}
+
+// Lex tokenizes the whole input.
+func Lex(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == EOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.advance()
+			l.advance()
+			for l.pos+1 < len(l.src) && !(l.src[l.pos] == '*' && l.src[l.pos+1] == '/') {
+				l.advance()
+			}
+			l.advance()
+			l.advance()
+		default:
+			return
+		}
+	}
+}
+
+func (l *Lexer) advance() {
+	if l.pos < len(l.src) {
+		if l.src[l.pos] == '\n' {
+			l.line++
+			l.col = 1
+		} else {
+			l.col++
+		}
+		l.pos++
+	}
+}
+
+func (l *Lexer) takeWhile(pred func(byte) bool) string {
+	start := l.pos
+	for l.pos < len(l.src) && pred(l.src[l.pos]) {
+		l.advance()
+	}
+	return l.src[start:l.pos]
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}

@@ -1,0 +1,103 @@
+package token
+
+import "testing"
+
+func kinds(t *testing.T, src string) []Kind {
+	t.Helper()
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatalf("Lex(%q): %v", src, err)
+	}
+	out := make([]Kind, len(toks))
+	for i, tok := range toks {
+		out[i] = tok.Kind
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	got := kinds(t, `SELECT a.b, 'str', 1.5 FROM t WHERE x <> 2`)
+	want := []Kind{Keyword, Ident, Dot, Ident, Comma, String, Comma, Number,
+		Keyword, Ident, Keyword, Ident, Ne, Number, EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := Lex(`( ) ; . * + - / % = <> != < <= > >=`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{LParen, RParen, Semi, Dot, Star, Plus, Minus, Slash, Percent,
+		Eq, Ne, Ne, Lt, Le, Gt, Ge, EOF}
+	for i, w := range want {
+		if toks[i].Kind != w {
+			t.Errorf("token %d (%s) = %v, want %v", i, toks[i].Text, toks[i].Kind, w)
+		}
+	}
+}
+
+func TestLexKeywordsCaseInsensitive(t *testing.T) {
+	toks, _ := Lex(`select SeLeCt SELECT`)
+	for i := 0; i < 3; i++ {
+		if toks[i].Kind != Keyword || toks[i].Text != "SELECT" {
+			t.Errorf("token %d = %v %q", i, toks[i].Kind, toks[i].Text)
+		}
+	}
+	if !IsKeyword("union") || IsKeyword("by") || IsKeyword("foo") {
+		t.Error("IsKeyword wrong (BY must be contextual, not reserved)")
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, _ := Lex("a\n  b")
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Errorf("first token at %d:%d", toks[0].Line, toks[0].Col)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("second token at %d:%d", toks[1].Line, toks[1].Col)
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	toks, err := Lex(`'it''s'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "it's" {
+		t.Errorf("string = %q", toks[0].Text)
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	got := kinds(t, "1 -- trailing\n/* block\nspanning */ 2")
+	want := []Kind{Number, Number, EOF}
+	if len(got) != len(want) {
+		t.Fatalf("tokens = %v", got)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{`'unterminated`, `1.2.3`, `~`} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) should fail", src)
+		}
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	toks, _ := Lex(`abc 'x'`)
+	if toks[0].String() != `"abc"` || toks[1].String() != `'x'` {
+		t.Errorf("token strings = %s, %s", toks[0], toks[1])
+	}
+	eof := Token{Kind: EOF}
+	if eof.String() != "end of input" {
+		t.Errorf("EOF string = %q", eof.String())
+	}
+}

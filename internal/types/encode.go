@@ -1,0 +1,154 @@
+package types
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// The shuffle wire format. The simulated cluster serializes rows whenever
+// data crosses a worker boundary (remote fetch, shuffle to a different
+// worker, broadcast), so serialization cost is paid exactly where a real
+// Spark deployment pays it. Layout per row:
+//
+//	uvarint n            — number of values
+//	per value: kind byte, then payload:
+//	  int    → zig-zag varint
+//	  float  → 8-byte little-endian IEEE-754
+//	  string → uvarint length + bytes
+//	  bool   → 1 byte
+//	  null   → nothing
+
+// AppendRow appends the wire encoding of r to buf and returns it.
+func AppendRow(buf []byte, r Row) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(r)))
+	for _, v := range r {
+		buf = append(buf, byte(v.K))
+		switch v.K {
+		case KindNull:
+		case KindInt:
+			buf = binary.AppendVarint(buf, v.I)
+		case KindFloat:
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.F))
+		case KindString:
+			buf = binary.AppendUvarint(buf, uint64(len(v.S)))
+			buf = append(buf, v.S...)
+		case KindBool:
+			buf = append(buf, byte(v.I))
+		}
+	}
+	return buf
+}
+
+// DecodeRow decodes one row from buf, returning the row and the number of
+// bytes consumed.
+func DecodeRow(buf []byte) (Row, int, error) {
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return nil, 0, fmt.Errorf("types: truncated row header")
+	}
+	pos := sz
+	r := make(Row, n)
+	for i := uint64(0); i < n; i++ {
+		if pos >= len(buf) {
+			return nil, 0, fmt.Errorf("types: truncated value kind")
+		}
+		k := Kind(buf[pos])
+		pos++
+		switch k {
+		case KindNull:
+			r[i] = Null()
+		case KindInt:
+			x, s := binary.Varint(buf[pos:])
+			if s <= 0 {
+				return nil, 0, fmt.Errorf("types: truncated int")
+			}
+			pos += s
+			r[i] = Int(x)
+		case KindFloat:
+			if pos+8 > len(buf) {
+				return nil, 0, fmt.Errorf("types: truncated double")
+			}
+			r[i] = Float(math.Float64frombits(binary.LittleEndian.Uint64(buf[pos:])))
+			pos += 8
+		case KindString:
+			l, s := binary.Uvarint(buf[pos:])
+			if s <= 0 || pos+s+int(l) > len(buf) {
+				return nil, 0, fmt.Errorf("types: truncated string")
+			}
+			pos += s
+			r[i] = Str(string(buf[pos : pos+int(l)]))
+			pos += int(l)
+		case KindBool:
+			if pos >= len(buf) {
+				return nil, 0, fmt.Errorf("types: truncated boolean")
+			}
+			r[i] = Bool(buf[pos] != 0)
+			pos++
+		default:
+			return nil, 0, fmt.Errorf("types: bad kind byte %d", k)
+		}
+	}
+	return r, pos, nil
+}
+
+// EncodeRows serializes a batch of rows into one buffer.
+func EncodeRows(rows []Row) []byte {
+	buf := make([]byte, 0, 16*len(rows)+8)
+	buf = binary.AppendUvarint(buf, uint64(len(rows)))
+	for _, r := range rows {
+		buf = AppendRow(buf, r)
+	}
+	return buf
+}
+
+// DecodeRows deserializes a batch produced by EncodeRows.
+func DecodeRows(buf []byte) ([]Row, error) {
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return nil, fmt.Errorf("types: truncated batch header")
+	}
+	pos := sz
+	rows := make([]Row, 0, n)
+	for i := uint64(0); i < n; i++ {
+		r, used, err := DecodeRow(buf[pos:])
+		if err != nil {
+			return nil, fmt.Errorf("types: row %d: %w", i, err)
+		}
+		pos += used
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// KeyString renders the values at the key indices into a compact string
+// usable as a Go map key. It uses the wire encoding, so two rows produce the
+// same key string iff their key columns are value-equal (numerics are
+// normalized through float64).
+func KeyString(r Row, key []int) string {
+	buf := make([]byte, 0, 12*len(key))
+	for _, i := range key {
+		v := r[i]
+		if v.IsNumeric() {
+			v = Float(v.AsFloat())
+		}
+		buf = append(buf, byte(normKind(v)))
+		switch v.K {
+		case KindFloat:
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.F))
+		case KindString:
+			buf = binary.AppendUvarint(buf, uint64(len(v.S)))
+			buf = append(buf, v.S...)
+		}
+	}
+	return string(buf)
+}
+
+// RowKeyString renders the whole row as a map key (set semantics).
+func RowKeyString(r Row) string {
+	key := make([]int, len(r))
+	for i := range key {
+		key[i] = i
+	}
+	return KeyString(r, key)
+}

@@ -1,0 +1,49 @@
+package types
+
+import "math"
+
+// NumKey maps a numeric value to an exact 64-bit key (the bit pattern of
+// its float64 image, so Int(3) and Float(3.0) coincide, matching Equal and
+// KeyString). ok is false for strings and NULL, which need string keys.
+func NumKey(v Value) (uint64, bool) {
+	if !v.IsNumeric() {
+		return 0, false
+	}
+	return math.Float64bits(v.AsFloat()), true
+}
+
+// AllNumeric reports whether every column of the schema is numeric, which
+// enables the engine's packed-key fast paths — the data-layout side of
+// whole-stage code generation.
+func AllNumeric(s Schema) bool {
+	for _, c := range s.Columns {
+		switch c.Type {
+		case KindInt, KindFloat, KindBool:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// PackedKey is an exact fixed-size key for rows of up to 3 numeric
+// columns.
+type PackedKey [3]uint64
+
+// PackRow builds a PackedKey from the row's values at the given columns.
+// ok is false when a value is non-numeric or more than 3 columns are
+// requested.
+func PackRow(r Row, cols []int) (PackedKey, bool) {
+	var k PackedKey
+	if len(cols) > 3 {
+		return k, false
+	}
+	for i, c := range cols {
+		u, ok := NumKey(r[c])
+		if !ok {
+			return k, false
+		}
+		k[i] = u
+	}
+	return k, true
+}

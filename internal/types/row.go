@@ -1,0 +1,78 @@
+package types
+
+import "strings"
+
+// Row is a flat tuple of values.
+type Row []Value
+
+// Clone returns a deep-enough copy of the row (values are value types).
+func (r Row) Clone() Row {
+	c := make(Row, len(r))
+	copy(c, r)
+	return c
+}
+
+// Equal reports whether two rows are value-equal position by position.
+func (r Row) Equal(o Row) bool {
+	if len(r) != len(o) {
+		return false
+	}
+	for i := range r {
+		if !r[i].Equal(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare orders rows lexicographically.
+func (r Row) Compare(o Row) int {
+	n := len(r)
+	if len(o) < n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		if c := r[i].Compare(o[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(r) < len(o):
+		return -1
+	case len(r) > len(o):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Project returns a new row holding the values at the given indices.
+func (r Row) Project(idx []int) Row {
+	out := make(Row, len(idx))
+	for i, j := range idx {
+		out[i] = r[j]
+	}
+	return out
+}
+
+// String renders the row as a comma-separated list in parentheses.
+func (r Row) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range r {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Concat returns a new row that is r followed by o.
+func Concat(r, o Row) Row {
+	out := make(Row, 0, len(r)+len(o))
+	out = append(out, r...)
+	out = append(out, o...)
+	return out
+}

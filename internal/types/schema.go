@@ -1,0 +1,87 @@
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one attribute of a relation.
+type Column struct {
+	// Name is the column name as referenced in queries. Case-insensitive
+	// lookup is performed by the analyzer; the stored name preserves case.
+	Name string
+	// Type is the declared kind of the column.
+	Type Kind
+}
+
+// Schema is an ordered list of columns.
+type Schema struct {
+	Columns []Column
+}
+
+// NewSchema builds a schema from alternating name/kind pairs.
+func NewSchema(cols ...Column) Schema { return Schema{Columns: cols} }
+
+// Col is a convenience constructor for a Column.
+func Col(name string, t Kind) Column { return Column{Name: name, Type: t} }
+
+// Len returns the number of columns.
+func (s Schema) Len() int { return len(s.Columns) }
+
+// Names returns the column names in order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Index returns the position of the named column (case-insensitive),
+// or -1 if absent.
+func (s Schema) Index(name string) int {
+	for i, c := range s.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// MustIndex is Index but panics on a missing column. Intended for
+// engine-internal schemas already validated by the analyzer.
+func (s Schema) MustIndex(name string) int {
+	i := s.Index(name)
+	if i < 0 {
+		panic(fmt.Sprintf("types: column %q not in schema %v", name, s))
+	}
+	return i
+}
+
+// String renders the schema as "(name type, ...)".
+func (s Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", c.Name, c.Type)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Equal reports whether two schemas have the same column names and types.
+func (s Schema) Equal(o Schema) bool {
+	if len(s.Columns) != len(o.Columns) {
+		return false
+	}
+	for i := range s.Columns {
+		if !strings.EqualFold(s.Columns[i].Name, o.Columns[i].Name) ||
+			s.Columns[i].Type != o.Columns[i].Type {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,303 @@
+// Package types defines the value, row and schema model shared by every
+// layer of the RaSQL engine: the SQL frontend, the simulated cluster, the
+// fixpoint operator and the baselines.
+//
+// A Value is a compact tagged union over the SQL types the paper's queries
+// need (64-bit integers, doubles, strings, booleans and NULL). Rows are flat
+// slices of values. Schemas carry column names and declared kinds.
+package types
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Kind enumerates the runtime type of a Value.
+type Kind uint8
+
+// The supported value kinds.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "double"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "boolean"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is a tagged union holding one SQL value. The zero Value is NULL.
+type Value struct {
+	// K is the runtime kind of the value.
+	K Kind
+	// I holds the payload for KindInt, and 0/1 for KindBool.
+	I int64
+	// F holds the payload for KindFloat.
+	F float64
+	// S holds the payload for KindString.
+	S string
+}
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{K: KindInt, I: i} }
+
+// Float returns a double value.
+func Float(f float64) Value { return Value{K: KindFloat, F: f} }
+
+// Str returns a string value.
+func Str(s string) Value { return Value{K: KindString, S: s} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value {
+	if b {
+		return Value{K: KindBool, I: 1}
+	}
+	return Value{K: KindBool}
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.K == KindNull }
+
+// Truthy reports whether v counts as true in a WHERE clause.
+// NULL and non-booleans are false, except nonzero numerics.
+func (v Value) Truthy() bool {
+	switch v.K {
+	case KindBool, KindInt:
+		return v.I != 0
+	case KindFloat:
+		return v.F != 0
+	default:
+		return false
+	}
+}
+
+// AsFloat converts a numeric value to float64. Strings and NULL yield 0.
+func (v Value) AsFloat() float64 {
+	switch v.K {
+	case KindInt, KindBool:
+		return float64(v.I)
+	case KindFloat:
+		return v.F
+	default:
+		return 0
+	}
+}
+
+// AsInt converts a numeric value to int64, truncating floats.
+func (v Value) AsInt() int64 {
+	switch v.K {
+	case KindInt, KindBool:
+		return v.I
+	case KindFloat:
+		return int64(v.F)
+	default:
+		return 0
+	}
+}
+
+// IsNumeric reports whether the value is an int, float or bool.
+func (v Value) IsNumeric() bool {
+	return v.K == KindInt || v.K == KindFloat || v.K == KindBool
+}
+
+// Equal reports deep equality of two values. Numeric kinds compare by
+// numeric value, so Int(3) equals Float(3.0).
+func (v Value) Equal(o Value) bool {
+	if v.K == o.K {
+		switch v.K {
+		case KindNull:
+			return true
+		case KindString:
+			return v.S == o.S
+		case KindFloat:
+			return v.F == o.F
+		default:
+			return v.I == o.I
+		}
+	}
+	if v.IsNumeric() && o.IsNumeric() {
+		return v.AsFloat() == o.AsFloat()
+	}
+	return false
+}
+
+// Compare orders two values: -1 if v < o, 0 if equal, +1 if v > o.
+// NULL sorts before everything; mixed numeric kinds compare numerically;
+// otherwise values order by kind then payload.
+func (v Value) Compare(o Value) int {
+	if v.K == KindNull || o.K == KindNull {
+		switch {
+		case v.K == o.K:
+			return 0
+		case v.K == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if v.IsNumeric() && o.IsNumeric() {
+		if v.K == KindInt && o.K == KindInt {
+			switch {
+			case v.I < o.I:
+				return -1
+			case v.I > o.I:
+				return 1
+			default:
+				return 0
+			}
+		}
+		a, b := v.AsFloat(), o.AsFloat()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if v.K != o.K {
+		if v.K < o.K {
+			return -1
+		}
+		return 1
+	}
+	// Same non-numeric kind: strings.
+	switch {
+	case v.S < o.S:
+		return -1
+	case v.S > o.S:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Add returns v + o with numeric coercion; strings concatenate.
+func (v Value) Add(o Value) Value { return arith(v, o, '+') }
+
+// Sub returns v - o with numeric coercion.
+func (v Value) Sub(o Value) Value { return arith(v, o, '-') }
+
+// Mul returns v * o with numeric coercion.
+func (v Value) Mul(o Value) Value { return arith(v, o, '*') }
+
+// Div returns v / o with numeric coercion. Division by zero yields NULL.
+func (v Value) Div(o Value) Value { return arith(v, o, '/') }
+
+// Mod returns v % o on integers. Mod by zero yields NULL.
+func (v Value) Mod(o Value) Value {
+	if v.IsNull() || o.IsNull() || o.AsInt() == 0 {
+		return Null()
+	}
+	return Int(v.AsInt() % o.AsInt())
+}
+
+func arith(v, o Value, op byte) Value {
+	if v.IsNull() || o.IsNull() {
+		return Null()
+	}
+	if op == '+' && v.K == KindString && o.K == KindString {
+		return Str(v.S + o.S)
+	}
+	if v.K == KindInt && o.K == KindInt && op != '/' {
+		switch op {
+		case '+':
+			return Int(v.I + o.I)
+		case '-':
+			return Int(v.I - o.I)
+		case '*':
+			return Int(v.I * o.I)
+		}
+	}
+	a, b := v.AsFloat(), o.AsFloat()
+	switch op {
+	case '+':
+		return Float(a + b)
+	case '-':
+		return Float(a - b)
+	case '*':
+		return Float(a * b)
+	case '/':
+		if b == 0 {
+			return Null()
+		}
+		if v.K == KindInt && o.K == KindInt && v.I%o.I == 0 {
+			return Int(v.I / o.I)
+		}
+		return Float(a / b)
+	}
+	return Null()
+}
+
+// String renders the value for display and CSV output.
+func (v Value) String() string {
+	switch v.K {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		if v.F == math.Trunc(v.F) && math.Abs(v.F) < 1e15 {
+			return strconv.FormatFloat(v.F, 'f', 1, 64)
+		}
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindString:
+		return v.S
+	case KindBool:
+		if v.I != 0 {
+			return "true"
+		}
+		return "false"
+	default:
+		return "?"
+	}
+}
+
+// ParseValue parses s into a value of the given kind. Used by CSV loading.
+func ParseValue(s string, k Kind) (Value, error) {
+	switch k {
+	case KindInt:
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return Null(), fmt.Errorf("parse int %q: %w", s, err)
+		}
+		return Int(i), nil
+	case KindFloat:
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return Null(), fmt.Errorf("parse double %q: %w", s, err)
+		}
+		return Float(f), nil
+	case KindBool:
+		b, err := strconv.ParseBool(s)
+		if err != nil {
+			return Null(), fmt.Errorf("parse boolean %q: %w", s, err)
+		}
+		return Bool(b), nil
+	case KindString:
+		return Str(s), nil
+	default:
+		return Null(), fmt.Errorf("cannot parse into kind %v", k)
+	}
+}

@@ -1,0 +1,91 @@
+package rasql
+
+import (
+	"io"
+
+	"github.com/rasql/rasql-go/internal/cluster"
+	"github.com/rasql/rasql-go/internal/relation"
+	"github.com/rasql/rasql-go/internal/types"
+)
+
+// The library's user-facing data model is defined in internal packages and
+// re-exported here, so downstream code only ever imports
+// github.com/rasql/rasql-go.
+
+// Relation is an in-memory table: a named schema plus rows.
+type Relation = relation.Relation
+
+// Schema describes a relation's columns.
+type Schema = types.Schema
+
+// Column is one schema column.
+type Column = types.Column
+
+// Row is one tuple.
+type Row = types.Row
+
+// Value is one SQL value (int, double, string, boolean or NULL).
+type Value = types.Value
+
+// Kind is a value/column type tag.
+type Kind = types.Kind
+
+// The column kinds.
+const (
+	KindInt    = types.KindInt
+	KindFloat  = types.KindFloat
+	KindString = types.KindString
+	KindBool   = types.KindBool
+)
+
+// ClusterConfig configures the simulated cluster (see Config.Cluster).
+type ClusterConfig = cluster.Config
+
+// MetricsSnapshot is a copy of the cluster's execution counters.
+type MetricsSnapshot = cluster.Snapshot
+
+// Scheduling policies for ClusterConfig.Policy.
+const (
+	PolicyPartitionAware = cluster.PolicyPartitionAware
+	PolicyHybrid         = cluster.PolicyHybrid
+)
+
+// Int builds an integer value.
+func Int(i int64) Value { return types.Int(i) }
+
+// Float builds a double value.
+func Float(f float64) Value { return types.Float(f) }
+
+// Str builds a string value.
+func Str(s string) Value { return types.Str(s) }
+
+// Bool builds a boolean value.
+func Bool(b bool) Value { return types.Bool(b) }
+
+// Null builds the NULL value.
+func Null() Value { return types.Null() }
+
+// Col builds a schema column.
+func Col(name string, kind Kind) Column { return types.Col(name, kind) }
+
+// NewSchema builds a schema from columns.
+func NewSchema(cols ...Column) Schema { return types.NewSchema(cols...) }
+
+// NewRelation creates an empty relation with the given name and schema.
+func NewRelation(name string, schema Schema) *Relation { return relation.New(name, schema) }
+
+// ReadCSV loads a relation from CSV data with the given schema; a header
+// row matching the column names is skipped automatically.
+func ReadCSV(r io.Reader, name string, schema Schema, sep rune) (*Relation, error) {
+	return relation.ReadCSV(r, name, schema, sep)
+}
+
+// ReadCSVFile loads a relation from a CSV file.
+func ReadCSVFile(path, name string, schema Schema, sep rune) (*Relation, error) {
+	return relation.ReadCSVFile(path, name, schema, sep)
+}
+
+// WriteCSV writes a relation as CSV with a header row.
+func WriteCSV(w io.Writer, rel *Relation, sep rune) error {
+	return relation.WriteCSV(w, rel, sep)
+}

@@ -1,0 +1,189 @@
+// Package queries is the library of RaSQL programs from the paper: the
+// classical graph algorithms of Section 4 and Appendix C, the complex
+// analytics queries of Section 8.2, and the stratified counterparts used in
+// Figure 1. Each constant is runnable verbatim against an engine whose
+// catalog holds the documented base tables.
+package queries
+
+// SSSP computes single-source shortest paths from a source node (paper
+// Example 1). Base table: edge(Src int, Dst int, Cost double). The source
+// node is 1; use SSSPFrom for other sources.
+const SSSP = `
+WITH recursive path (Dst, min() AS Cost) AS
+    (SELECT 1, 0) UNION
+    (SELECT edge.Dst, path.Cost + edge.Cost
+     FROM path, edge
+     WHERE path.Dst = edge.Src)
+SELECT Dst, Cost FROM path`
+
+// CC counts connected components by label propagation (paper Example 2).
+// Base table: edge(Src int, Dst int), loaded with both edge directions.
+const CC = `
+WITH recursive cc (Src, min() AS CmpId) AS
+    (SELECT Src, Src FROM edge) UNION
+    (SELECT edge.Dst, cc.CmpId FROM cc, edge
+     WHERE cc.Src = edge.Src)
+SELECT count(distinct cc.CmpId) FROM cc`
+
+// CCLabels is CC but returning each node's component label instead of the
+// component count (used to validate against union-find ground truth).
+const CCLabels = `
+WITH recursive cc (Src, min() AS CmpId) AS
+    (SELECT Src, Src FROM edge) UNION
+    (SELECT edge.Dst, cc.CmpId FROM cc, edge
+     WHERE cc.Src = edge.Src)
+SELECT Src, CmpId FROM cc`
+
+// CountPaths counts paths from node 1 to every node of a DAG (paper
+// Example 3). Base table: edge(Src int, Dst int).
+const CountPaths = `
+WITH recursive cpaths (Dst, sum() AS Cnt) AS
+    (SELECT 1, 1) UNION
+    (SELECT edge.Dst, cpaths.Cnt FROM cpaths, edge
+     WHERE cpaths.Dst = edge.Src)
+SELECT Dst, Cnt FROM cpaths`
+
+// Management counts each manager's direct and indirect subordinates (paper
+// Example 4). Base table: report(Emp int, Mgr int).
+const Management = `
+WITH recursive empCount (Mgr, count() AS Cnt) AS
+    (SELECT report.Emp, 1 FROM report) UNION
+    (SELECT report.Mgr, empCount.Cnt
+     FROM empCount, report
+     WHERE empCount.Mgr = report.Emp)
+SELECT Mgr, Cnt FROM empCount`
+
+// MLM computes multi-level-marketing bonuses (paper Example 5). Base
+// tables: sales(M int, P double), sponsor(M1 int, M2 int).
+const MLM = `
+WITH recursive bonus(M, sum() as B) AS
+    (SELECT M, P*0.1 FROM sales) UNION
+    (SELECT sponsor.M1, bonus.B*0.5 FROM bonus, sponsor
+     WHERE bonus.M = sponsor.M2)
+SELECT M, B FROM bonus`
+
+// Coalesce merges overlapping intervals (paper Example 6). Base table:
+// inter(S int, E int).
+const Coalesce = `
+CREATE VIEW lstart(T) AS
+    (SELECT a.S FROM inter a, inter b
+     WHERE a.S <= b.E
+     GROUP BY a.S HAVING a.S = min(b.S));
+WITH recursive coal (S, max() AS E) AS
+    (SELECT lstart.T, inter.E FROM lstart, inter
+     WHERE lstart.T = inter.S) UNION
+    (SELECT coal.S, inter.E FROM coal, inter
+     WHERE coal.S <= inter.S AND inter.S <= coal.E)
+SELECT S, E FROM coal`
+
+// Party computes party attendance by mutual recursion (paper Example 7):
+// a person attends iff they organize or at least three of their friends
+// attend. Base tables: organizer(OrgName string), friend(Pname string,
+// Fname string).
+const Party = `
+WITH recursive attend(Person) AS
+    (SELECT OrgName FROM organizer) UNION
+    (SELECT Name FROM cntfriends WHERE Ncount >= 3),
+recursive cntfriends(Name, count() AS Ncount) AS
+    (SELECT friend.FName, friend.Pname
+     FROM attend, friend
+     WHERE attend.Person = friend.Pname)
+SELECT Person FROM attend`
+
+// CompanyControl computes transitive corporate control via mutual
+// recursion over a sum aggregate (paper Example 8). Base table:
+// shares(By string, Of string, Percent int).
+const CompanyControl = `
+WITH recursive cshares(ByCom, OfCom, sum() AS Tot) AS
+    (SELECT By, Of, Percent FROM shares) UNION
+    (SELECT control.Com1, cshares.OfCom, cshares.Tot
+     FROM control, cshares
+     WHERE control.Com2 = cshares.ByCom),
+recursive control(Com1, Com2) AS
+    (SELECT ByCom, OfCom FROM cshares WHERE Tot > 50)
+SELECT ByCom, OfCom, Tot FROM cshares`
+
+// SG finds same-generation node pairs (paper Example 9). Base table:
+// rel(Parent int, Child int).
+const SG = `
+WITH recursive sg (X, Y) AS
+    (SELECT a.Child, b.Child FROM rel a, rel b
+     WHERE a.Parent = b.Parent AND a.Child <> b.Child)
+    UNION
+    (SELECT a.Child, b.Child FROM rel a, sg, rel b
+     WHERE a.Parent = sg.X AND b.Parent = sg.Y)
+SELECT X, Y FROM sg`
+
+// Reach computes the nodes reachable from node 1 (paper Example 10). Base
+// table: edge(Src int, Dst int).
+const Reach = `
+WITH recursive reach (Dst) AS
+    (SELECT 1) UNION
+    (SELECT edge.Dst FROM reach, edge
+     WHERE reach.Dst = edge.Src)
+SELECT Dst FROM reach`
+
+// APSP computes all-pairs shortest paths (paper Example 11). Base table:
+// edge(Src int, Dst int, Cost double).
+const APSP = `
+WITH recursive path (Src, Dst, min() AS Cost) AS
+    (SELECT Src, Dst, Cost FROM edge) UNION
+    (SELECT path.Src, edge.Dst, path.Cost + edge.Cost
+     FROM path, edge WHERE path.Dst = edge.Src)
+SELECT Src, Dst, Cost FROM path`
+
+// TC computes the transitive closure (paper Section 6). Base table:
+// edge(Src int, Dst int).
+const TC = `
+WITH recursive tc (Src, Dst) AS
+    (SELECT Src, Dst FROM edge) UNION
+    (SELECT tc.Src, edge.Dst FROM tc, edge
+     WHERE tc.Dst = edge.Src)
+SELECT Src, Dst FROM tc`
+
+// Delivery is the Bill-of-Materials days-till-delivery query in RaSQL's
+// endo-max form (paper Q2). Base tables: basic(Part int, Days int),
+// assbl(Part int, Spart int).
+const Delivery = `
+WITH recursive waitfor(Part, max() as Days) AS
+    (SELECT Part, Days FROM basic) UNION
+    (SELECT assbl.Part, waitfor.Days
+     FROM assbl, waitfor
+     WHERE assbl.Spart = waitfor.Part)
+SELECT Part, Days FROM waitfor`
+
+// DeliveryStratified is the SQL:99 stratified form of Delivery (paper Q1):
+// the max is applied after the (set-semantics) recursion completes.
+const DeliveryStratified = `
+WITH recursive waitfor(Part, Days) AS
+    (SELECT Part, Days FROM basic) UNION
+    (SELECT assbl.Part, waitfor.Days
+     FROM assbl, waitfor
+     WHERE assbl.Spart = waitfor.Part)
+SELECT Part, max(Days) FROM waitfor GROUP BY Part`
+
+// SSSPStratified is the stratified counterpart of SSSP used in Figure 1;
+// on cyclic graphs its recursion does not terminate — the engine's row and
+// iteration guards abort it, matching the paper's footnote.
+const SSSPStratified = `
+WITH recursive path (Dst, Cost) AS
+    (SELECT 1, 0) UNION
+    (SELECT edge.Dst, path.Cost + edge.Cost
+     FROM path, edge
+     WHERE path.Dst = edge.Src)
+SELECT Dst, min(Cost) FROM path GROUP BY Dst`
+
+// CCStratified is the stratified counterpart of CC used in Figure 1: the
+// recursion carries every propagated label and the min applies at the end.
+const CCStratified = `
+WITH recursive cc (Src, CmpId) AS
+    (SELECT Src, Src FROM edge) UNION
+    (SELECT edge.Dst, cc.CmpId FROM cc, edge
+     WHERE cc.Src = edge.Src),
+labels(Src, M) AS
+    (SELECT Src, min(CmpId) FROM cc GROUP BY Src)
+SELECT count(distinct M) FROM labels`
+
+// ReachStratified is REACH without aggregates (REACH has none to begin
+// with); it is listed for completeness of the Figure 1 comparison set.
+const ReachStratified = Reach

@@ -1,0 +1,231 @@
+// Package rasql is a from-scratch Go implementation of RaSQL —
+// Recursive-aggregate-SQL (Gu et al., SIGMOD 2019): SQL:99 recursive common
+// table expressions extended with min/max/sum/count aggregates in the
+// recursive view head, compiled into a fixpoint operator and evaluated with
+// distributed semi-naive iteration on a simulated Spark-like cluster.
+//
+// Quick start:
+//
+//	eng := rasql.New(rasql.Config{})
+//	eng.MustRegister(edges) // a *relation.Relation named "edge"
+//	res, err := eng.Exec(`
+//	    WITH recursive path (Dst, min() AS Cost) AS
+//	        (SELECT 1, 0) UNION
+//	        (SELECT edge.Dst, path.Cost + edge.Cost
+//	         FROM path, edge WHERE path.Dst = edge.Src)
+//	    SELECT Dst, Cost FROM path`)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction of the paper's evaluation.
+package rasql
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"github.com/rasql/rasql-go/internal/cluster"
+	"github.com/rasql/rasql-go/internal/fixpoint"
+	"github.com/rasql/rasql-go/internal/relation"
+	"github.com/rasql/rasql-go/internal/sql/analyze"
+	"github.com/rasql/rasql-go/internal/sql/ast"
+	"github.com/rasql/rasql-go/internal/sql/catalog"
+	"github.com/rasql/rasql-go/internal/sql/exec"
+	"github.com/rasql/rasql-go/internal/sql/optimize"
+	"github.com/rasql/rasql-go/internal/sql/parser"
+)
+
+// Config parameterizes an Engine. The zero value is a working default:
+// distributed evaluation on a GOMAXPROCS-worker simulated cluster with all
+// of the paper's optimizations enabled.
+type Config struct {
+	// Cluster configures the simulated cluster. Zero values get defaults
+	// (workers = GOMAXPROCS, partition-aware scheduling).
+	Cluster cluster.Config
+	// Fixpoint configures the fixpoint operator. Zero values get
+	// defaults; StageCombination defaults to on unless DisableDefaults.
+	Fixpoint fixpoint.DistOptions
+	// ForceLocal always evaluates recursion with the single-threaded
+	// reference engine.
+	ForceLocal bool
+	// Naive replaces semi-naive evaluation with naive re-derivation
+	// (implies ForceLocal; kept for the paper's Algorithm 1/2 baseline).
+	Naive bool
+	// RawOptimizations keeps every optimization flag exactly as given
+	// instead of applying the RaSQL defaults (stage combination on,
+	// broadcast compression on).
+	RawOptimizations bool
+}
+
+// Engine is a RaSQL session: a catalog of base tables plus a configured
+// execution environment. An Engine is safe for sequential use; concurrent
+// queries need separate engines.
+type Engine struct {
+	cfg     Config
+	cat     *catalog.Catalog
+	cluster *cluster.Cluster
+}
+
+// New creates an engine. Unless cfg.RawOptimizations is set, the paper's
+// default optimizations are switched on: stage combination and compressed
+// broadcast.
+func New(cfg Config) *Engine {
+	if !cfg.RawOptimizations {
+		cfg.Fixpoint.StageCombination = true
+		cfg.Cluster.CompressBroadcast = true
+	}
+	if cfg.Naive {
+		cfg.ForceLocal = true
+		cfg.Fixpoint.Naive = true
+	}
+	return &Engine{cfg: cfg, cat: catalog.New(), cluster: cluster.New(cfg.Cluster)}
+}
+
+// Register adds a base table to the catalog.
+func (e *Engine) Register(rel *relation.Relation) error { return e.cat.Register(rel) }
+
+// MustRegister is Register, panicking on error. Intended for setup code.
+func (e *Engine) MustRegister(rel *relation.Relation) {
+	if err := e.Register(rel); err != nil {
+		panic(err)
+	}
+}
+
+// Catalog exposes the engine's catalog (for tooling such as the REPL).
+func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// Metrics returns a snapshot of the simulated cluster's counters.
+func (e *Engine) Metrics() cluster.Snapshot { return e.cluster.Metrics.Snapshot() }
+
+// ResetMetrics zeroes the cluster counters.
+func (e *Engine) ResetMetrics() { e.cluster.Metrics.Reset() }
+
+// Exec runs a script: CREATE VIEW statements register views; each SELECT or
+// WITH statement executes. The result of the last query statement is
+// returned (nil if the script only defines views).
+func (e *Engine) Exec(src string) (*relation.Relation, error) {
+	stmts, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	var last *relation.Relation
+	for _, s := range stmts {
+		if cv, ok := s.(*ast.CreateView); ok {
+			if err := e.cat.RegisterView(&catalog.ViewDef{
+				Name: cv.Name, Columns: cv.Columns, Query: cv.Query,
+			}); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		prog, err := analyze.Statement(s, e.cat)
+		if err != nil {
+			return nil, err
+		}
+		last, err = e.Run(optimize.Program(prog))
+		if err != nil {
+			return nil, err
+		}
+	}
+	return last, nil
+}
+
+// Query runs a single query statement and returns its result.
+func (e *Engine) Query(src string) (*relation.Relation, error) {
+	rel, err := e.Exec(src)
+	if err != nil {
+		return nil, err
+	}
+	if rel == nil {
+		return nil, fmt.Errorf("rasql: script contained no query statement")
+	}
+	return rel, nil
+}
+
+// Run executes an analyzed program: the fixpoint for its recursive clique
+// (if any), then the final query over the results.
+func (e *Engine) Run(prog *analyze.Program) (*relation.Relation, error) {
+	ctx := exec.NewContext()
+	if prog.Clique != nil && len(prog.Clique.Views) > 0 {
+		res, err := e.runClique(prog.Clique, ctx)
+		if err != nil {
+			return nil, err
+		}
+		res.Bind(ctx)
+	}
+	return exec.Query(prog.Final, ctx)
+}
+
+// RunClique evaluates just the recursive clique of a program, returning the
+// per-view fixpoint relations (used by the PreM checker and benchmarks).
+func (e *Engine) RunClique(prog *analyze.Program) (*fixpoint.Result, error) {
+	if prog.Clique == nil || len(prog.Clique.Views) == 0 {
+		return nil, fmt.Errorf("rasql: statement has no recursive clique")
+	}
+	return e.runClique(prog.Clique, exec.NewContext())
+}
+
+func (e *Engine) runClique(clique *analyze.Clique, ctx *exec.Context) (*fixpoint.Result, error) {
+	if e.cfg.ForceLocal {
+		return fixpoint.Local(clique, ctx, e.cfg.Fixpoint.Options)
+	}
+	res, err := fixpoint.Distributed(clique, ctx, e.cluster, e.cfg.Fixpoint)
+	if err == nil {
+		return res, nil
+	}
+	var nd *fixpoint.ErrNotDistributable
+	if errors.As(err, &nd) {
+		// Mutual recursion and non-linear rules run on the exact local
+		// engine — the distributed engine covers the linear fragment the
+		// paper benchmarks.
+		return fixpoint.Local(clique, ctx, e.cfg.Fixpoint.Options)
+	}
+	return nil, err
+}
+
+// Explain renders the execution plan of a query: the recursive clique, its
+// distributed plan (or the local fallback reason), and the final query
+// shape.
+func (e *Engine) Explain(src string) (string, error) {
+	stmts, err := parser.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, s := range stmts {
+		if cv, ok := s.(*ast.CreateView); ok {
+			fmt.Fprintf(&b, "View %s(%s)\n", cv.Name, strings.Join(cv.Columns, ", "))
+			if err := e.cat.RegisterView(&catalog.ViewDef{Name: cv.Name, Columns: cv.Columns, Query: cv.Query}); err != nil {
+				return "", err
+			}
+			continue
+		}
+		prog, err := analyze.Statement(s, e.cat)
+		if err != nil {
+			return "", err
+		}
+		if prog.Clique != nil && len(prog.Clique.Views) > 0 {
+			plan, perr := fixpoint.PlanDistributed(prog.Clique)
+			switch {
+			case e.cfg.ForceLocal:
+				b.WriteString("Fixpoint: local (forced)\n")
+			case perr == nil:
+				b.WriteString(plan.Describe())
+			default:
+				fmt.Fprintf(&b, "Fixpoint: local engine (%v)\n", perr)
+			}
+			for _, v := range prog.Clique.Views {
+				kind := "set"
+				if v.IsAgg() {
+					kind = v.Agg.String()
+				}
+				fmt.Fprintf(&b, "  view %s%s: %d base rule(s), %d recursive rule(s)\n",
+					v.Name, v.Schema, len(v.BaseRules), len(v.RecRules))
+				_ = kind
+			}
+		}
+		fmt.Fprintf(&b, "Final: %d source(s), %d conjunct(s), grouped=%v, schema %s\n",
+			len(prog.Final.Sources), len(prog.Final.Conjuncts), prog.Final.Grouped, prog.Final.Schema)
+	}
+	return b.String(), nil
+}
