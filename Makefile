@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test vet race lint ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/fixpoint/... ./internal/cluster/...
+
+# Requires golangci-lint (https://golangci-lint.run); CI installs it via
+# the golangci-lint-action.
+lint:
+	golangci-lint run
+
+ci: build vet test race

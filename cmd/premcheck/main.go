@@ -1,17 +1,23 @@
-// Command premcheck is the paper's Appendix G auto-validation tool
-// (GPtest): it tests whether the PreM property holds for an
-// aggregate-in-recursion query on given data by running the original query
-// and its PreM-checking rewrite iteration by iteration and comparing
-// results at every step. It can also print the rewritten query.
+// Command premcheck validates the PreM property for aggregate-in-recursion
+// queries. With -static it first runs the vet analyzer's syntactic
+// certification — which needs no data and terminates on every input — and
+// only falls back to the paper's Appendix G dynamic GPtest (running the
+// original query and its PreM-checking rewrite iteration by iteration)
+// when the static verdict is inconclusive. It can also print the rewritten
+// query.
 //
 // Usage:
 //
 //	premcheck -table 'edge=edges.csv:Src int,Dst int,Cost double' \
-//	          -f apsp.sql [-iter 200] [-rewrite]
+//	          -f apsp.sql [-static] [-iter 200] [-rewrite]
 //
 // Built-in queries can be checked by name:
 //
-//	premcheck -table ... -name sssp
+//	premcheck -table ... -name sssp -static
+//
+// Exit codes make the checker scriptable: 0 the aggregate is certified /
+// the property holds, 1 it is refuted / violated, 2 the analysis is
+// inconclusive, 3 usage or execution error.
 package main
 
 import (
@@ -29,6 +35,14 @@ import (
 	"github.com/rasql/rasql-go/queries"
 )
 
+// The premcheck exit codes.
+const (
+	ExitHolds        = 0
+	ExitViolated     = 1
+	ExitInconclusive = 2
+	ExitFatal        = 3
+)
+
 var builtins = map[string]string{
 	"sssp":     queries.SSSP,
 	"apsp":     queries.APSP,
@@ -44,6 +58,7 @@ func main() {
 		file    = flag.String("f", "", "query file")
 		name    = flag.String("name", "", "built-in query name: "+keys())
 		iters   = flag.Int("iter", 200, "iteration budget for the step checker")
+		static  = flag.Bool("static", false, "certify statically first; run the dynamic GPtest only when inconclusive")
 		rewrite = flag.Bool("rewrite", false, "print the PreM-checking rewrite (Appendix G) and exit")
 	)
 	flag.Var(&tables, "table", "name=path:schema (repeatable)")
@@ -81,6 +96,30 @@ func main() {
 	if err := cli.LoadTables(eng, tables); err != nil {
 		fatal(err)
 	}
+
+	staticInconclusive := false
+	if *static {
+		rep, err := eng.Vet(src)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(rep)
+		switch rep.Verdict() {
+		case rasql.VetCertified:
+			fmt.Println("static: certified — skipping dynamic GPtest")
+			os.Exit(ExitHolds)
+		case rasql.VetRefuted:
+			fmt.Println("static: refuted — the aggregate is not pre-mappable")
+			os.Exit(ExitViolated)
+		case rasql.VetNotApplicable:
+			fmt.Println("static: no aggregate in recursion — nothing to check")
+			os.Exit(ExitHolds)
+		default:
+			staticInconclusive = true
+			fmt.Println("static: inconclusive — falling back to the dynamic GPtest")
+		}
+	}
+
 	stmts, err := parser.Parse(src)
 	if err != nil {
 		fatal(err)
@@ -91,11 +130,22 @@ func main() {
 	}
 	rep, err := prem.Check(prog, exec.NewContext(), *iters)
 	if err != nil {
+		if staticInconclusive {
+			// The static pass already declined and the dynamic checker
+			// cannot decide either (e.g. count/sum heads have no
+			// min/max to GPtest): the overall answer is inconclusive.
+			fmt.Println("dynamic:", err)
+			os.Exit(ExitInconclusive)
+		}
 		fatal(err)
 	}
 	fmt.Println(rep)
-	if !rep.Holds {
-		os.Exit(2)
+	switch {
+	case !rep.Holds:
+		os.Exit(ExitViolated)
+	case !rep.Converged:
+		// The budget ran out with no violation found: evidence, not proof.
+		os.Exit(ExitInconclusive)
 	}
 }
 
@@ -109,5 +159,5 @@ func keys() string {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "premcheck:", err)
-	os.Exit(1)
+	os.Exit(ExitFatal)
 }

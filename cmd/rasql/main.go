@@ -9,6 +9,12 @@
 //
 //	rasql -table ... -f query.sql
 //	rasql -table ...            # interactive: statements end with ';'
+//	rasql vet -table ... -f query.sql   # static analysis only
+//
+// Every script is vetted before execution: the static analyzer's
+// diagnostics print to stderr, and error-severity findings (a statically
+// refuted PreM assumption computes wrong answers) abort the query unless
+// -no-vet downgrades them to warnings.
 //
 // Flags:
 //
@@ -16,11 +22,15 @@
 //	-q sql                    run one script and exit
 //	-f file                   run a script file and exit
 //	-explain                  print the plan instead of executing
+//	-no-vet                   execute even when vet reports errors
 //	-local                    force the single-threaded reference engine
 //	-naive                    naive (non-semi-naive) evaluation
 //	-workers / -partitions    simulated cluster size
 //	-metrics                  print execution counters after each query
 //	-max-rows n               print at most n result rows (default 50)
+//
+// The vet subcommand exits 0 when the script is clean (or carries only
+// warnings/info) and 1 when any error-severity diagnostic fires.
 package main
 
 import (
@@ -35,11 +45,16 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "vet" {
+		vetMain(os.Args[2:])
+		return
+	}
 	var (
 		tables     cli.MultiFlag
 		query      = flag.String("q", "", "query to run")
 		file       = flag.String("f", "", "script file to run")
 		explain    = flag.Bool("explain", false, "print the plan instead of executing")
+		noVet      = flag.Bool("no-vet", false, "execute even when vet reports errors")
 		local      = flag.Bool("local", false, "force the local reference engine")
 		naive      = flag.Bool("naive", false, "naive evaluation (implies -local)")
 		workers    = flag.Int("workers", 0, "simulated workers (default GOMAXPROCS)")
@@ -72,6 +87,13 @@ func main() {
 			fmt.Print(plan)
 			return
 		}
+		if rep, err := eng.Vet(src); err == nil && len(rep.Diagnostics) > 0 {
+			fmt.Fprint(os.Stderr, rep)
+			if rep.HasErrors() && !*noVet {
+				fmt.Fprintln(os.Stderr, "error: vet reported errors; rerun with -no-vet to execute anyway")
+				return
+			}
+		}
 		res, err := eng.Exec(src)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
@@ -97,6 +119,44 @@ func main() {
 		run(string(b))
 	default:
 		repl(eng, run)
+	}
+}
+
+// vetMain implements `rasql vet`: static analysis only, nothing executes.
+func vetMain(args []string) {
+	fs := flag.NewFlagSet("rasql vet", flag.ExitOnError)
+	var tables cli.MultiFlag
+	query := fs.String("q", "", "query to vet")
+	file := fs.String("f", "", "script file to vet")
+	fs.Var(&tables, "table", "name=path:schema (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		fatal(err)
+	}
+	src := *query
+	if *file != "" {
+		b, err := os.ReadFile(*file)
+		if err != nil {
+			fatal(err)
+		}
+		src = string(b)
+	}
+	if strings.TrimSpace(src) == "" {
+		fatal(fmt.Errorf("vet: no query given (-q or -f)"))
+	}
+	eng := rasql.New(rasql.Config{})
+	if err := cli.LoadTables(eng, tables); err != nil {
+		fatal(err)
+	}
+	rep, err := eng.Vet(src)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(rep)
+	if len(rep.Diagnostics) == 0 {
+		fmt.Println("vet: no findings")
+	}
+	if rep.HasErrors() {
+		os.Exit(1)
 	}
 }
 

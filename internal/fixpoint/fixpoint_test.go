@@ -365,3 +365,51 @@ func TestFaultRecoveryReplayMatchesFaultFree(t *testing.T) {
 		}
 	}
 }
+
+// TestNarrowedPartitionKey: both recursive rules join the view on column B
+// only, so the full group key (A, B) is never covered and the seed planner
+// fell back to broadcast. vet's co-partition analysis narrows the
+// partition key to [B] — a subset of the group key, so grouping stays
+// partition-local — and both rules co-partition. The distributed result
+// must still match the exact local engine.
+func TestNarrowedPartitionKey(t *testing.T) {
+	const src = `
+WITH recursive p (A, B, min() AS C) AS
+    (SELECT Src, Dst, Cost FROM edge) UNION
+    (SELECT p.A, edge.Dst, p.C + edge.Cost
+     FROM p, edge WHERE p.B = edge.Src) UNION
+    (SELECT edge.Src, p.B, p.C + edge.Cost
+     FROM p, edge WHERE p.B = edge.Dst)
+SELECT A, B, C FROM p`
+	edges := gen.RMATDefault(48, 11)
+	cat := testCatalog(edges)
+
+	prog := analyzeQ(t, src, cat)
+	plan, err := PlanDistributed(prog.Clique)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.PartKey) != 1 || plan.PartKey[0] != 1 {
+		t.Fatalf("PartKey = %v, want [1]", plan.PartKey)
+	}
+	for i, rp := range plan.Rules {
+		if rp.Strategy != StrategyCoPartition {
+			t.Errorf("rule %d: strategy = %v, want co-partition", i, rp.Strategy)
+		}
+	}
+
+	ctxD := exec.NewContext()
+	dist, err := Distributed(analyzeQ(t, src, cat).Clique, ctxD, testCluster(),
+		DistOptions{StageCombination: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := Local(analyzeQ(t, src, cat).Clique, exec.NewContext(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !local.Relations["p"].EqualAsSet(dist.Relations["p"]) {
+		t.Errorf("narrowed-key distributed run disagrees with local (%d vs %d rows)",
+			dist.Relations["p"].Len(), local.Relations["p"].Len())
+	}
+}

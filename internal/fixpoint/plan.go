@@ -6,6 +6,7 @@ import (
 
 	"github.com/rasql/rasql-go/internal/sql/analyze"
 	"github.com/rasql/rasql-go/internal/sql/expr"
+	"github.com/rasql/rasql-go/internal/sql/vet"
 )
 
 // JoinStrategy selects the distributed join implementation for
@@ -171,6 +172,14 @@ func PlanDistributed(clique *analyze.Clique) (*Plan, error) {
 
 	if v.IsAgg() {
 		p.PartKey = append([]int(nil), v.GroupIdx...)
+		// When the recursive joins cannot cover the full group key, vet's
+		// co-partition analysis may offer a narrower key (a subset of the
+		// group-by, so grouping stays partition-local) that every rule's
+		// join does cover — turning per-iteration reshuffles into
+		// co-partitioned probes.
+		if alt := vet.SuggestPartitionKey(v); alt != nil {
+			p.PartKey = alt
+		}
 	} else {
 		p.PartKey = allColumns(v)
 	}

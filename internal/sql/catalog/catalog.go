@@ -34,6 +34,21 @@ func New() *Catalog {
 
 func key(name string) string { return strings.ToLower(name) }
 
+// Clone returns an independent catalog holding the same tables and view
+// definitions. Registrations on the clone do not affect the original —
+// used by tooling (vet, explain) that must analyze scripts without
+// mutating the session catalog.
+func (c *Catalog) Clone() *Catalog {
+	out := New()
+	for k, t := range c.tables {
+		out.tables[k] = t
+	}
+	for k, v := range c.views {
+		out.views[k] = v
+	}
+	return out
+}
+
 // Register adds or replaces a base table.
 func (c *Catalog) Register(rel *relation.Relation) error {
 	if rel.Name == "" {

@@ -1,0 +1,526 @@
+package vet
+
+import (
+	"fmt"
+
+	"github.com/rasql/rasql-go/internal/sql/analyze"
+	"github.com/rasql/rasql-go/internal/sql/ast"
+	"github.com/rasql/rasql-go/internal/sql/expr"
+	"github.com/rasql/rasql-go/internal/types"
+)
+
+// This file is the static PreM certifier. The dynamic GPtest
+// (internal/prem) must execute both query versions and never terminates on
+// exactly the cyclic inputs where PreM matters most; the syntactic
+// sufficient conditions below certify γ(T(R)) = γ(T(γ(R))) without running
+// anything.
+//
+// For an extremum (min/max) head the recognized safe pattern is:
+//
+//  1. linear recursion — one recursive reference per rule;
+//  2. the head's aggregate column is a monotone non-decreasing
+//     (order-preserving) function of the running aggregate, or ignores it
+//     entirely (a constant/monotone-increment transform: Cost + edge.Cost,
+//     Days, B * 0.5, ...);
+//  3. no group column reads the running aggregate — grouping must survive
+//     γ unchanged;
+//  4. every filter that reads the running aggregate keeps rows in the
+//     direction the aggregate improves (min: `agg <= x`; max: `agg >= x`),
+//     so derivations admitted from intermediate values are still admitted
+//     from the completed aggregate and produce dominated head rows.
+//
+// An order-REVERSING transform or an anti-monotone filter is a
+// counter-pattern: a group holding {v, v'} with v better than v' derives,
+// through the un-aggregated twin, head rows the pre-mapped version can
+// never produce — that is a Refuted verdict. Everything else (non-linear
+// rules, mutual recursion, unknown-sign arithmetic) is Inconclusive and
+// falls back to the dynamic checker.
+//
+// For additive (count/sum) heads certification follows the monotonic
+// counting argument: contributions must be provably positive (literals > 0,
+// or non-numeric count contributions, which count as 1) and propagate
+// through identity or positive scaling, and filters over the running total
+// must be monotone in the growing direction (`Tot > 50`).
+
+// mono classifies an expression's behaviour as a function of one column —
+// the running aggregate value of the recursive source.
+type mono uint8
+
+const (
+	// monoConst does not read the aggregate column.
+	monoConst mono = iota
+	// monoInc is non-decreasing (order-preserving) in the aggregate.
+	monoInc
+	// monoDec is non-increasing (order-reversing) in the aggregate.
+	monoDec
+	// monoUnknown reads the aggregate in a shape we cannot classify.
+	monoUnknown
+)
+
+func (m mono) String() string {
+	switch m {
+	case monoConst:
+		return "constant"
+	case monoInc:
+		return "monotone"
+	case monoDec:
+		return "order-reversing"
+	default:
+		return "unclassifiable"
+	}
+}
+
+func flip(m mono) mono {
+	switch m {
+	case monoInc:
+		return monoDec
+	case monoDec:
+		return monoInc
+	default:
+		return m
+	}
+}
+
+// addMono combines the monotonicities of two added subexpressions.
+func addMono(a, b mono) mono {
+	if a == monoUnknown || b == monoUnknown {
+		return monoUnknown
+	}
+	if a == monoConst {
+		return b
+	}
+	if b == monoConst {
+		return a
+	}
+	if a == b {
+		return a
+	}
+	return monoUnknown
+}
+
+// refsCol reports whether e reads column (input, idx).
+func refsCol(e expr.Expr, input, idx int) bool {
+	found := false
+	expr.Walk(e, func(x expr.Expr) bool {
+		if c, ok := x.(*expr.Col); ok && c.Input == input && c.Idx == idx {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// litSign returns the sign of a numeric literal: +1, -1, or 0 when the
+// expression is not a sign-known literal. Analysis runs on folded
+// expressions, so constant arithmetic is already a Lit.
+func litSign(e expr.Expr) int {
+	if n, ok := e.(*expr.Neg); ok {
+		return -litSign(n.E)
+	}
+	l, ok := e.(*expr.Lit)
+	if !ok || !l.V.IsNumeric() {
+		return 0
+	}
+	switch f := l.V.AsFloat(); {
+	case f >= 0:
+		return +1
+	default:
+		return -1
+	}
+}
+
+// monotonicity classifies e as a function of the aggregate column
+// (input=rec, idx=aggIdx), holding every other column fixed.
+func monotonicity(e expr.Expr, rec, aggIdx int) mono {
+	switch x := e.(type) {
+	case *expr.Col:
+		if x.Input == rec && x.Idx == aggIdx {
+			return monoInc
+		}
+		return monoConst
+	case *expr.Lit:
+		return monoConst
+	case *expr.Neg:
+		return flip(monotonicity(x.E, rec, aggIdx))
+	case *expr.Bin:
+		l := monotonicity(x.L, rec, aggIdx)
+		r := monotonicity(x.R, rec, aggIdx)
+		switch x.Op {
+		case ast.OpAdd:
+			return addMono(l, r)
+		case ast.OpSub:
+			return addMono(l, flip(r))
+		case ast.OpMul:
+			if l == monoConst && r == monoConst {
+				return monoConst
+			}
+			// A scaled aggregate keeps or flips its direction with the
+			// sign of the constant side; unknown signs are unclassifiable.
+			if l == monoConst {
+				return scaleMono(x.L, r)
+			}
+			if r == monoConst {
+				return scaleMono(x.R, l)
+			}
+			return monoUnknown
+		case ast.OpDiv:
+			if r == monoConst {
+				if l == monoConst {
+					return monoConst
+				}
+				return scaleMono(x.R, l)
+			}
+			return monoUnknown
+		default:
+			// Comparisons, AND/OR, MOD: constant when agg-free, otherwise
+			// unclassifiable as a value transform.
+			if l == monoConst && r == monoConst {
+				return monoConst
+			}
+			return monoUnknown
+		}
+	}
+	if c, ok := e.(*expr.Not); ok {
+		if refsCol(c.E, rec, aggIdx) {
+			return monoUnknown
+		}
+		return monoConst
+	}
+	return monoConst
+}
+
+// scaleMono applies the sign of a constant factor to a monotonicity.
+func scaleMono(factor expr.Expr, m mono) mono {
+	if m == monoUnknown {
+		return monoUnknown
+	}
+	switch litSign(factor) {
+	case +1:
+		return m
+	case -1:
+		return flip(m)
+	default:
+		return monoUnknown
+	}
+}
+
+// condOutcome classifies one filter against the aggregate direction.
+type condOutcome uint8
+
+const (
+	condSafe condOutcome = iota
+	condRefuted
+	condInconclusive
+)
+
+// mirrorOp rewrites `x op y` as `y op' x`.
+func mirrorOp(op ast.BinaryOp) ast.BinaryOp {
+	switch op {
+	case ast.OpLt:
+		return ast.OpGt
+	case ast.OpLe:
+		return ast.OpGe
+	case ast.OpGt:
+		return ast.OpLt
+	case ast.OpGe:
+		return ast.OpLe
+	default:
+		return op
+	}
+}
+
+// judgeCondition decides whether a conjunct that reads the running
+// aggregate stays monotone under the aggregate's direction of improvement.
+// grows is true for max and for additive aggregates with positive
+// contributions (the running value only increases); false for min.
+func judgeCondition(c expr.Expr, rec, aggIdx int, grows bool) (condOutcome, string) {
+	if !refsCol(c, rec, aggIdx) {
+		return condSafe, ""
+	}
+	b, ok := c.(*expr.Bin)
+	if !ok {
+		return condInconclusive, fmt.Sprintf("filter %s reads the running aggregate in a non-comparison expression", c)
+	}
+	switch b.Op {
+	case ast.OpLt, ast.OpLe, ast.OpGt, ast.OpGe, ast.OpEq, ast.OpNe:
+	default:
+		return condInconclusive, fmt.Sprintf("filter %s reads the running aggregate in a non-comparison expression", c)
+	}
+	lRefs, rRefs := refsCol(b.L, rec, aggIdx), refsCol(b.R, rec, aggIdx)
+	if lRefs && rRefs {
+		return condInconclusive, fmt.Sprintf("both sides of filter %s read the running aggregate", c)
+	}
+	aggSide, op := b.L, b.Op
+	if rRefs {
+		aggSide, op = b.R, mirrorOp(b.Op)
+	}
+	switch m := monotonicity(aggSide, rec, aggIdx); m {
+	case monoInc:
+	case monoDec:
+		op = mirrorOp(op)
+	default:
+		return condInconclusive, fmt.Sprintf("filter %s transforms the running aggregate in an unclassifiable way", c)
+	}
+	if op == ast.OpEq || op == ast.OpNe {
+		return condInconclusive, fmt.Sprintf("filter %s pins the running aggregate with =/<>; intermediate values that match may differ from the completed aggregate", c)
+	}
+	// Normalized: monotone(agg) op other. Improvement direction decides
+	// which comparisons stay monotone.
+	safe := op == ast.OpLt || op == ast.OpLe
+	if grows {
+		safe = op == ast.OpGt || op == ast.OpGe
+	}
+	if safe {
+		return condSafe, ""
+	}
+	dir := "shrinks"
+	if grows {
+		dir = "grows"
+	}
+	return condRefuted, fmt.Sprintf("filter %s is anti-monotone: the running aggregate only %s, so derivations admitted from intermediate values are rejected by the completed aggregate — γ(T(R)) ≠ γ(T(γ(R)))", c, dir)
+}
+
+// certifyPreM produces the static PreM verdict for one clique view,
+// appending RV001/RV002/RV003 diagnostics to the report.
+func certifyPreM(r *Report, clique *analyze.Clique, v *analyze.RecView) Verdict {
+	if !v.IsAgg() {
+		return VerdictNotApplicable
+	}
+	if len(clique.Views) > 1 {
+		r.add(Diagnostic{
+			Code: "RV003", Severity: SeverityWarning, View: v.Name,
+			Message: fmt.Sprintf("cannot certify %s() statically: %s belongs to a mutually recursive clique of %d views", v.Agg, v.Name, len(clique.Views)),
+			Hint:    "static certification covers single-view cliques; validate with the dynamic GPtest (premcheck)",
+		})
+		return VerdictInconclusive
+	}
+	switch v.Agg {
+	case types.AggMin, types.AggMax:
+		return certifyExtremum(r, v)
+	default:
+		return certifyAdditive(r, v)
+	}
+}
+
+// verdictTracker accumulates per-rule findings, keeping the worst verdict.
+type verdictTracker struct {
+	verdict Verdict
+	diags   []Diagnostic
+}
+
+func newTracker() *verdictTracker { return &verdictTracker{verdict: VerdictCertified} }
+
+func (t *verdictTracker) refute(view, rule, msg string) {
+	t.verdict = VerdictRefuted
+	t.diags = append(t.diags, Diagnostic{
+		Code: "RV002", Severity: SeverityError, View: view, Rule: rule,
+		Message: msg,
+		Hint:    "restructure the rule so the aggregate transform and filters are monotone, or compute the aggregate after the recursion (stratified form)",
+	})
+}
+
+func (t *verdictTracker) inconclusive(view, rule, msg string) {
+	if t.verdict == VerdictCertified {
+		t.verdict = VerdictInconclusive
+	}
+	t.diags = append(t.diags, Diagnostic{
+		Code: "RV003", Severity: SeverityWarning, View: view, Rule: rule,
+		Message: msg,
+		Hint:    "outside the statically recognized patterns; validate with the dynamic GPtest (premcheck)",
+	})
+}
+
+func (t *verdictTracker) finish(r *Report, v *analyze.RecView, certifiedMsg string) Verdict {
+	if t.verdict == VerdictCertified {
+		r.add(Diagnostic{
+			Code: "RV001", Severity: SeverityInfo, View: v.Name,
+			Message: certifiedMsg,
+		})
+		return VerdictCertified
+	}
+	for _, d := range t.diags {
+		r.add(d)
+	}
+	return t.verdict
+}
+
+// certifyExtremum statically certifies a min/max head.
+func certifyExtremum(r *Report, v *analyze.RecView) Verdict {
+	t := newTracker()
+	for _, rule := range v.RecRules {
+		label := ruleLabel(v, rule)
+		if len(rule.RecSources) != 1 {
+			t.inconclusive(v.Name, label, "non-linear rule: more than one recursive reference")
+			continue
+		}
+		rec := rule.RecSources[0]
+		// 1. The aggregate head column must transform the running value
+		// monotonically (order-preserving) or ignore it.
+		switch m := monotonicity(rule.Head[v.AggIdx], rec, v.AggIdx); m {
+		case monoDec:
+			t.refute(v.Name, label, fmt.Sprintf(
+				"head transform %s is order-reversing in the running %s value: it maps the group's best value to the worst derived value, so γ(T(R)) ≠ γ(T(γ(R))) whenever a group holds two distinct values",
+				rule.Head[v.AggIdx], v.Agg))
+		case monoUnknown:
+			t.inconclusive(v.Name, label, fmt.Sprintf(
+				"cannot classify the monotonicity of head transform %s in the running %s value", rule.Head[v.AggIdx], v.Agg))
+		}
+		// 2. Group columns must not read the running aggregate.
+		for ci, h := range rule.Head {
+			if ci == v.AggIdx {
+				continue
+			}
+			if refsCol(h, rec, v.AggIdx) {
+				t.inconclusive(v.Name, label, fmt.Sprintf(
+					"group column %q reads the running %s value: grouping would differ between the pre-mapped and stratified versions",
+					v.Schema.Columns[ci].Name, v.Agg))
+			}
+		}
+		// 3. Filters over the running aggregate must be monotone in the
+		// improvement direction.
+		for _, c := range rule.Conjuncts {
+			switch outcome, msg := judgeCondition(c, rec, v.AggIdx, v.Agg == types.AggMax); outcome {
+			case condRefuted:
+				t.refute(v.Name, label, msg)
+			case condInconclusive:
+				t.inconclusive(v.Name, label, msg)
+			}
+		}
+	}
+	return t.finish(r, v, fmt.Sprintf(
+		"PreM certified statically: every recursive rule transforms the running %s monotonically and filters it only in the improvement direction — pushing the aggregate into the fixpoint is safe on every input",
+		v.Agg))
+}
+
+// certifyAdditive statically certifies a count/sum head via the monotonic
+// counting argument: positive contributions, propagated by identity or
+// positive scaling.
+func certifyAdditive(r *Report, v *analyze.RecView) Verdict {
+	t := newTracker()
+	for _, rule := range v.BaseRules {
+		if !positiveContribution(rule.Head[v.AggIdx], rule, v.Agg) {
+			t.inconclusive(v.Name, ruleLabel(v, rule), fmt.Sprintf(
+				"cannot prove the %s contribution %s is positive; negative contributions break the monotonic counting argument",
+				v.Agg, rule.Head[v.AggIdx]))
+		}
+	}
+	for _, rule := range v.RecRules {
+		label := ruleLabel(v, rule)
+		if len(rule.RecSources) != 1 {
+			t.inconclusive(v.Name, label, "non-linear rule: more than one recursive reference")
+			continue
+		}
+		rec := rule.RecSources[0]
+		head := rule.Head[v.AggIdx]
+		switch {
+		case isAggCol(head, rec, v.AggIdx):
+			// Identity propagation (Management, CountPaths).
+		case isPositiveScale(head, rec, v.AggIdx):
+			// Positive scaling (MLM's B * 0.5).
+		case !refsCol(head, rec, v.AggIdx):
+			// A fresh contribution per derivation; must be positive.
+			if !positiveContribution(head, rule, v.Agg) {
+				t.inconclusive(v.Name, label, fmt.Sprintf(
+					"cannot prove the %s contribution %s is positive", v.Agg, head))
+			}
+		default:
+			t.inconclusive(v.Name, label, fmt.Sprintf(
+				"head transform %s is neither the running %s nor a positively scaled copy of it", head, v.Agg))
+		}
+		for ci, h := range rule.Head {
+			if ci != v.AggIdx && refsCol(h, rec, v.AggIdx) {
+				t.inconclusive(v.Name, label, fmt.Sprintf(
+					"group column %q reads the running %s value", v.Schema.Columns[ci].Name, v.Agg))
+			}
+		}
+		// With positive contributions the running total only grows.
+		for _, c := range rule.Conjuncts {
+			switch outcome, msg := judgeCondition(c, rec, v.AggIdx, true); outcome {
+			case condRefuted:
+				t.refute(v.Name, label, msg)
+			case condInconclusive:
+				t.inconclusive(v.Name, label, msg)
+			}
+		}
+	}
+	return t.finish(r, v, fmt.Sprintf(
+		"monotonic %s() certified statically: contributions are positive and propagate by identity or positive scaling (Section 3's monotonic counting argument)", v.Agg))
+}
+
+func isAggCol(e expr.Expr, rec, aggIdx int) bool {
+	c, ok := e.(*expr.Col)
+	return ok && c.Input == rec && c.Idx == aggIdx
+}
+
+// isPositiveScale recognizes agg * k and k * agg for a positive literal k.
+func isPositiveScale(e expr.Expr, rec, aggIdx int) bool {
+	b, ok := e.(*expr.Bin)
+	if !ok || b.Op != ast.OpMul {
+		return false
+	}
+	if isAggCol(b.L, rec, aggIdx) {
+		return litSign(b.R) == +1
+	}
+	if isAggCol(b.R, rec, aggIdx) {
+		return litSign(b.L) == +1
+	}
+	return false
+}
+
+// positiveContribution reports whether a contribution expression is
+// provably positive under the aggregate's contribution semantics: numeric
+// literals must be > 0; for count(), non-numeric contributions count as 1
+// each (Party Attendance counts friend names), which is positive.
+func positiveContribution(e expr.Expr, rule *analyze.Rule, kind types.AggKind) bool {
+	if l, ok := e.(*expr.Lit); ok {
+		return l.V.IsNumeric() && l.V.AsFloat() > 0
+	}
+	if kind == types.AggCount {
+		schemas := make([]types.Schema, len(rule.Sources))
+		for i, s := range rule.Sources {
+			schemas[i] = s.Schema
+		}
+		if expr.InferKind(e, schemas) == types.KindString {
+			return true
+		}
+	}
+	return false
+}
+
+// lintTermination flags count/sum recursion over potentially cyclic
+// sources (RV010): unlike min/max, additive aggregates never converge on a
+// cycle — every loop adds another contribution — and the engine only
+// aborts after exhausting its iteration budget.
+func lintTermination(r *Report, clique *analyze.Clique) {
+	for _, v := range clique.Views {
+		if !v.Agg.Additive() || len(v.RecRules) == 0 {
+			continue
+		}
+		joined := map[string]bool{}
+		var names []string
+		for _, rule := range v.RecRules {
+			for _, s := range rule.Sources {
+				if s.Kind != analyze.SourceRec && !joined[s.Binding] {
+					joined[s.Binding] = true
+					names = append(names, s.Binding)
+				}
+			}
+		}
+		through := ""
+		if len(names) > 0 {
+			through = " through " + joinNames(names)
+		}
+		r.add(Diagnostic{
+			Code: "RV010", Severity: SeverityWarning, View: v.Name,
+			Message: fmt.Sprintf("%s() recursion%s diverges if the underlying derivation graph is cyclic: additive aggregates accumulate around a loop forever and only the engine's iteration/row guard stops them", v.Agg, through),
+			Hint:    "verify the joined source is acyclic (a DAG), or reformulate with a min/max head, which converges on cycles",
+		})
+	}
+}
+
+func joinNames(names []string) string {
+	if len(names) == 1 {
+		return names[0]
+	}
+	return names[0] + ", " + joinNames(names[1:])
+}

@@ -5,6 +5,7 @@ import (
 
 	"github.com/rasql/rasql-go/internal/cluster"
 	"github.com/rasql/rasql-go/internal/relation"
+	"github.com/rasql/rasql-go/internal/sql/vet"
 	"github.com/rasql/rasql-go/internal/types"
 )
 
@@ -48,6 +49,34 @@ type MetricsSnapshot = cluster.Snapshot
 const (
 	PolicyPartitionAware = cluster.PolicyPartitionAware
 	PolicyHybrid         = cluster.PolicyHybrid
+)
+
+// VetReport is the result of Engine.Vet: structured diagnostics (stable
+// RVxxx codes, severities, remediation hints) plus per-view PreM verdicts.
+type VetReport = vet.Report
+
+// VetDiagnostic is one static-analysis finding.
+type VetDiagnostic = vet.Diagnostic
+
+// VetVerdict is the outcome of static PreM certification.
+type VetVerdict = vet.Verdict
+
+// VetSeverity ranks a diagnostic.
+type VetSeverity = vet.Severity
+
+// The static PreM verdicts.
+const (
+	VetNotApplicable = vet.VerdictNotApplicable
+	VetCertified     = vet.VerdictCertified
+	VetRefuted       = vet.VerdictRefuted
+	VetInconclusive  = vet.VerdictInconclusive
+)
+
+// The diagnostic severities.
+const (
+	VetError   = vet.SeverityError
+	VetWarning = vet.SeverityWarning
+	VetInfo    = vet.SeverityInfo
 )
 
 // Int builds an integer value.

@@ -33,6 +33,7 @@ import (
 	"github.com/rasql/rasql-go/internal/sql/exec"
 	"github.com/rasql/rasql-go/internal/sql/optimize"
 	"github.com/rasql/rasql-go/internal/sql/parser"
+	"github.com/rasql/rasql-go/internal/sql/vet"
 )
 
 // Config parameterizes an Engine. The zero value is a working default:
@@ -140,6 +141,37 @@ func (e *Engine) Query(src string) (*relation.Relation, error) {
 		return nil, fmt.Errorf("rasql: script contained no query statement")
 	}
 	return rel, nil
+}
+
+// Vet statically analyzes a script without executing it: every query
+// statement is parsed, analyzed and optimized exactly as Exec would, then
+// run through the vet passes (static PreM certification, termination and
+// plan-hygiene lints). CREATE VIEW statements are registered into a
+// throwaway copy of the catalog, so vetting never mutates the session. The
+// merged report covers every query statement in the script.
+func (e *Engine) Vet(src string) (*vet.Report, error) {
+	stmts, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	cat := e.cat.Clone()
+	rep := &vet.Report{}
+	for _, s := range stmts {
+		if cv, ok := s.(*ast.CreateView); ok {
+			if err := cat.RegisterView(&catalog.ViewDef{
+				Name: cv.Name, Columns: cv.Columns, Query: cv.Query,
+			}); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		prog, err := analyze.Statement(s, cat)
+		if err != nil {
+			return nil, err
+		}
+		rep.Merge(vet.Analyze(optimize.Program(prog)))
+	}
+	return rep, nil
 }
 
 // Run executes an analyzed program: the fixpoint for its recursive clique

@@ -426,3 +426,55 @@ func TestParallelStagesMatchesSequential(t *testing.T) {
 		t.Error("parallel stages changed results")
 	}
 }
+
+// Engine.Vet analyzes without executing or mutating the session: vetting a
+// script that defines views must not poison a later Exec of the same
+// script, and verdicts/severities surface through the public aliases.
+func TestEngineVet(t *testing.T) {
+	eng := rasql.New(rasql.Config{})
+	eng.MustRegister(weightedEdges())
+
+	rep, err := eng.Vet(queries.SSSP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict() != rasql.VetCertified {
+		t.Errorf("SSSP verdict = %v, want certified\n%s", rep.Verdict(), rep)
+	}
+	if rep.HasErrors() {
+		t.Errorf("SSSP vet reported errors\n%s", rep)
+	}
+
+	refuted := `
+WITH recursive path (Dst, min() AS Cost) AS
+    (SELECT 1, 0) UNION
+    (SELECT edge.Dst, edge.Cost - path.Cost
+     FROM path, edge WHERE path.Dst = edge.Src)
+SELECT Dst, Cost FROM path`
+	rep, err = eng.Vet(refuted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict() != rasql.VetRefuted || !rep.HasErrors() {
+		t.Errorf("refuted query: verdict = %v, errors = %v\n%s", rep.Verdict(), rep.HasErrors(), rep)
+	}
+
+	// Coalesce contains a CREATE VIEW; vetting twice and then executing
+	// must all succeed (the view registers into a catalog clone).
+	coalesceEng := rasql.New(rasql.Config{})
+	coalesceEng.MustRegister(relOf("inter",
+		rasql.NewSchema(rasql.Col("S", rasql.KindInt), rasql.Col("E", rasql.KindInt)),
+		iRow(1, 3), iRow(2, 4), iRow(6, 7)))
+	for i := 0; i < 2; i++ {
+		rep, err := coalesceEng.Vet(queries.Coalesce)
+		if err != nil {
+			t.Fatalf("vet %d: %v", i, err)
+		}
+		if rep.Verdict() != rasql.VetCertified {
+			t.Errorf("Coalesce verdict = %v, want certified\n%s", rep.Verdict(), rep)
+		}
+	}
+	if _, err := coalesceEng.Query(queries.Coalesce); err != nil {
+		t.Fatalf("exec after vet: %v", err)
+	}
+}
