@@ -15,10 +15,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"github.com/rasql/rasql-go/internal/bench"
 )
@@ -35,6 +38,7 @@ func main() {
 		quick     = flag.Bool("quick", false, "tiny sizes for smoke runs")
 		md        = flag.Bool("md", false, "markdown output")
 		quiet     = flag.Bool("quiet", false, "suppress progress lines")
+		jsonOut   = flag.String("json", "BENCH_fixpoint.json", "write per-experiment machine-readable results to this file (empty to disable)")
 	)
 	flag.Parse()
 
@@ -59,6 +63,7 @@ func main() {
 	}
 
 	exps := r.Experiments()
+	var records []bench.Record
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		f, ok := exps[id]
@@ -66,11 +71,27 @@ func main() {
 			fmt.Fprintf(os.Stderr, "rasql-bench: unknown experiment %q\n", id)
 			os.Exit(2)
 		}
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
+		r.TakeTotals() // drop counters attributed to prior experiments
+		start := time.Now()
 		tbl, err := f()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rasql-bench: %s: %v\n", id, err)
 			os.Exit(1)
 		}
+		wall := time.Since(start)
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		m := r.TakeTotals()
+		records = append(records, bench.Record{
+			Experiment:     id,
+			WallNanos:      int64(wall),
+			SimNanos:       m.SimNanos,
+			ShuffleBytes:   m.ShuffleBytes,
+			ShuffleRecords: m.ShuffleRecords,
+			Allocs:         after.Mallocs - before.Mallocs,
+		})
 		if *md {
 			fmt.Println(tbl.Markdown())
 			if c, ok := bench.Commentary[id]; ok {
@@ -81,5 +102,21 @@ func main() {
 			fmt.Println(tbl.String())
 		}
 		r.FreeDatasets()
+	}
+
+	if *jsonOut != "" {
+		buf, err := json.MarshalIndent(records, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rasql-bench: marshal results: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonOut, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "rasql-bench: write %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "wrote %s (%d experiments)\n", *jsonOut, len(records))
+		}
 	}
 }

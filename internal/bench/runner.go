@@ -73,6 +73,9 @@ type Runner struct {
 	cfg   Config
 	data  datasetCache
 	trees map[string]*gen.Tree
+	// totals accumulates the metrics of every cluster-backed measurement
+	// since the last TakeTotals, feeding the machine-readable bench output.
+	totals cluster.Snapshot
 }
 
 // NewRunner creates a runner.
@@ -188,8 +191,30 @@ func (r *Runner) timeSim(fn func() (cluster.Snapshot, error)) (time.Duration, er
 		}
 		wall := time.Since(start)
 		total += wall - time.Duration(m.StageWallNanos) + time.Duration(m.SimNanos)
+		r.totals = r.totals.Add(m)
 	}
 	return total / time.Duration(r.cfg.Repeat), nil
+}
+
+// TakeTotals returns the metrics accumulated across all cluster-backed
+// measurements since the previous call, and resets the accumulator. The
+// bench CLI calls it once per experiment to attribute counters.
+func (r *Runner) TakeTotals() cluster.Snapshot {
+	t := r.totals
+	r.totals = cluster.Snapshot{}
+	return t
+}
+
+// Record is one experiment's machine-readable result, emitted by the bench
+// CLI into BENCH_fixpoint.json so the perf trajectory is comparable across
+// changes.
+type Record struct {
+	Experiment     string `json:"experiment"`
+	WallNanos      int64  `json:"wall_nanos"`
+	SimNanos       int64  `json:"sim_nanos"`
+	ShuffleBytes   int64  `json:"shuffle_bytes"`
+	ShuffleRecords int64  `json:"shuffle_records"`
+	Allocs         uint64 `json:"allocs"`
 }
 
 // engineConfig builds a rasql.Config for one of the compared system

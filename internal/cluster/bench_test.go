@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/rasql/rasql-go/internal/types"
+)
+
+// The data-plane micro-benchmarks. Run with
+//
+//	go test -bench=. -benchmem ./internal/cluster/
+//
+// The interesting column is allocs/op: steady-state SetRDD dedup and AggRDD
+// merge should sit at (near) zero — every probe encodes into the key index's
+// reused scratch buffer instead of building a string key.
+
+func benchSchema() types.Schema {
+	return types.NewSchema(
+		types.Col("A", types.KindInt),
+		types.Col("B", types.KindInt),
+		types.Col("W", types.KindFloat),
+		types.Col("L", types.KindString), // string column defeats packed-key fast paths
+	)
+}
+
+func benchClusterRows(n int) []types.Row {
+	labels := []string{"red", "green", "blue"}
+	rows := make([]types.Row, n)
+	for i := range rows {
+		rows[i] = types.Row{
+			types.Int(int64(i)),
+			types.Int(int64(i % 37)),
+			types.Float(float64(i) * 0.25),
+			types.Str(labels[i%len(labels)]),
+		}
+	}
+	return rows
+}
+
+func BenchmarkSetRDDInsert(b *testing.B) {
+	c := newTestCluster(1, 1)
+	rows := benchClusterRows(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := c.NewSetRDDN(benchSchema(), 1)
+		if got := s.Merge(0, rows); len(got) != len(rows) {
+			b.Fatalf("fresh merge kept %d of %d rows", len(got), len(rows))
+		}
+	}
+}
+
+func BenchmarkSetRDDDedup(b *testing.B) {
+	c := newTestCluster(1, 1)
+	rows := benchClusterRows(4096)
+	s := c.NewSetRDDN(benchSchema(), 1)
+	s.Merge(0, rows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := s.Merge(0, rows); len(got) != 0 {
+			b.Fatalf("dedup let %d duplicates through", len(got))
+		}
+	}
+}
+
+func BenchmarkAggRDDMerge(b *testing.B) {
+	c := newTestCluster(1, 1)
+	// Contributions: many rows folding into few groups keyed on (B, L).
+	rows := benchClusterRows(4096)
+	a := c.NewAggRDDN(benchSchema(), []int{1, 3}, 2, types.AggMin, 1)
+	a.Merge(0, benchClusterRows(4096)) // pre-seed so iterations hit existing groups
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Merge(0, rows) // same candidates: no improvement, pure probe cost
+	}
+}
+
+func BenchmarkShuffleRoundTrip(b *testing.B) {
+	c := newTestCluster(4, 4)
+	rows := benchClusterRows(4096)
+	targets := 4
+	out := make([][]types.Row, targets)
+	for i, r := range rows {
+		t := i % targets
+		out[t] = append(out[t], r)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sh := c.NewShuffle(targets)
+		for w := 0; w < 4; w++ {
+			sh.Add(out, w)
+		}
+		n := 0
+		for t := 0; t < targets; t++ {
+			n += len(sh.FetchTarget(t, t%4))
+		}
+		if n != 4*len(rows) {
+			b.Fatalf("round trip moved %d rows, want %d", n, 4*len(rows))
+		}
+	}
+}
+
+func BenchmarkRowTableProbe(b *testing.B) {
+	rows := benchClusterRows(4096)
+	t := BuildRowTable(rows, []int{1, 3})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hits := 0
+		for _, r := range rows {
+			hits += len(t.ProbeRow(r, []int{1, 3}))
+		}
+		if hits == 0 {
+			b.Fatal("no probe hits")
+		}
+	}
+}

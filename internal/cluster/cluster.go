@@ -73,13 +73,14 @@ type Config struct {
 	// the Myria comparator profile, which the paper describes as fast on
 	// small inputs but poorly scaling on large ones).
 	ShufflePenaltyOpsPerByte int
-	// ParallelStages runs each stage's worker queues on real goroutines.
-	// The default (false) runs them sequentially and records simulated
-	// elapsed time as the maximum per-worker time of each stage — the
-	// standard simulator discipline, which keeps scaling experiments
-	// meaningful on machines with few cores. Wall-clock-oriented callers
-	// on big multicore hosts can opt in to real parallelism.
-	ParallelStages bool
+	// SequentialStages runs each stage's worker queues one after another on
+	// the driver goroutine instead of the default of one goroutine per
+	// worker. Both modes record simulated elapsed time (SimNanos) as the
+	// maximum per-worker busy time of each stage — what a real cluster's
+	// stage barrier waits for — so scaling experiments stay meaningful
+	// either way; sequential mode exists for debugging and for deterministic
+	// single-threaded profiling.
+	SequentialStages bool
 }
 
 func (c Config) withDefaults() Config {
@@ -113,6 +114,9 @@ type Cluster struct {
 	// task placement, modeling executors picking up whichever task is
 	// next when they free up.
 	stageSeq int
+	// queues is per-worker task-queue scratch reused across stages (the
+	// stage barrier guarantees no queue outlives its RunStage call).
+	queues [][]Task
 }
 
 // New creates a cluster from the config (zero values get defaults).
@@ -140,26 +144,54 @@ type Task struct {
 }
 
 // RunStage places the tasks per the scheduling policy and executes them,
-// each simulated worker draining its queue sequentially. In the default
-// sequential mode the workers run one after another and the stage
-// contributes max(per-worker time) to the simulated clock (SimNanos) —
-// what a real cluster's stage barrier would wait for. With ParallelStages
-// the queues run on goroutines and the stage's wall time is used instead.
-// The name is for debugging/tracing only.
+// each simulated worker draining its queue sequentially. By default the
+// worker queues run on real goroutines; with SequentialStages they run one
+// after another on the caller. Either way the stage contributes
+// max(per-worker busy time) to the simulated clock (SimNanos) — what a real
+// cluster's stage barrier would wait for — so the simulated clock is
+// independent of how many queues actually overlap on the host. The name is
+// for debugging/tracing only.
 func (c *Cluster) RunStage(name string, tasks []Task) {
 	c.Metrics.StagesRun.Add(1)
 	c.Metrics.TasksRun.Add(int64(len(tasks)))
 	seq := c.stageSeq
 	c.stageSeq++
 
-	queues := make([][]Task, c.cfg.Workers)
+	if len(c.queues) != c.cfg.Workers {
+		c.queues = make([][]Task, c.cfg.Workers)
+	}
+	queues := c.queues
+	for i := range queues {
+		queues[i] = queues[i][:0]
+	}
 	for _, t := range tasks {
 		w := c.place(t, seq)
 		queues[w] = append(queues[w], t)
 	}
 
 	start := time.Now()
-	if c.cfg.ParallelStages {
+	var slowest atomic.Int64
+	runQueue := func(w int, q []Task) {
+		t0 := time.Now()
+		for _, t := range q {
+			burn(c.cfg.StageOverheadOps)
+			t.Run(w)
+		}
+		d := int64(time.Since(t0))
+		for {
+			cur := slowest.Load()
+			if d <= cur || slowest.CompareAndSwap(cur, d) {
+				break
+			}
+		}
+	}
+	if c.cfg.SequentialStages {
+		for w, q := range queues {
+			if len(q) > 0 {
+				runQueue(w, q)
+			}
+		}
+	} else {
 		var wg sync.WaitGroup
 		for w, q := range queues {
 			if len(q) == 0 {
@@ -168,35 +200,13 @@ func (c *Cluster) RunStage(name string, tasks []Task) {
 			wg.Add(1)
 			go func(w int, q []Task) {
 				defer wg.Done()
-				for _, t := range q {
-					burn(c.cfg.StageOverheadOps)
-					t.Run(w)
-				}
+				runQueue(w, q)
 			}(w, q)
 		}
 		wg.Wait()
-		wall := time.Since(start)
-		c.Metrics.StageWallNanos.Add(int64(wall))
-		c.Metrics.SimNanos.Add(int64(wall))
-		return
-	}
-
-	var slowest time.Duration
-	for w, q := range queues {
-		if len(q) == 0 {
-			continue
-		}
-		t0 := time.Now()
-		for _, t := range q {
-			burn(c.cfg.StageOverheadOps)
-			t.Run(w)
-		}
-		if d := time.Since(t0); d > slowest {
-			slowest = d
-		}
 	}
 	c.Metrics.StageWallNanos.Add(int64(time.Since(start)))
-	c.Metrics.SimNanos.Add(int64(slowest))
+	c.Metrics.SimNanos.Add(slowest.Load())
 }
 
 func (c *Cluster) place(t Task, seq int) int {
@@ -232,11 +242,13 @@ func (c *Cluster) transfer(rows []types.Row) []types.Row {
 	if len(rows) == 0 {
 		return nil
 	}
-	buf := types.EncodeRows(rows)
-	c.Metrics.RemoteFetchBytes.Add(int64(len(buf)))
-	out, err := types.DecodeRows(buf)
+	bp := getEncBuf()
+	*bp = types.AppendRows((*bp)[:0], rows)
+	c.Metrics.RemoteFetchBytes.Add(int64(len(*bp)))
+	out, err := types.DecodeRowsAppend(make([]types.Row, 0, len(rows)), *bp)
+	putEncBuf(bp)
 	if err != nil {
-		// The buffer was produced by EncodeRows in the same process; a
+		// The buffer was produced by AppendRows in the same process; a
 		// decode failure is a programming error, not an I/O condition.
 		panic(fmt.Sprintf("cluster: internal wire corruption: %v", err))
 	}

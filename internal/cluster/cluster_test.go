@@ -215,7 +215,7 @@ func TestMetricsSnapshotSubAndReset(t *testing.T) {
 }
 
 func TestParallelStagesExecuteAllTasks(t *testing.T) {
-	c := New(Config{Workers: 4, Partitions: 8, StageOverheadOps: -1, ParallelStages: true})
+	c := newTestCluster(4, 8) // default mode: parallel
 	var ran atomic.Int64
 	tasks := make([]Task, 16)
 	for i := range tasks {
@@ -226,7 +226,7 @@ func TestParallelStagesExecuteAllTasks(t *testing.T) {
 		t.Errorf("ran %d tasks, want 16", ran.Load())
 	}
 	if c.Metrics.Snapshot().SimNanos == 0 {
-		t.Error("parallel mode should record stage wall as sim time")
+		t.Error("parallel mode should record max per-worker busy time as sim time")
 	}
 }
 
@@ -235,8 +235,8 @@ func TestParallelExchangeMatchesSequential(t *testing.T) {
 	for i := int64(0); i < 500; i++ {
 		rel.Append(types.Row{types.Int(i), types.Int(i % 13)})
 	}
-	seq := newTestCluster(4, 8)
-	par := New(Config{Workers: 4, Partitions: 8, StageOverheadOps: -1, ParallelStages: true})
+	seq := New(Config{Workers: 4, Partitions: 8, StageOverheadOps: -1, SequentialStages: true})
+	par := newTestCluster(4, 8)
 	a := seq.Collect(seq.Exchange("x", seq.Partition(rel, []int{0}), []int{1}), "a")
 	b := par.Collect(par.Exchange("x", par.Partition(rel, []int{0}), []int{1}), "b")
 	if !a.EqualAsBag(b) {

@@ -73,6 +73,22 @@ func (m *Metrics) Reset() {
 	m.StageWallNanos.Store(0)
 }
 
+// Add returns the counter-wise sum s + o (accumulating totals across runs).
+func (s Snapshot) Add(o Snapshot) Snapshot {
+	return Snapshot{
+		StagesRun:        s.StagesRun + o.StagesRun,
+		TasksRun:         s.TasksRun + o.TasksRun,
+		ShuffleRecords:   s.ShuffleRecords + o.ShuffleRecords,
+		ShuffleBytes:     s.ShuffleBytes + o.ShuffleBytes,
+		RemoteFetchBytes: s.RemoteFetchBytes + o.RemoteFetchBytes,
+		LocalFetchRows:   s.LocalFetchRows + o.LocalFetchRows,
+		BroadcastBytes:   s.BroadcastBytes + o.BroadcastBytes,
+		Iterations:       s.Iterations + o.Iterations,
+		SimNanos:         s.SimNanos + o.SimNanos,
+		StageWallNanos:   s.StageWallNanos + o.StageWallNanos,
+	}
+}
+
 // Sub returns the delta s - o, counter-wise.
 func (s Snapshot) Sub(o Snapshot) Snapshot {
 	return Snapshot{

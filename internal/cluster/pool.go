@@ -1,0 +1,21 @@
+package cluster
+
+import "sync"
+
+// encBufPool recycles wire-encoding buffers across shuffle writes, remote
+// fetches and broadcasts, so steady-state iterations serialize into warm
+// buffers instead of allocating fresh ones. DecodeRowsAppend copies string
+// payloads out of its input, which is what makes immediate recycling safe.
+var encBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+func getEncBuf() *[]byte { return encBufPool.Get().(*[]byte) }
+
+func putEncBuf(b *[]byte) {
+	*b = (*b)[:0]
+	encBufPool.Put(b)
+}

@@ -1,8 +1,6 @@
 package cluster
 
 import (
-	"sync"
-
 	"github.com/rasql/rasql-go/internal/types"
 )
 
@@ -10,72 +8,106 @@ import (
 // reduce side. Buckets produced on the same worker that consumes them are
 // handed over for free; buckets crossing workers pay the wire round trip —
 // the same cost model as Spark's shuffle fetch.
+//
+// The shuffle is sharded by producer: each map task appends only to its own
+// worker's shard, so Add needs no lock — the cluster runs one goroutine per
+// worker, and the stage barrier publishes all shards to the reduce side.
+// Rows are serialized once, at Add time (Spark likewise writes shuffle files
+// map-side), into pooled buffers that FetchTarget recycles after decoding.
+// Consequently each target may be fetched at most once, which matches the
+// one-reduce-task-per-partition execution model.
 type Shuffle struct {
-	c  *Cluster
-	mu sync.Mutex
-	// buckets[target] lists the buckets destined for target partition.
-	buckets [][]bucket
+	c       *Cluster
+	targets int
+	// shards[producer+1] holds the buckets written by that producer
+	// (index 0 is the driver, producer == -1).
+	shards []shuffleShard
 }
 
-type bucket struct {
-	rows     []types.Row
+type shuffleShard struct {
+	// buckets[target] lists the encoded buckets destined for that target.
+	buckets [][]encBucket
+}
+
+type encBucket struct {
+	buf      *[]byte // pooled wire encoding of the bucket's rows
+	n        int     // row count
 	producer int
 }
 
 // NewShuffle creates a shuffle with the given number of target partitions.
 func (c *Cluster) NewShuffle(targets int) *Shuffle {
-	return &Shuffle{c: c, buckets: make([][]bucket, targets)}
+	s := &Shuffle{c: c, targets: targets, shards: make([]shuffleShard, c.cfg.Workers+1)}
+	for i := range s.shards {
+		s.shards[i].buckets = make([][]encBucket, targets)
+	}
+	return s
 }
 
 // Add registers one map task's output: out[t] holds the rows destined for
-// target partition t, produced on the given worker. Safe for concurrent use
-// by map tasks.
+// target partition t, produced on the given worker (-1 for the driver).
+// Rows are encoded into pooled buffers immediately — the map-side shuffle
+// write — and the bytes are counted here, once per shuffled bucket. Safe for
+// concurrent map tasks because each producer owns its shard exclusively.
 func (s *Shuffle) Add(out [][]types.Row, producer int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	records := 0
+	sh := &s.shards[producer+1]
+	records, bytes := 0, 0
 	for t, rows := range out {
 		if len(rows) == 0 {
 			continue
 		}
 		records += len(rows)
-		s.buckets[t] = append(s.buckets[t], bucket{rows: rows, producer: producer})
+		bp := getEncBuf()
+		*bp = types.AppendRows((*bp)[:0], rows)
+		bytes += len(*bp)
+		sh.buckets[t] = append(sh.buckets[t], encBucket{buf: bp, n: len(rows), producer: producer})
 	}
 	s.c.Metrics.ShuffleRecords.Add(int64(records))
+	s.c.Metrics.ShuffleBytes.Add(int64(bytes))
 }
 
 // FetchTarget materializes all rows destined for target partition t on the
-// given reduce worker. Every bucket pays the serialize/deserialize round
-// trip — Spark writes shuffle output to serialized shuffle files even for
-// same-node readers — and cross-worker buckets additionally count as
-// network traffic (and incur the configured communication penalty).
+// given reduce worker. Every bucket pays the deserialize half of the round
+// trip (the serialize half was paid at Add), and cross-worker buckets
+// additionally count as network traffic (and incur the configured
+// communication penalty). The bucket buffers are recycled, so each target
+// may be fetched at most once.
 func (s *Shuffle) FetchTarget(t, onWorker int) []types.Row {
-	s.mu.Lock()
-	bs := s.buckets[t]
-	s.mu.Unlock()
-	var out []types.Row
-	for _, b := range bs {
-		buf := types.EncodeRows(b.rows)
-		s.c.Metrics.ShuffleBytes.Add(int64(len(buf)))
-		if b.producer == onWorker {
-			s.c.Metrics.LocalFetchRows.Add(int64(len(b.rows)))
-		} else {
-			s.c.Metrics.RemoteFetchBytes.Add(int64(len(buf)))
-			if p := s.c.cfg.ShufflePenaltyOpsPerByte; p > 0 {
-				burn(p * len(buf))
+	total := 0
+	for i := range s.shards {
+		for _, b := range s.shards[i].buckets[t] {
+			total += b.n
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]types.Row, 0, total)
+	for i := range s.shards {
+		for _, b := range s.shards[i].buckets[t] {
+			buf := *b.buf
+			if b.producer == onWorker {
+				s.c.Metrics.LocalFetchRows.Add(int64(b.n))
+			} else {
+				s.c.Metrics.RemoteFetchBytes.Add(int64(len(buf)))
+				if p := s.c.cfg.ShufflePenaltyOpsPerByte; p > 0 {
+					burn(p * len(buf))
+				}
 			}
+			var err error
+			out, err = types.DecodeRowsAppend(out, buf)
+			if err != nil {
+				panic("cluster: shuffle wire corruption: " + err.Error())
+			}
+			putEncBuf(b.buf)
 		}
-		rows, err := types.DecodeRows(buf)
-		if err != nil {
-			panic("cluster: shuffle wire corruption: " + err.Error())
-		}
-		out = append(out, rows...)
+		s.shards[i].buckets[t] = nil
 	}
 	return out
 }
 
 // TargetCount returns the number of target partitions.
-func (s *Shuffle) TargetCount() int { return len(s.buckets) }
+func (s *Shuffle) TargetCount() int { return s.targets }
 
 // Exchange repartitions input onto key columns: a map stage routes each row
 // by hash of the key, and a reduce stage materializes the target partitions.

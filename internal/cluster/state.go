@@ -9,6 +9,13 @@ import (
 // set cached on its owner worker, so the per-iteration union/set-difference
 // only pays for genuinely new tuples instead of copying the whole RDD.
 //
+// Each partition's set is a keyIndex over binary row keys: dedup probes
+// encode into the index's scratch buffer and compare raw bytes, so the
+// steady-state hot path (duplicate rows arriving after the first iteration)
+// does zero heap allocation. The index's dense ids parallel the partition's
+// row slice — entry i is rows[part][i] — which is what makes checkpoints
+// O(1) below.
+//
 // When the cluster is configured with ImmutableState the merge instead
 // copies the full partition contents every iteration — vanilla immutable
 // RDD behaviour, kept for the ablation benchmark.
@@ -17,13 +24,8 @@ type SetRDD struct {
 	Owner  []int
 
 	c    *Cluster
-	sets []map[string]struct{}
-	// packed holds exact fixed-size keys for all-numeric schemas of up to
-	// three columns (no per-row string allocation); rows that fail to
-	// pack (e.g. NULLs) overflow into sets.
-	packed  []map[types.PackedKey]struct{}
-	allCols []int
-	rows    [][]types.Row
+	idx  []*keyIndex
+	rows [][]types.Row
 }
 
 // NewSetRDD creates an empty SetRDD with the cluster's default partitions.
@@ -37,55 +39,30 @@ func (c *Cluster) NewSetRDDN(schema types.Schema, parts int) *SetRDD {
 		Schema: schema,
 		Owner:  make([]int, parts),
 		c:      c,
-		sets:   make([]map[string]struct{}, parts),
+		idx:    make([]*keyIndex, parts),
 		rows:   make([][]types.Row, parts),
-	}
-	if schema.Len() <= 3 && types.AllNumeric(schema) {
-		s.packed = make([]map[types.PackedKey]struct{}, parts)
-		s.allCols = make([]int, schema.Len())
-		for i := range s.allCols {
-			s.allCols[i] = i
-		}
 	}
 	for i := range s.Owner {
 		s.Owner[i] = c.DefaultOwner(i)
-		s.sets[i] = make(map[string]struct{})
-		if s.packed != nil {
-			s.packed[i] = make(map[types.PackedKey]struct{})
-		}
+		s.idx[i] = newKeyIndex()
 	}
 	return s
 }
 
 // add inserts the row's key if absent, reporting whether it was new.
 func (s *SetRDD) add(part int, r types.Row) bool {
-	if s.packed != nil {
-		if k, ok := types.PackRow(r, s.allCols); ok {
-			if _, dup := s.packed[part][k]; dup {
-				return false
-			}
-			s.packed[part][k] = struct{}{}
-			return true
-		}
-	}
-	k := types.RowKeyString(r)
-	if _, dup := s.sets[part][k]; dup {
-		return false
-	}
-	s.sets[part][k] = struct{}{}
-	return true
+	x := s.idx[part]
+	b, h := x.encRowKey(r)
+	_, inserted := x.getOrInsert(b, h)
+	return inserted
 }
 
 // has reports membership without inserting.
 func (s *SetRDD) has(part int, r types.Row) bool {
-	if s.packed != nil {
-		if k, ok := types.PackRow(r, s.allCols); ok {
-			_, dup := s.packed[part][k]
-			return dup
-		}
-	}
-	_, dup := s.sets[part][types.RowKeyString(r)]
-	return dup
+	x := s.idx[part]
+	b, h := x.encRowKey(r)
+	_, ok := x.get(b, h)
+	return ok
 }
 
 // Merge set-differences incoming against partition part and unions the
@@ -93,20 +70,9 @@ func (s *SetRDD) has(part int, r types.Row) bool {
 // be called from the task that owns the partition.
 func (s *SetRDD) Merge(part int, incoming []types.Row) []types.Row {
 	if s.c.cfg.ImmutableState {
-		// Simulate an immutable union: rebuild the partition's set and
+		// Simulate an immutable union: rebuild the partition's index and
 		// row storage from scratch, copying all previous data.
-		newSet := make(map[string]struct{}, len(s.sets[part])+len(incoming))
-		for k := range s.sets[part] {
-			newSet[k] = struct{}{}
-		}
-		s.sets[part] = newSet
-		if s.packed != nil {
-			newPacked := make(map[types.PackedKey]struct{}, len(s.packed[part])+len(incoming))
-			for k := range s.packed[part] {
-				newPacked[k] = struct{}{}
-			}
-			s.packed[part] = newPacked
-		}
+		s.idx[part] = s.idx[part].clone()
 		newRows := make([]types.Row, len(s.rows[part]), len(s.rows[part])+len(incoming))
 		copy(newRows, s.rows[part])
 		s.rows[part] = newRows
@@ -150,6 +116,9 @@ func (s *SetRDD) NumPartitions() int { return len(s.rows) }
 // groups that are new or whose value improved (min/max) or changed
 // (sum/count) this iteration, which is exactly the paper's Algorithm 5
 // Reduce stage.
+//
+// Group lookup rides the same binary-key keyIndex as SetRDD: the index maps
+// a group's key bytes to its dense entry id, and entry i is rows[part][i].
 type AggRDD struct {
 	Schema types.Schema
 	// Key holds the group-by column indices (all head columns except the
@@ -162,11 +131,8 @@ type AggRDD struct {
 	Owner []int
 
 	c    *Cluster
-	maps []map[string]int // group key -> index into entries[part]
-	// pmaps holds exact packed keys when the group columns are numeric
-	// and at most three; rows that fail to pack overflow into maps.
-	pmaps []map[types.PackedKey]int
-	rows  [][]types.Row // entry rows, value column holds the running total/extremum
+	idx  []*keyIndex
+	rows [][]types.Row // entry rows, value column holds the running total/extremum
 }
 
 // AggDelta is the delta produced by one AggRDD merge: the updated rows
@@ -197,51 +163,21 @@ func (c *Cluster) NewAggRDDN(schema types.Schema, key []int, valIdx int, kind ty
 		Kind:   kind,
 		Owner:  make([]int, parts),
 		c:      c,
-		maps:   make([]map[string]int, parts),
+		idx:    make([]*keyIndex, parts),
 		rows:   make([][]types.Row, parts),
-	}
-	packable := len(key) <= 3
-	for _, kc := range key {
-		switch schema.Columns[kc].Type {
-		case types.KindInt, types.KindFloat, types.KindBool:
-		default:
-			packable = false
-		}
-	}
-	if packable {
-		a.pmaps = make([]map[types.PackedKey]int, parts)
 	}
 	for i := range a.Owner {
 		a.Owner[i] = c.DefaultOwner(i)
-		a.maps[i] = make(map[string]int)
-		if a.pmaps != nil {
-			a.pmaps[i] = make(map[types.PackedKey]int)
-		}
+		a.idx[i] = newKeyIndex()
 	}
 	return a
 }
 
-// lookup finds the entry index for a row's group key; insert registers a
-// new index under the same key.
+// lookup finds the entry index for a row's group key.
 func (a *AggRDD) lookup(part int, r types.Row) (int, bool) {
-	if a.pmaps != nil {
-		if k, ok := types.PackRow(r, a.Key); ok {
-			idx, hit := a.pmaps[part][k]
-			return idx, hit
-		}
-	}
-	idx, hit := a.maps[part][types.KeyString(r, a.Key)]
-	return idx, hit
-}
-
-func (a *AggRDD) insert(part int, r types.Row, idx int) {
-	if a.pmaps != nil {
-		if k, ok := types.PackRow(r, a.Key); ok {
-			a.pmaps[part][k] = idx
-			return
-		}
-	}
-	a.maps[part][types.KeyString(r, a.Key)] = idx
+	x := a.idx[part]
+	b, h := x.encKey(r, a.Key)
+	return x.get(b, h)
 }
 
 // Merge folds incoming contribution rows into partition part. For min/max
@@ -259,14 +195,18 @@ func (a *AggRDD) Merge(part int, incoming []types.Row) AggDelta {
 	}
 	var d AggDelta
 	additive := a.Kind.Additive()
+	x := a.idx[part] // after the ImmutableState clone above
 	for _, r := range incoming {
 		v := r[a.ValIdx]
-		idx, ok := a.lookup(part, r)
+		// Encode the group key once; the scratch bytes stay valid through
+		// the get, so a miss reuses them for the insert.
+		b, h := x.encKey(r, a.Key)
+		idx, ok := x.get(b, h)
 		if !ok {
 			if additive && v.AsFloat() == 0 {
 				continue // zero increment on a fresh group derives nothing
 			}
-			a.insert(part, r, len(a.rows[part]))
+			x.getOrInsert(b, h)
 			a.rows[part] = append(a.rows[part], r)
 			d.Rows = append(d.Rows, r)
 			d.News = append(d.News, true)
@@ -297,24 +237,13 @@ func (a *AggRDD) Merge(part int, incoming []types.Row) AggDelta {
 }
 
 // copyPartition simulates an immutable-RDD union by duplicating the
-// partition's entire map and row storage before mutation.
+// partition's entire index and row storage before mutation.
 func (a *AggRDD) copyPartition(part int) {
-	nm := make(map[string]int, len(a.maps[part]))
-	for k, v := range a.maps[part] {
-		nm[k] = v
-	}
-	if a.pmaps != nil {
-		np := make(map[types.PackedKey]int, len(a.pmaps[part]))
-		for k, v := range a.pmaps[part] {
-			np[k] = v
-		}
-		a.pmaps[part] = np
-	}
+	a.idx[part] = a.idx[part].clone()
 	nr := make([]types.Row, len(a.rows[part]))
 	for i, r := range a.rows[part] {
 		nr[i] = r.Clone()
 	}
-	a.maps[part] = nm
 	a.rows[part] = nr
 }
 
@@ -347,55 +276,38 @@ func (a *AggRDD) NumPartitions() int { return len(a.rows) }
 // The paper's Section 6.1 argues SetRDD's mutability does not compromise
 // fault recovery: the accumulated state acts as a checkpoint, so a failure
 // replays only the current iteration's job. Checkpoint/Restore implement
-// that mechanism — a cheap per-partition snapshot taken before a merge,
-// restored if the task must be replayed. Snapshots share row storage with
-// the live state (rows are only appended or have their value column
-// replaced), so a checkpoint costs O(partition size) pointer copies, not a
-// deep clone.
+// that mechanism — a per-partition snapshot taken before a merge, restored
+// if the task must be replayed. Because the key index assigns dense
+// insertion-ordered ids that parallel the append-only row slice, a
+// checkpoint is just the partition's length (plus saved aggregate values
+// for AggRDD); Restore truncates the index back to it. The snapshot itself
+// is O(1) — the rebuild cost moves to the failure-replay path.
 
 // SetCheckpoint captures one SetRDD partition's state.
 type SetCheckpoint struct {
 	part   int
 	rowLen int
-	set    map[string]struct{}
-	packed map[types.PackedKey]struct{}
 }
 
 // Checkpoint snapshots a partition before a merge.
 func (s *SetRDD) Checkpoint(part int) *SetCheckpoint {
-	cp := &SetCheckpoint{part: part, rowLen: len(s.rows[part])}
-	cp.set = make(map[string]struct{}, len(s.sets[part]))
-	for k := range s.sets[part] {
-		cp.set[k] = struct{}{}
-	}
-	if s.packed != nil {
-		cp.packed = make(map[types.PackedKey]struct{}, len(s.packed[part]))
-		for k := range s.packed[part] {
-			cp.packed[k] = struct{}{}
-		}
-	}
-	return cp
+	return &SetCheckpoint{part: part, rowLen: len(s.rows[part])}
 }
 
 // Restore rolls the partition back to the checkpoint, undoing any merges
 // applied since.
 func (s *SetRDD) Restore(cp *SetCheckpoint) {
 	s.rows[cp.part] = s.rows[cp.part][:cp.rowLen]
-	s.sets[cp.part] = cp.set
-	if s.packed != nil {
-		s.packed[cp.part] = cp.packed
-	}
+	s.idx[cp.part].truncate(cp.rowLen)
 }
 
-// AggCheckpoint captures one AggRDD partition's state: the group index
+// AggCheckpoint captures one AggRDD partition's state: the partition length
 // plus the aggregate values (rows themselves are updated in place, so the
 // values must be saved).
 type AggCheckpoint struct {
 	part   int
 	rowLen int
 	vals   []types.Value
-	m      map[string]int
-	pm     map[types.PackedKey]int
 }
 
 // Checkpoint snapshots a partition before a merge.
@@ -405,16 +317,6 @@ func (a *AggRDD) Checkpoint(part int) *AggCheckpoint {
 	for i, r := range a.rows[part] {
 		cp.vals[i] = r[a.ValIdx]
 	}
-	cp.m = make(map[string]int, len(a.maps[part]))
-	for k, v := range a.maps[part] {
-		cp.m[k] = v
-	}
-	if a.pmaps != nil {
-		cp.pm = make(map[types.PackedKey]int, len(a.pmaps[part]))
-		for k, v := range a.pmaps[part] {
-			cp.pm[k] = v
-		}
-	}
 	return cp
 }
 
@@ -422,11 +324,8 @@ func (a *AggRDD) Checkpoint(part int) *AggCheckpoint {
 // are dropped and updated aggregate values are reverted.
 func (a *AggRDD) Restore(cp *AggCheckpoint) {
 	a.rows[cp.part] = a.rows[cp.part][:cp.rowLen]
+	a.idx[cp.part].truncate(cp.rowLen)
 	for i, v := range cp.vals {
 		a.rows[cp.part][i][a.ValIdx] = v
-	}
-	a.maps[cp.part] = cp.m
-	if a.pmaps != nil {
-		a.pmaps[cp.part] = cp.pm
 	}
 }

@@ -2,95 +2,134 @@ package cluster
 
 import "github.com/rasql/rasql-go/internal/types"
 
-// RowTable is a hash table over rows keyed by a column subset. Keys of up
-// to three numeric columns use exact packed 64-bit keys (no per-probe
-// string allocation — the data-layout half of whole-stage code
-// generation); anything else falls back to encoded string keys.
+// RowTable is the hash-join build side: rows indexed by a column subset,
+// probed for the bucket of rows matching a key. Unlike the incremental
+// keyIndex that backs SetRDD/AggRDD, a RowTable sees all of its rows up
+// front (the hybrid scheduling policy rebuilds co-partitioned tables after
+// every remote fetch, so builds are hot), which admits a leaner layout:
+//
+//   - the slot table is sized once from len(rows), so it never rehashes;
+//   - keys are hashed straight from their Values (types.HashRowKey) and
+//     compared against a representative row per bucket with Value.Equal —
+//     no wire encoding, no key arena;
+//   - each slot packs the bucket id with a 32-bit hash tag, so a probe
+//     touches one cache line per step and only compares values on a tag
+//     hit.
+//
+// Hash and equality both normalize numerics (Int(3) matches Float(3.0)).
+// Probes are read-only and allocation-free, safe from any goroutine once
+// the build returns.
 type RowTable struct {
-	cols   []int
-	packed map[types.PackedKey][]types.Row
-	byStr  map[string][]types.Row
+	cols []int
+	// slots is open-addressed: (bucket+1)<<32 | uint32(hash), 0 = empty;
+	// len is a power of two chosen at build so load stays under 1/2.
+	slots   []uint64
+	mask    uint64
+	repr    []types.Row   // representative (first) row per bucket
+	buckets [][]types.Row // all rows per distinct key
+	rows    []types.Row   // the build input, for re-shipping
 }
 
 // BuildRowTable indexes rows on the given key columns.
 func BuildRowTable(rows []types.Row, cols []int) *RowTable {
-	t := &RowTable{cols: append([]int(nil), cols...)}
-	if len(cols) <= 3 {
-		t.packed = make(map[types.PackedKey][]types.Row, len(rows))
-		ok := true
-		for _, r := range rows {
-			k, isNum := types.PackRow(r, cols)
-			if !isNum {
-				ok = false
+	t := &RowTable{cols: append([]int(nil), cols...), rows: rows}
+	if len(rows) == 0 {
+		return t
+	}
+	nslots := 8
+	for nslots < 2*len(rows) {
+		nslots <<= 1
+	}
+	t.slots = make([]uint64, nslots)
+	t.mask = uint64(nslots - 1)
+	t.repr = make([]types.Row, 0, len(rows))
+	t.buckets = make([][]types.Row, 0, len(rows))
+	for _, r := range rows {
+		h := types.HashRowKey(r, cols)
+		s := h & t.mask
+		for {
+			slot := t.slots[s]
+			if slot == 0 {
+				e := len(t.buckets)
+				t.repr = append(t.repr, r)
+				t.buckets = append(t.buckets, []types.Row{r})
+				t.slots[s] = uint64(e+1)<<32 | uint64(uint32(h))
 				break
 			}
-			t.packed[k] = append(t.packed[k], r)
+			if uint32(slot) == uint32(h) {
+				e := int(slot>>32) - 1
+				if keyEqual(t.repr[e], cols, r, cols) {
+					t.buckets[e] = append(t.buckets[e], r)
+					break
+				}
+			}
+			s = (s + 1) & t.mask
 		}
-		if ok {
-			return t
-		}
-		t.packed = nil
-	}
-	t.byStr = make(map[string][]types.Row, len(rows))
-	for _, r := range rows {
-		k := types.KeyString(r, cols)
-		t.byStr[k] = append(t.byStr[k], r)
 	}
 	return t
+}
+
+// keyEqual reports whether a's values at acols equal b's at bcols.
+func keyEqual(a types.Row, acols []int, b types.Row, bcols []int) bool {
+	for i, c := range acols {
+		if !a[c].Equal(b[bcols[i]]) {
+			return false
+		}
+	}
+	return true
 }
 
 // ProbeRow returns the bucket matching the probe row's values at probeCols
 // (aligned with the table's key columns).
 func (t *RowTable) ProbeRow(r types.Row, probeCols []int) []types.Row {
-	if t.packed != nil {
-		k, ok := types.PackRow(r, probeCols)
-		if !ok {
-			return nil // numeric build keys cannot equal non-numeric probes
-		}
-		return t.packed[k]
+	if len(t.slots) == 0 {
+		return nil
 	}
-	return t.byStr[types.KeyString(r, probeCols)]
+	h := types.HashRowKey(r, probeCols)
+	for s := h & t.mask; ; s = (s + 1) & t.mask {
+		slot := t.slots[s]
+		if slot == 0 {
+			return nil
+		}
+		if uint32(slot) == uint32(h) {
+			e := int(slot>>32) - 1
+			if keyEqual(t.repr[e], t.cols, r, probeCols) {
+				return t.buckets[e]
+			}
+		}
+	}
 }
 
 // ProbeValues returns the bucket matching the given key values.
 func (t *RowTable) ProbeValues(vals []types.Value) []types.Row {
-	if t.packed != nil {
-		var k types.PackedKey
-		for i, v := range vals {
-			u, ok := types.NumKey(v)
-			if !ok {
-				return nil
-			}
-			k[i] = u
+	if len(t.slots) == 0 {
+		return nil
+	}
+	h := types.HashRow(0, types.Row(vals))
+	for s := h & t.mask; ; s = (s + 1) & t.mask {
+		slot := t.slots[s]
+		if slot == 0 {
+			return nil
 		}
-		return t.packed[k]
+		if uint32(slot) == uint32(h) {
+			e := int(slot>>32) - 1
+			ok := true
+			for i, c := range t.cols {
+				if !t.repr[e][c].Equal(vals[i]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return t.buckets[e]
+			}
+		}
 	}
-	cols := make([]int, len(vals))
-	for i := range cols {
-		cols[i] = i
-	}
-	return t.byStr[types.KeyString(types.Row(vals), cols)]
 }
 
 // Len returns the number of distinct keys.
-func (t *RowTable) Len() int {
-	if t.packed != nil {
-		return len(t.packed)
-	}
-	return len(t.byStr)
-}
+func (t *RowTable) Len() int { return len(t.buckets) }
 
-// Rows iterates all bucketed rows (used when a table must be re-shipped).
-func (t *RowTable) Rows() []types.Row {
-	var out []types.Row
-	if t.packed != nil {
-		for _, b := range t.packed {
-			out = append(out, b...)
-		}
-		return out
-	}
-	for _, b := range t.byStr {
-		out = append(out, b...)
-	}
-	return out
-}
+// Rows returns the build input (no copy; callers must not mutate) — used
+// when a table must be re-shipped to another worker.
+func (t *RowTable) Rows() []types.Row { return t.rows }

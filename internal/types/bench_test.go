@@ -1,0 +1,75 @@
+package types
+
+import "testing"
+
+func benchRows(n int) []Row {
+	rows := make([]Row, n)
+	names := []string{"alice", "bob", "carol", "dave"}
+	for i := range rows {
+		rows[i] = Row{Int(int64(i)), Int(int64(i % 97)), Float(float64(i) * 0.5), Str(names[i%len(names)])}
+	}
+	return rows
+}
+
+func BenchmarkEncodeRows(b *testing.B) {
+	rows := benchRows(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := EncodeRows(rows)
+		if len(buf) == 0 {
+			b.Fatal("empty encoding")
+		}
+	}
+}
+
+func BenchmarkAppendRowsReused(b *testing.B) {
+	rows := benchRows(1024)
+	buf := make([]byte, 0, EncodedSize(rows))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendRows(buf[:0], rows)
+	}
+}
+
+func BenchmarkDecodeRows(b *testing.B) {
+	rows := benchRows(1024)
+	buf := EncodeRows(rows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := DecodeRows(buf)
+		if err != nil || len(got) != len(rows) {
+			b.Fatalf("decode: %v (%d rows)", err, len(got))
+		}
+	}
+}
+
+func BenchmarkRowKeyBinary(b *testing.B) {
+	rows := benchRows(1024)
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range rows {
+			buf = AppendRowKey(buf[:0], r)
+			if HashBytes(buf) == 0 {
+				b.Fatal("degenerate hash")
+			}
+		}
+	}
+}
+
+func BenchmarkRowKeyString(b *testing.B) {
+	rows := benchRows(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range rows {
+			if len(RowKeyString(r)) == 0 {
+				b.Fatal("empty key")
+			}
+		}
+	}
+}

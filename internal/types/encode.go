@@ -47,11 +47,130 @@ func DecodeRow(buf []byte) (Row, int, error) {
 	if sz <= 0 {
 		return nil, 0, fmt.Errorf("types: truncated row header")
 	}
-	pos := sz
 	r := make(Row, n)
+	used, err := decodeRowInto(r, buf[sz:])
+	if err != nil {
+		return nil, 0, err
+	}
+	return r, sz + used, nil
+}
+
+// uvarintLen returns the encoded size of x as a uvarint.
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// EncodedRowSize returns the exact wire size of one row.
+func EncodedRowSize(r Row) int {
+	n := uvarintLen(uint64(len(r)))
+	for _, v := range r {
+		n++ // kind byte
+		switch v.K {
+		case KindInt:
+			// Zig-zag transform, then uvarint width.
+			n += uvarintLen(uint64(v.I)<<1 ^ uint64(v.I>>63))
+		case KindFloat:
+			n += 8
+		case KindString:
+			n += uvarintLen(uint64(len(v.S))) + len(v.S)
+		case KindBool:
+			n++
+		}
+	}
+	return n
+}
+
+// EncodedSize returns the exact wire size of the EncodeRows batch encoding,
+// letting batch encoders allocate once.
+func EncodedSize(rows []Row) int {
+	n := uvarintLen(uint64(len(rows)))
+	for _, r := range rows {
+		n += EncodedRowSize(r)
+	}
+	return n
+}
+
+// AppendRows appends the batch encoding of rows to buf and returns it.
+// Callers that reuse buffers (the shuffle's encode pool) pass a recycled
+// buf; one-shot callers should size it with EncodedSize.
+func AppendRows(buf []byte, rows []Row) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(rows)))
+	for _, r := range rows {
+		buf = AppendRow(buf, r)
+	}
+	return buf
+}
+
+// EncodeRows serializes a batch of rows into one exactly-sized buffer.
+func EncodeRows(rows []Row) []byte {
+	return AppendRows(make([]byte, 0, EncodedSize(rows)), rows)
+}
+
+// DecodeRows deserializes a batch produced by EncodeRows.
+func DecodeRows(buf []byte) ([]Row, error) {
+	return DecodeRowsAppend(nil, buf)
+}
+
+// DecodeRowsAppend decodes a batch produced by EncodeRows/AppendRows,
+// appending the rows to dst. Row storage is carved out of chunked value
+// slabs, so decoding allocates per chunk rather than per row; the input
+// buffer is not retained (string payloads are copied), so callers may
+// recycle it immediately.
+func DecodeRowsAppend(dst []Row, buf []byte) ([]Row, error) {
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return nil, fmt.Errorf("types: truncated batch header")
+	}
+	pos := sz
+	if dst == nil {
+		dst = make([]Row, 0, n)
+	}
+	var slab []Value
 	for i := uint64(0); i < n; i++ {
+		width, wsz := binary.Uvarint(buf[pos:])
+		if wsz <= 0 {
+			return nil, fmt.Errorf("types: row %d: truncated row header", i)
+		}
+		pos += wsz
+		w := int(width)
+		if len(slab) < w {
+			// Chunks stay under the runtime's 32KB large-object threshold
+			// (512 Values ≈ 20KB) so slab allocation rides the fast path;
+			// the tail chunk shrinks to the remaining need (exact for
+			// uniform-width batches).
+			c := 512
+			if rem := int(n-i) * w; rem < c {
+				c = rem
+			}
+			if c < w {
+				c = w
+			}
+			slab = make([]Value, c)
+		}
+		r := Row(slab[:w:w])
+		slab = slab[w:]
+		used, err := decodeRowInto(r, buf[pos:])
+		if err != nil {
+			return nil, fmt.Errorf("types: row %d: %w", i, err)
+		}
+		pos += used
+		dst = append(dst, r)
+	}
+	return dst, nil
+}
+
+// decodeRowInto decodes len(r) values (the body of a row whose width header
+// is already consumed) from buf into r, returning the bytes consumed.
+func decodeRowInto(r Row, buf []byte) (int, error) {
+	pos := 0
+	for i := range r {
 		if pos >= len(buf) {
-			return nil, 0, fmt.Errorf("types: truncated value kind")
+			return 0, fmt.Errorf("types: truncated value kind")
 		}
 		k := Kind(buf[pos])
 		pos++
@@ -61,94 +180,33 @@ func DecodeRow(buf []byte) (Row, int, error) {
 		case KindInt:
 			x, s := binary.Varint(buf[pos:])
 			if s <= 0 {
-				return nil, 0, fmt.Errorf("types: truncated int")
+				return 0, fmt.Errorf("types: truncated int")
 			}
 			pos += s
 			r[i] = Int(x)
 		case KindFloat:
 			if pos+8 > len(buf) {
-				return nil, 0, fmt.Errorf("types: truncated double")
+				return 0, fmt.Errorf("types: truncated double")
 			}
 			r[i] = Float(math.Float64frombits(binary.LittleEndian.Uint64(buf[pos:])))
 			pos += 8
 		case KindString:
 			l, s := binary.Uvarint(buf[pos:])
 			if s <= 0 || pos+s+int(l) > len(buf) {
-				return nil, 0, fmt.Errorf("types: truncated string")
+				return 0, fmt.Errorf("types: truncated string")
 			}
 			pos += s
 			r[i] = Str(string(buf[pos : pos+int(l)]))
 			pos += int(l)
 		case KindBool:
 			if pos >= len(buf) {
-				return nil, 0, fmt.Errorf("types: truncated boolean")
+				return 0, fmt.Errorf("types: truncated boolean")
 			}
 			r[i] = Bool(buf[pos] != 0)
 			pos++
 		default:
-			return nil, 0, fmt.Errorf("types: bad kind byte %d", k)
+			return 0, fmt.Errorf("types: bad kind byte %d", k)
 		}
 	}
-	return r, pos, nil
-}
-
-// EncodeRows serializes a batch of rows into one buffer.
-func EncodeRows(rows []Row) []byte {
-	buf := make([]byte, 0, 16*len(rows)+8)
-	buf = binary.AppendUvarint(buf, uint64(len(rows)))
-	for _, r := range rows {
-		buf = AppendRow(buf, r)
-	}
-	return buf
-}
-
-// DecodeRows deserializes a batch produced by EncodeRows.
-func DecodeRows(buf []byte) ([]Row, error) {
-	n, sz := binary.Uvarint(buf)
-	if sz <= 0 {
-		return nil, fmt.Errorf("types: truncated batch header")
-	}
-	pos := sz
-	rows := make([]Row, 0, n)
-	for i := uint64(0); i < n; i++ {
-		r, used, err := DecodeRow(buf[pos:])
-		if err != nil {
-			return nil, fmt.Errorf("types: row %d: %w", i, err)
-		}
-		pos += used
-		rows = append(rows, r)
-	}
-	return rows, nil
-}
-
-// KeyString renders the values at the key indices into a compact string
-// usable as a Go map key. It uses the wire encoding, so two rows produce the
-// same key string iff their key columns are value-equal (numerics are
-// normalized through float64).
-func KeyString(r Row, key []int) string {
-	buf := make([]byte, 0, 12*len(key))
-	for _, i := range key {
-		v := r[i]
-		if v.IsNumeric() {
-			v = Float(v.AsFloat())
-		}
-		buf = append(buf, byte(normKind(v)))
-		switch v.K {
-		case KindFloat:
-			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.F))
-		case KindString:
-			buf = binary.AppendUvarint(buf, uint64(len(v.S)))
-			buf = append(buf, v.S...)
-		}
-	}
-	return string(buf)
-}
-
-// RowKeyString renders the whole row as a map key (set semantics).
-func RowKeyString(r Row) string {
-	key := make([]int, len(r))
-	for i := range key {
-		key[i] = i
-	}
-	return KeyString(r, key)
+	return pos, nil
 }

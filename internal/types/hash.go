@@ -60,9 +60,18 @@ func hashByte(h uint64, b byte) uint64 {
 }
 
 func hashUint64(h uint64, x uint64) uint64 {
-	for i := 0; i < 8; i++ {
-		h = hashByte(h, byte(x))
-		x >>= 8
-	}
+	return mix64((h ^ x) * fnvPrime)
+}
+
+// mix64 is a splitmix64-style finalizer. A chain of FNV multiplies only
+// propagates bit differences upward, so two float64 images differing in the
+// exponent/high mantissa (e.g. consecutive small integers) would share
+// their low hash bits — exactly the bits partition routing (mod) and
+// open-addressed tables (mask) consume. Folding the high half back down
+// restores avalanche at a fraction of byte-at-a-time FNV's cost.
+func mix64(h uint64) uint64 {
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
 	return h
 }

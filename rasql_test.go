@@ -406,17 +406,17 @@ func TestQueryErrors(t *testing.T) {
 	}
 }
 
-// ParallelStages opts into real goroutine execution; results must match
-// the sequential default (validated under -race in CI).
+// Stages run on real goroutines by default; results must match the
+// sequential debugging mode (validated under -race in CI).
 func TestParallelStagesMatchesSequential(t *testing.T) {
 	g := weightedEdges()
-	seq := rasql.New(rasql.Config{})
+	seq := rasql.New(rasql.Config{Cluster: rasql.ClusterConfig{SequentialStages: true}})
 	seq.MustRegister(g.Clone())
 	want, err := seq.Query(queries.SSSP)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par := rasql.New(rasql.Config{Cluster: rasql.ClusterConfig{ParallelStages: true, Workers: 4, Partitions: 8}})
+	par := rasql.New(rasql.Config{Cluster: rasql.ClusterConfig{Workers: 4, Partitions: 8}})
 	par.MustRegister(g.Clone())
 	got, err := par.Query(queries.SSSP)
 	if err != nil {
