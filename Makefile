@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race lint ci
+.PHONY: build test vet race lint rasql-lint golangci ci
 
 build:
 	$(GO) build ./...
@@ -14,9 +14,18 @@ vet:
 race:
 	$(GO) test -race ./internal/fixpoint/... ./internal/cluster/...
 
+# Engine-invariant checkers (internal/analysis): standalone whole-program
+# pass, then the go vet driver so _test.go files are covered too.
+rasql-lint:
+	$(GO) build -o bin/rasql-lint ./cmd/rasql-lint
+	./bin/rasql-lint ./...
+	$(GO) vet -vettool=$$PWD/bin/rasql-lint ./...
+
 # Requires golangci-lint (https://golangci-lint.run); CI installs it via
 # the golangci-lint-action.
-lint:
+golangci:
 	golangci-lint run
 
-ci: build vet test race
+lint: rasql-lint
+
+ci: build vet test race rasql-lint

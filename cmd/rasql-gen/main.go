@@ -57,18 +57,18 @@ func main() {
 	switch *kind {
 	case "rmat":
 		need(*out, "-out")
-		write(gen.RMATDefault(*n, *seed), *out)
+		write(gen.RMATDefault(*n, gen.Rng(*seed)), *out)
 	case "erdos":
 		need(*out, "-out")
-		write(gen.Erdos(*n, *p, *seed), *out)
+		write(gen.Erdos(*n, *p, gen.Rng(*seed)), *out)
 	case "grid":
 		need(*out, "-out")
-		write(gen.Grid(*n, *seed), *out)
+		write(gen.Grid(*n, gen.Rng(*seed)), *out)
 	case "realworld":
 		need(*out, "-out")
 		for _, a := range gen.RealWorldAnalogs(*scaleDiv) {
 			if a.Name == *name {
-				write(a.Generate(*seed), *out)
+				write(a.Generate(gen.Rng(*seed)), *out)
 				return
 			}
 		}
@@ -78,10 +78,10 @@ func main() {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			fatal(err)
 		}
-		t := gen.NewTree(*height, *minCh, *maxCh, *leafProb, *maxNodes, *seed)
+		t := gen.NewTree(*height, *minCh, *maxCh, *leafProb, *maxNodes, gen.Rng(*seed))
 		fmt.Printf("tree: %d nodes, height %d\n", t.Len(), t.Height)
-		assbl, basic := t.AssblBasic(100, *seed+1)
-		sales, sponsor := t.SalesSponsor(1000, *seed+2)
+		assbl, basic := t.AssblBasic(100, gen.Rng(*seed+1))
+		sales, sponsor := t.SalesSponsor(1000, gen.Rng(*seed+2))
 		for _, pair := range []struct {
 			rel  *relation.Relation
 			file string

@@ -1,0 +1,84 @@
+// Command rasql-lint checks the engine-source invariants that keep the
+// allocation-free data plane honest: deterministic clocks (simclock),
+// non-retention of decode buffers (noretain), sync.Pool Get/Put pairing
+// (pooldiscipline), and worker-affine shuffle writes (workeraffinity).
+// See the internal/analysis package documentation for the invariants and
+// the //rasql: annotation language.
+//
+// Two modes:
+//
+//	rasql-lint ./...                          # standalone, whole-program
+//	go vet -vettool=$(which rasql-lint) ./... # unitchecker under cmd/go
+//
+// Standalone mode loads and type-checks the matched module packages itself
+// and sees every annotation at once. Under go vet, cmd/go drives one
+// invocation per package and annotations cross package boundaries as facts
+// files, so results are cached by the build system like any vet check.
+//
+// Exit status: 0 clean, 2 findings, 1 operational failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/rasql/rasql-go/internal/analysis"
+)
+
+// version is the tool identity reported to cmd/go's -V=full handshake.
+// cmd/go requires the "<name> version <semver>" shape to build its
+// cache key; "devel" would disable vet result caching.
+const version = "v1.0.0"
+
+func main() {
+	// cmd/go probes the tool identity before first use.
+	if len(os.Args) == 2 && os.Args[1] == "-V=full" {
+		fmt.Printf("rasql-lint version %s\n", version)
+		return
+	}
+	// go vet queries the tool's flags as JSON; the suite takes none, so
+	// every analyzer always runs.
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	// Under go vet the final argument is the per-package config file.
+	if n := len(os.Args); n >= 2 && strings.HasSuffix(os.Args[n-1], ".cfg") {
+		os.Exit(analysis.RunUnit(os.Args[n-1], os.Stderr))
+	}
+
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	dir := flag.String("C", ".", "change to `dir` before loading packages")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: rasql-lint [-C dir] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Checks rasql engine-source invariants. With no packages, checks ./...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, fset, err := analysis.LoadPackages(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rasql-lint: %v\n", err)
+		os.Exit(1)
+	}
+	diags := analysis.Run(fset, pkgs, analysis.All())
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,93 @@
+// Package analysis implements rasql-lint: source-level static analysis
+// passes that turn the engine's unsafe-by-convention invariants into
+// machine-checked properties, complementing the plan-level analyzer in
+// internal/sql/vet. Where `rasql vet` certifies properties of a query plan
+// (PreM, termination, co-partitioning), the passes here certify properties
+// of the engine source itself:
+//
+//   - simclock: no wall-clock or global math/rand calls in deterministic
+//     engine packages, so SimNanos and query results are reproducible;
+//   - noretain: functions annotated //rasql:noretain never store their
+//     parameter-derived slices into heap-reachable locations, which is what
+//     makes immediate buffer recycling behind them safe;
+//   - pooldiscipline: every sync.Pool Get is paired with a Put on every
+//     return path, and the pooled value is not used after Put;
+//   - workeraffinity: functions annotated //rasql:affinity=worker (the
+//     shuffle's lock-free Add) are only called from per-worker task bodies
+//     or other worker-affine functions, never from fresh goroutines.
+//
+// The framework mirrors the shape of golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Reportf) but is built on the standard library alone:
+// packages are enumerated with `go list -deps -export -json` and
+// type-checked with go/types, importing dependencies from compiler export
+// data. cmd/rasql-lint drives the passes both standalone (`rasql-lint
+// ./...`) and as a `go vet -vettool=` unitchecker.
+//
+// Findings are suppressed with a justification comment on (or immediately
+// above) the offending line:
+//
+//	sh.Add(seed, -1) //rasql:allow workeraffinity -- driver-side seed write before any task runs
+//
+// The justification after `--` is mandatory; a bare allow is itself a
+// diagnostic.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer is one invariant checker. The fields mirror
+// golang.org/x/tools/go/analysis.Analyzer so the passes could migrate to a
+// vendored x/tools multichecker without rewriting.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //rasql:allow comments.
+	Name string
+	// Doc describes the invariant the analyzer enforces.
+	Doc string
+	// Run executes the analyzer over one package.
+	Run func(*Pass)
+}
+
+// Pass carries one package's syntax and type information to an analyzer,
+// plus the cross-package annotation index.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files holds the package's parsed syntax (comments included).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info holds the package's type-checking results.
+	Info *types.Info
+	// Index resolves //rasql: annotations, including those exported by
+	// dependency packages (via whole-program loading or vetx facts).
+	Index *Index
+
+	report func(token.Pos, string)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(pos, fmt.Sprintf(format, args...))
+}
+
+// Diagnostic is one finding, positioned and attributed to its analyzer.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Simclock, NoRetain, PoolDiscipline, WorkerAffinity}
+}

@@ -1,0 +1,142 @@
+// Package analysistest runs analyzers over golden fixture packages and
+// checks their diagnostics against expectations written in the fixture
+// source, mirroring golang.org/x/tools/go/analysis/analysistest:
+//
+//	sink = buf // want `stores a noretain-parameter-derived slice`
+//
+// A want comment expects at least one diagnostic on its line whose message
+// matches the regular expression; any diagnostic not covered by a want, or
+// want without a diagnostic, fails the test. Both `backquoted` and
+// "quoted" expectation forms are accepted.
+package analysistest
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/rasql/rasql-go/internal/analysis"
+)
+
+// fixtureDeps are the standard-library packages fixtures may import; their
+// export data (and that of their transitive dependencies) is listed once
+// per test binary.
+var fixtureDeps = []string{"sync", "time", "math/rand"}
+
+var (
+	exportsOnce sync.Once
+	exportsSet  *analysis.ExportSet
+	exportsErr  error
+)
+
+func exports() (*analysis.ExportSet, error) {
+	exportsOnce.Do(func() {
+		exportsSet, exportsErr = analysis.ListExports(".", fixtureDeps...)
+	})
+	return exportsSet, exportsErr
+}
+
+var wantRE = regexp.MustCompile("//\\s*want\\s+(?:`([^`]*)`|\"([^\"]*)\")")
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture package at <testdata>/src/<pkg>, applies the
+// analyzers (plus the always-on malformed-allow check), and verifies the
+// diagnostics against the fixture's want comments.
+func Run(t *testing.T, testdata, pkg string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	es, err := exports()
+	if err != nil {
+		t.Fatalf("listing fixture dependency exports: %v", err)
+	}
+	dir := filepath.Join(testdata, "src", pkg)
+	lp, fset, err := analysis.LoadDir(dir, "rasql.fixture/"+pkg, es)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags := analysis.Run(fset, []*analysis.LoadedPackage{lp}, analyzers)
+	wants, err := collectWants(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, d := range diags {
+		if !claim(wants, d.Pos.Filename, d.Pos.Line, d.Message) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want `%s`", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// claim marks the first unmatched want on the diagnostic's line whose
+// pattern matches; a want may cover repeated identical diagnostics.
+func claim(wants []*expectation, file string, line int, msg string) bool {
+	base := filepath.Base(file)
+	var fallback *expectation
+	for _, w := range wants {
+		if w.file != base || w.line != line || !w.pattern.MatchString(msg) {
+			continue
+		}
+		if !w.matched {
+			w.matched = true
+			return true
+		}
+		fallback = w
+	}
+	if fallback != nil {
+		return true
+	}
+	return false
+}
+
+func collectWants(dir string) ([]*expectation, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var wants []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			for _, m := range wantRE.FindAllStringSubmatch(sc.Text(), -1) {
+				pat := m[1]
+				if pat == "" {
+					pat = m[2]
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					f.Close()
+					return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", e.Name(), line, pat, err)
+				}
+				wants = append(wants, &expectation{file: e.Name(), line: line, pattern: re})
+			}
+		}
+		if err := sc.Err(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.Close()
+	}
+	return wants, nil
+}

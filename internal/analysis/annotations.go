@@ -1,0 +1,304 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// The annotation language. Annotations ride in ordinary comments so they
+// survive gofmt and need no build-tag machinery:
+//
+//	//rasql:noretain buf            — on a func: the named slice params (all
+//	                                  params when none are named) must not be
+//	                                  retained anywhere heap-reachable
+//	//rasql:affinity=worker         — on a func: call sites must be worker-
+//	                                  affine (a Task.Run body or another
+//	                                  annotated function)
+//	//rasql:pool-get                — on a func: it is a sync.Pool Get
+//	                                  accessor; its result is a pooled value
+//	//rasql:pool-put                — on a func: it is a sync.Pool Put
+//	                                  accessor; its argument is recycled
+//	//rasql:deterministic           — anywhere in a file: the whole package
+//	                                  opts into the simclock restriction
+//	//rasql:allow <names> -- <why>  — on or above a line: suppress the named
+//	                                  analyzers there, with justification
+
+// FuncAnnots are the annotations attached to one function declaration.
+type FuncAnnots struct {
+	// NoRetain lists the parameter names covered by //rasql:noretain;
+	// nil means the function carries no noretain annotation, and an empty
+	// non-nil slice covers every parameter.
+	NoRetain []string
+	// HasNoRetain distinguishes "annotated with no params" from
+	// "not annotated".
+	HasNoRetain bool
+	// WorkerAffinity marks //rasql:affinity=worker.
+	WorkerAffinity bool
+	// PoolGet and PoolPut mark sync.Pool accessor wrappers.
+	PoolGet, PoolPut bool
+}
+
+func (a *FuncAnnots) empty() bool {
+	return a == nil || (!a.HasNoRetain && !a.WorkerAffinity && !a.PoolGet && !a.PoolPut)
+}
+
+// NoRetainCovers reports whether the annotation covers the parameter name.
+func (a *FuncAnnots) NoRetainCovers(param string) bool {
+	if a == nil || !a.HasNoRetain {
+		return false
+	}
+	if len(a.NoRetain) == 0 {
+		return true
+	}
+	for _, p := range a.NoRetain {
+		if p == param {
+			return true
+		}
+	}
+	return false
+}
+
+// allowSite is one //rasql:allow comment occurrence.
+type allowSite struct {
+	analyzers []string
+	reason    string
+	pos       token.Pos
+}
+
+// Index is the cross-package annotation table: function annotations keyed
+// by qualified name, package-level determinism opt-ins, and per-line
+// suppressions. In whole-program mode it is built from every loaded
+// package's syntax; in unitchecker mode the function and package tables of
+// dependencies arrive as vetx facts.
+type Index struct {
+	funcs         map[string]*FuncAnnots
+	deterministic map[string]bool
+	// allows maps filename -> line -> analyzer names suppressed there.
+	allows map[string]map[int][]string
+	// malformed collects allow comments missing their justification.
+	malformed []allowSite
+}
+
+// NewIndex returns an empty index.
+func NewIndex() *Index {
+	return &Index{
+		funcs:         map[string]*FuncAnnots{},
+		deterministic: map[string]bool{},
+		allows:        map[string]map[int][]string{},
+	}
+}
+
+// FuncKey builds the index key for a function: pkgpath.Name, or
+// pkgpath.Recv.Name for methods (pointer receivers are flattened).
+func FuncKey(pkgPath, recv, name string) string {
+	if recv != "" {
+		return pkgPath + "." + recv + "." + name
+	}
+	return pkgPath + "." + name
+}
+
+// ObjKey builds the index key for a resolved function object.
+func ObjKey(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	recv := ""
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			recv = n.Obj().Name()
+		}
+	}
+	return FuncKey(fn.Pkg().Path(), recv, fn.Name())
+}
+
+// FuncAnnots returns the annotations for a resolved function, or nil.
+func (ix *Index) FuncAnnots(fn *types.Func) *FuncAnnots {
+	if fn == nil {
+		return nil
+	}
+	return ix.funcs[ObjKey(fn)]
+}
+
+// DeclAnnots returns the annotations recorded for a declaration key, or nil.
+func (ix *Index) DeclAnnots(key string) *FuncAnnots { return ix.funcs[key] }
+
+// Deterministic reports whether the package opted into (or was listed for)
+// the simclock restriction.
+func (ix *Index) Deterministic(pkgPath string) bool { return ix.deterministic[pkgPath] }
+
+// MarkDeterministic records a package as clock-restricted (used when
+// merging facts and for the built-in engine package list).
+func (ix *Index) MarkDeterministic(pkgPath string) { ix.deterministic[pkgPath] = true }
+
+// ScanPackage records every //rasql: annotation in the files of one
+// package: function annotations, package determinism opt-ins, and
+// per-line allow suppressions.
+func (ix *Index) ScanPackage(fset *token.FileSet, pkgPath string, files []*ast.File) {
+	for _, f := range files {
+		ix.scanFile(fset, pkgPath, f)
+	}
+}
+
+func (ix *Index) scanFile(fset *token.FileSet, pkgPath string, f *ast.File) {
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Doc == nil {
+			continue
+		}
+		ann := parseFuncAnnots(fd.Doc)
+		if ann.empty() {
+			continue
+		}
+		ix.funcs[FuncKey(pkgPath, declRecvName(fd), fd.Name.Name)] = ann
+	}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			line := strings.TrimSpace(c.Text)
+			switch {
+			case line == "//rasql:deterministic":
+				ix.deterministic[pkgPath] = true
+			case strings.HasPrefix(line, "//rasql:allow"):
+				ix.recordAllow(fset, c)
+			}
+		}
+	}
+}
+
+// declRecvName extracts the receiver type name of a declaration
+// ("" for plain functions).
+func declRecvName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if st, ok := t.(*ast.StarExpr); ok {
+		t = st.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+func parseFuncAnnots(doc *ast.CommentGroup) *FuncAnnots {
+	ann := &FuncAnnots{}
+	for _, c := range doc.List {
+		line := strings.TrimSpace(c.Text)
+		rest, ok := strings.CutPrefix(line, "//rasql:")
+		if !ok {
+			continue
+		}
+		fields := strings.Fields(rest)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "noretain":
+			ann.HasNoRetain = true
+			ann.NoRetain = append(ann.NoRetain, fields[1:]...)
+		case "affinity=worker":
+			ann.WorkerAffinity = true
+		case "pool-get":
+			ann.PoolGet = true
+		case "pool-put":
+			ann.PoolPut = true
+		}
+	}
+	return ann
+}
+
+// recordAllow parses one //rasql:allow comment. The comment suppresses the
+// named analyzers on its own line (end-of-line form) and on the following
+// line (standalone form).
+func (ix *Index) recordAllow(fset *token.FileSet, c *ast.Comment) {
+	body := strings.TrimPrefix(strings.TrimSpace(c.Text), "//rasql:allow")
+	names, reason, found := strings.Cut(body, "--")
+	site := allowSite{analyzers: strings.Fields(names), reason: strings.TrimSpace(reason), pos: c.Pos()}
+	if !found || site.reason == "" || len(site.analyzers) == 0 {
+		ix.malformed = append(ix.malformed, site)
+		return
+	}
+	p := fset.Position(c.Pos())
+	lines := ix.allows[p.Filename]
+	if lines == nil {
+		lines = map[int][]string{}
+		ix.allows[p.Filename] = lines
+	}
+	lines[p.Line] = append(lines[p.Line], site.analyzers...)
+	lines[p.Line+1] = append(lines[p.Line+1], site.analyzers...)
+}
+
+// Allowed reports whether a diagnostic of the named analyzer at the given
+// position is suppressed by an allow comment.
+func (ix *Index) Allowed(analyzer string, pos token.Position) bool {
+	for _, a := range ix.allows[pos.Filename][pos.Line] {
+		if a == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// Facts is the serializable subset of the index exchanged between
+// unitchecker runs: the annotations a package exports to its dependents.
+type Facts struct {
+	Funcs         map[string]*FuncAnnots `json:"funcs,omitempty"`
+	Deterministic []string               `json:"deterministic,omitempty"`
+}
+
+// ExportFacts extracts the facts recorded for one package.
+func (ix *Index) ExportFacts(pkgPath string) Facts {
+	f := Facts{Funcs: map[string]*FuncAnnots{}}
+	prefix := pkgPath + "."
+	for k, v := range ix.funcs {
+		if strings.HasPrefix(k, prefix) {
+			f.Funcs[k] = v
+		}
+	}
+	if ix.deterministic[pkgPath] {
+		f.Deterministic = []string{pkgPath}
+	}
+	return f
+}
+
+// MergeFacts folds a dependency's exported facts into the index.
+func (ix *Index) MergeFacts(f Facts) {
+	for k, v := range f.Funcs {
+		ix.funcs[k] = v
+	}
+	for _, p := range f.Deterministic {
+		ix.deterministic[p] = true
+	}
+}
+
+// MalformedAllows returns diagnostics for allow comments missing their
+// `-- justification`, sorted by position.
+func (ix *Index) MalformedAllows(fset *token.FileSet) []Diagnostic {
+	var out []Diagnostic
+	for _, m := range ix.malformed {
+		out = append(out, Diagnostic{
+			Pos:      fset.Position(m.pos),
+			Analyzer: "rasql-lint",
+			Message:  "//rasql:allow needs analyzer names and a `-- justification`",
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return positionLess(out[i].Pos, out[j].Pos) })
+	return out
+}
+
+func positionLess(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}

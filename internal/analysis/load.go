@@ -1,0 +1,230 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// The loader enumerates packages with `go list -deps -export -json` and
+// type-checks module packages from source, importing every dependency from
+// compiler export data. This gives full go/types information with no
+// dependency beyond the go toolchain itself (the x/tools packages loader is
+// deliberately not used: the repo carries no third-party modules).
+
+// listedPackage is the subset of `go list -json` output the loader reads.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Standard   bool
+	Export     string
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// LoadedPackage is one type-checked module package ready for analysis.
+type LoadedPackage struct {
+	ImportPath string
+	Dir        string
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// ExportSet resolves import paths to compiler export data files.
+type ExportSet struct {
+	files map[string]string
+}
+
+// goList runs `go list -deps -export -json` for the patterns and decodes
+// the package stream (dependencies come before dependents).
+func goList(dir string, patterns ...string) ([]*listedPackage, error) {
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=Dir,ImportPath,Standard,Export,GoFiles,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// ListExports builds an export set covering the patterns and all their
+// transitive dependencies (the analysistest harness uses this to resolve
+// fixture imports).
+func ListExports(dir string, patterns ...string) (*ExportSet, error) {
+	pkgs, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	es := &ExportSet{files: map[string]string{}}
+	for _, p := range pkgs {
+		if p.Export != "" {
+			es.files[p.ImportPath] = p.Export
+		}
+	}
+	return es, nil
+}
+
+// importerFor combines source-checked module packages with an export-data
+// importer for everything else, so type identities stay consistent across
+// the whole load.
+type importerFor struct {
+	gc  types.Importer
+	src map[string]*types.Package
+}
+
+func (im *importerFor) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := im.src[path]; ok {
+		return p, nil
+	}
+	return im.gc.Import(path)
+}
+
+// newExportImporter returns an importer reading gc export data through the
+// resolver (import path -> export data file).
+func newExportImporter(fset *token.FileSet, resolve func(string) string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file := resolve(path)
+		if file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+func parseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// LoadPackages loads and type-checks every module package matched by the
+// patterns (standard-library dependencies are imported from export data,
+// not analyzed). Packages come back in dependency order.
+func LoadPackages(dir string, patterns ...string) ([]*LoadedPackage, *token.FileSet, error) {
+	listed, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, nil, err
+	}
+	fset := token.NewFileSet()
+	exports := map[string]string{}
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	im := &importerFor{
+		gc:  newExportImporter(fset, func(path string) string { return exports[path] }),
+		src: map[string]*types.Package{},
+	}
+	var out []*LoadedPackage
+	for _, p := range listed {
+		if p.Standard {
+			continue
+		}
+		if p.Error != nil {
+			return nil, nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		files, err := parseFiles(fset, p.Dir, p.GoFiles)
+		if err != nil {
+			return nil, nil, err
+		}
+		info := newInfo()
+		conf := types.Config{Importer: im}
+		pkg, err := conf.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, nil, fmt.Errorf("type-checking %s: %v", p.ImportPath, err)
+		}
+		im.src[p.ImportPath] = pkg
+		out = append(out, &LoadedPackage{
+			ImportPath: p.ImportPath,
+			Dir:        p.Dir,
+			Files:      files,
+			Pkg:        pkg,
+			Info:       info,
+		})
+	}
+	return out, fset, nil
+}
+
+// LoadDir parses and type-checks a single directory of Go files as the
+// given import path, resolving imports through the export set. The
+// analysistest harness loads fixture packages this way.
+func LoadDir(dir, importPath string, es *ExportSet) (*LoadedPackage, *token.FileSet, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	files, err := parseFiles(fset, dir, names)
+	if err != nil {
+		return nil, nil, err
+	}
+	info := newInfo()
+	conf := types.Config{Importer: newExportImporter(fset, func(path string) string { return es.files[path] })}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("type-checking %s: %v", dir, err)
+	}
+	return &LoadedPackage{ImportPath: importPath, Dir: dir, Files: files, Pkg: pkg, Info: info}, fset, nil
+}

@@ -1,0 +1,446 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoRetain verifies functions annotated //rasql:noretain [params]: the
+// named slice parameters (all parameters when none are named) must not be
+// retained anywhere that outlives the call. The shuffle recycles encode
+// buffers the moment DecodeRowsAppend returns, so a retained input slab is
+// silent data corruption one refactor away.
+//
+// The check is a conservative flow-insensitive taint walk over the
+// function body: parameter-derived values (the parameter, its subslices,
+// anything assigned from them) must not be stored into package-level
+// variables, struct fields, map/slice elements, closures, channels, or
+// return values, and may only be passed on to callees that are themselves
+// annotated //rasql:noretain for that parameter (or to the pure decoders
+// of encoding/binary and the len/cap/copy builtins). Copies launder taint:
+// string(buf) and indexing a byte out of buf produce fresh values.
+var NoRetain = &Analyzer{
+	Name: "noretain",
+	Doc:  "annotated functions must not retain their parameter-derived slices",
+	Run:  runNoRetain,
+}
+
+// safeCalleePkgs are packages whose functions are known not to retain
+// slice arguments (pure decoders).
+var safeCalleePkgs = map[string]bool{
+	"encoding/binary": true,
+}
+
+func runNoRetain(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ann := pass.Index.DeclAnnots(FuncKey(pass.Pkg.Path(), declRecvName(fd), fd.Name.Name))
+			if ann == nil || !ann.HasNoRetain {
+				continue
+			}
+			nr := &noretainCheck{pass: pass, fn: fd, tainted: map[types.Object]bool{}}
+			nr.seed(ann)
+			if len(nr.tainted) == 0 {
+				continue
+			}
+			nr.propagate()
+			nr.check()
+		}
+	}
+}
+
+type noretainCheck struct {
+	pass    *Pass
+	fn      *ast.FuncDecl
+	tainted map[types.Object]bool
+	changed bool
+}
+
+// seed taints the annotated parameters.
+func (nr *noretainCheck) seed(ann *FuncAnnots) {
+	for _, field := range nr.fn.Type.Params.List {
+		for _, name := range field.Names {
+			if !ann.NoRetainCovers(name.Name) {
+				continue
+			}
+			if obj := nr.pass.Info.Defs[name]; obj != nil && typeRetains(obj.Type()) {
+				nr.tainted[obj] = true
+			}
+		}
+	}
+}
+
+// propagate runs the pure taint transfer to a fixpoint: assignments and
+// range clauses whose right side is tainted taint their left side.
+func (nr *noretainCheck) propagate() {
+	for {
+		nr.changed = false
+		ast.Inspect(nr.fn.Body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				nr.propagateAssign(s)
+			case *ast.RangeStmt:
+				if nr.taintedExpr(s.X) {
+					nr.taintIdent(s.Value) // the key is an index or map key copy
+				}
+			}
+			return true
+		})
+		if !nr.changed {
+			return
+		}
+	}
+}
+
+func (nr *noretainCheck) propagateAssign(s *ast.AssignStmt) {
+	if len(s.Lhs) != len(s.Rhs) {
+		// Multi-value form: x, y := f(tainted). Annotated or allowlisted
+		// callees launder; anything else taints every reference-typed LHS.
+		if len(s.Rhs) == 1 && nr.taintedExpr(s.Rhs[0]) {
+			for _, l := range s.Lhs {
+				nr.taintIdent(l)
+			}
+		}
+		return
+	}
+	for i, r := range s.Rhs {
+		if nr.taintedExpr(r) {
+			nr.taintIdent(s.Lhs[i])
+		}
+	}
+}
+
+// taintIdent taints a plain local identifier target; non-ident targets are
+// stores, handled (reported) by the check phase.
+func (nr *noretainCheck) taintIdent(e ast.Expr) {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := nr.pass.Info.Defs[id]
+	if obj == nil {
+		obj = nr.pass.Info.Uses[id]
+	}
+	if obj == nil || !typeRetains(obj.Type()) {
+		return
+	}
+	if isPackageLevel(obj) {
+		return // the store itself is reported by the check phase
+	}
+	if !nr.tainted[obj] {
+		nr.tainted[obj] = true
+		nr.changed = true
+	}
+}
+
+// taintedExpr reports whether evaluating e can yield a value sharing
+// memory with an annotated parameter. It is pure: violations are reported
+// only by the check phase.
+func (nr *noretainCheck) taintedExpr(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := nr.pass.Info.Uses[x]
+		if obj == nil {
+			obj = nr.pass.Info.Defs[x]
+		}
+		return obj != nil && nr.tainted[obj]
+	case *ast.ParenExpr:
+		return nr.taintedExpr(x.X)
+	case *ast.SliceExpr:
+		return nr.taintedExpr(x.X)
+	case *ast.StarExpr:
+		return nr.taintedExpr(x.X)
+	case *ast.TypeAssertExpr:
+		return nr.taintedExpr(x.X)
+	case *ast.IndexExpr:
+		// Loading an element copies it; only reference-typed elements
+		// keep pointing into the parameter's memory.
+		return nr.taintedExpr(x.X) && typeRetains(nr.exprType(e))
+	case *ast.SelectorExpr:
+		return nr.taintedExpr(x.X) && typeRetains(nr.exprType(e))
+	case *ast.UnaryExpr:
+		return nr.taintedExpr(x.X)
+	case *ast.CompositeLit:
+		for _, elt := range x.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			if nr.taintedExpr(elt) {
+				return true
+			}
+		}
+		return false
+	case *ast.CallExpr:
+		return nr.callTaints(x)
+	}
+	return false
+}
+
+// callTaints decides whether a call result can alias a tainted argument.
+func (nr *noretainCheck) callTaints(call *ast.CallExpr) bool {
+	// Conversions: string(buf) copies (strings are immutable snapshots of
+	// the conversion); slice/named-slice conversions alias.
+	if tv, ok := nr.pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		if basicKind(tv.Type) {
+			return false
+		}
+		return len(call.Args) == 1 && nr.taintedExpr(call.Args[0])
+	}
+	anyTainted := false
+	for _, a := range call.Args {
+		if nr.taintedExpr(a) {
+			anyTainted = true
+			break
+		}
+	}
+	if !anyTainted {
+		return false
+	}
+	if b := nr.builtinName(call); b != "" {
+		switch b {
+		case "len", "cap", "copy", "min", "max":
+			return false
+		case "append":
+			// append copies element values; the result aliases the tainted
+			// input only when the destination or a reference-typed element
+			// is tainted.
+			if nr.taintedExpr(call.Args[0]) {
+				return true
+			}
+			for _, a := range call.Args[1:] {
+				if nr.taintedExpr(a) && typeRetains(nr.exprType(a)) && call.Ellipsis == 0 {
+					return true
+				}
+				if call.Ellipsis != 0 && nr.taintedExpr(a) && typeRetains(elemType(nr.exprType(a))) {
+					return true
+				}
+			}
+			return false
+		}
+		return true
+	}
+	if fn := calleeFunc(nr.pass, call); fn != nil {
+		if nr.calleeLaunders(fn, call) {
+			return false
+		}
+	}
+	return typeRetains(nr.exprType(call))
+}
+
+// calleeLaunders reports whether the callee's contract guarantees tainted
+// arguments neither escape nor alias the result: it is annotated
+// //rasql:noretain for every tainted argument, or lives in a known-pure
+// decoder package.
+func (nr *noretainCheck) calleeLaunders(fn *types.Func, call *ast.CallExpr) bool {
+	if fn.Pkg() != nil && safeCalleePkgs[fn.Pkg().Path()] {
+		return true
+	}
+	ann := nr.pass.Index.FuncAnnots(fn)
+	if ann == nil || !ann.HasNoRetain {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i, a := range call.Args {
+		if !nr.taintedExpr(a) {
+			continue
+		}
+		pi := i
+		if pi >= sig.Params().Len() {
+			pi = sig.Params().Len() - 1
+		}
+		if pi < 0 || !ann.NoRetainCovers(sig.Params().At(pi).Name()) {
+			return false
+		}
+	}
+	return true
+}
+
+// check is the reporting phase: one walk over the body with the final
+// taint set, flagging every escape route.
+func (nr *noretainCheck) check() {
+	pass := nr.pass
+	ast.Inspect(nr.fn.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			// A closure capturing a tainted variable can outlive the call;
+			// one report per captured use, then skip the body (anything
+			// else inside it is reachable only through the capture).
+			ast.Inspect(s.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if obj := pass.Info.Uses[id]; obj != nil && nr.tainted[obj] {
+						pass.Reportf(id.Pos(), "%s: noretain parameter %s is captured by a closure, which may outlive the call", nr.fn.Name.Name, id.Name)
+					}
+				}
+				return true
+			})
+			return false
+		case *ast.AssignStmt:
+			nr.checkAssign(s)
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				if nr.taintedExpr(r) {
+					pass.Reportf(r.Pos(), "%s: returns a value derived from a noretain parameter; the caller could retain it after the buffer is recycled", nr.fn.Name.Name)
+				}
+			}
+		case *ast.SendStmt:
+			if nr.taintedExpr(s.Value) {
+				pass.Reportf(s.Value.Pos(), "%s: sends a noretain-parameter-derived value on a channel", nr.fn.Name.Name)
+			}
+		case *ast.CallExpr:
+			nr.checkCallArgs(s)
+		}
+		return true
+	})
+}
+
+func (nr *noretainCheck) checkAssign(s *ast.AssignStmt) {
+	report := func(lhs ast.Expr) {
+		switch l := lhs.(type) {
+		case *ast.Ident:
+			obj := nr.pass.Info.Uses[l]
+			if obj == nil {
+				obj = nr.pass.Info.Defs[l]
+			}
+			if obj != nil && isPackageLevel(obj) {
+				nr.pass.Reportf(s.Pos(), "%s: stores a noretain-parameter-derived slice into package-level variable %s", nr.fn.Name.Name, l.Name)
+			}
+		default:
+			nr.pass.Reportf(s.Pos(), "%s: stores a noretain-parameter-derived slice into a heap-reachable location", nr.fn.Name.Name)
+		}
+	}
+	if len(s.Lhs) != len(s.Rhs) {
+		if len(s.Rhs) == 1 && nr.taintedExpr(s.Rhs[0]) {
+			for _, l := range s.Lhs {
+				report(l)
+			}
+		}
+		return
+	}
+	for i, r := range s.Rhs {
+		if nr.taintedExpr(r) {
+			report(s.Lhs[i])
+		}
+	}
+}
+
+// checkCallArgs flags tainted arguments handed to callees that give no
+// noretain guarantee.
+func (nr *noretainCheck) checkCallArgs(call *ast.CallExpr) {
+	if tv, ok := nr.pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion
+	}
+	if b := nr.builtinName(call); b != "" {
+		return // builtins never retain (append aliasing handled via taint)
+	}
+	var taintedArgs []int
+	for i, a := range call.Args {
+		if nr.taintedExpr(a) {
+			taintedArgs = append(taintedArgs, i)
+		}
+	}
+	if len(taintedArgs) == 0 {
+		return
+	}
+	fn := calleeFunc(nr.pass, call)
+	if fn != nil && nr.calleeLaunders(fn, call) {
+		return
+	}
+	name := "a function value"
+	if fn != nil {
+		name = fn.Name()
+	}
+	nr.pass.Reportf(call.Args[taintedArgs[0]].Pos(), "%s: passes a noretain-parameter-derived slice to %s, which is not annotated //rasql:noretain for it", nr.fn.Name.Name, name)
+}
+
+func (nr *noretainCheck) exprType(e ast.Expr) types.Type {
+	if tv, ok := nr.pass.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func (nr *noretainCheck) builtinName(call *ast.CallExpr) string {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := nr.pass.Info.Uses[id].(*types.Builtin); ok {
+			return b.Name()
+		}
+	}
+	return ""
+}
+
+// calleeFunc resolves a call's target function object, if static.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := pass.Info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := pass.Info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+func isPackageLevel(obj types.Object) bool {
+	return obj.Parent() != nil && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+}
+
+// typeRetains reports whether a value of type t can keep other memory
+// alive when copied: reference types do, plain scalars (and strings, which
+// only arise from copying conversions here) do not.
+func typeRetains(t types.Type) bool {
+	switch u := t.(type) {
+	case nil:
+		return true // unknown: be conservative
+	case *types.Basic:
+		return false
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	case *types.Array:
+		return typeRetains(u.Elem())
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if typeRetains(u.Field(i).Type()) {
+				return true
+			}
+		}
+		return false
+	case *types.Named:
+		return typeRetains(u.Underlying())
+	case *types.Tuple:
+		for i := 0; i < u.Len(); i++ {
+			if typeRetains(u.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return true
+}
+
+func elemType(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return u.Elem()
+	case *types.Array:
+		return u.Elem()
+	}
+	return t
+}
+
+func basicKind(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Basic)
+	return ok
+}

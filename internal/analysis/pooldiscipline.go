@@ -1,0 +1,272 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolDiscipline verifies sync.Pool usage: a pooled value obtained from
+// Get (directly, or through an accessor annotated //rasql:pool-get) must
+// be returned with a matching Put — direct, deferred, or on both arms of
+// an if/else — with no early return leaking it in between, and must not be
+// used after the Put. A leaked buffer silently degrades the pool back to
+// per-call allocation; a use after Put is a data race with the next Get.
+//
+// Ownership transfers (the shuffle's Add encodes into a pooled buffer that
+// FetchTarget recycles later) are declared at the Get site:
+//
+//	bp := getEncBuf() //rasql:allow pooldiscipline -- ownership moves to encBucket; FetchTarget recycles
+//
+// The path analysis is block-structured and intentionally conservative:
+// a Put that only happens on one arm of a branch, or inside a nested loop,
+// does not count as guaranteed.
+var PoolDiscipline = &Analyzer{
+	Name: "pooldiscipline",
+	Doc:  "sync.Pool Get must pair with Put on every path, with no use after Put",
+	Run:  runPoolDiscipline,
+}
+
+func runPoolDiscipline(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ann := pass.Index.DeclAnnots(FuncKey(pass.Pkg.Path(), declRecvName(fd), fd.Name.Name))
+			if ann != nil && (ann.PoolGet || ann.PoolPut) {
+				continue // the accessor definitions themselves are exempt
+			}
+			pc := &poolCheck{pass: pass}
+			pc.walkStmts(fd.Body.List)
+		}
+	}
+}
+
+type poolCheck struct {
+	pass *Pass
+}
+
+// walkStmts visits every statement list in the body, tracking pooled-value
+// lifetimes within the list where the Get occurs.
+func (pc *poolCheck) walkStmts(stmts []ast.Stmt) {
+	for i, s := range stmts {
+		if as, ok := s.(*ast.AssignStmt); ok {
+			if v := pc.getTarget(as); v != nil {
+				pc.checkLifetime(stmts, i, v)
+			}
+		}
+		if es, ok := s.(*ast.ExprStmt); ok {
+			if call := pc.asGetCall(es.X); call != nil {
+				pc.pass.Reportf(es.Pos(), "pooled Get result is discarded; bind it to a variable and Put it back")
+			}
+		}
+		pc.walkNested(s)
+	}
+}
+
+func (pc *poolCheck) walkNested(s ast.Stmt) {
+	switch t := s.(type) {
+	case *ast.BlockStmt:
+		pc.walkStmts(t.List)
+	case *ast.IfStmt:
+		pc.walkStmts(t.Body.List)
+		if t.Else != nil {
+			pc.walkNested(t.Else)
+		}
+	case *ast.ForStmt:
+		pc.walkStmts(t.Body.List)
+	case *ast.RangeStmt:
+		pc.walkStmts(t.Body.List)
+	case *ast.SwitchStmt:
+		pc.walkStmts(t.Body.List)
+	case *ast.TypeSwitchStmt:
+		pc.walkStmts(t.Body.List)
+	case *ast.SelectStmt:
+		pc.walkStmts(t.Body.List)
+	case *ast.CaseClause:
+		pc.walkStmts(t.Body)
+	case *ast.CommClause:
+		pc.walkStmts(t.Body)
+	case *ast.LabeledStmt:
+		pc.walkNested(t.Stmt)
+	case *ast.ExprStmt:
+		if fl, ok := ast.Unparen(t.X).(*ast.FuncLit); ok {
+			pc.walkStmts(fl.Body.List)
+		}
+	case *ast.GoStmt:
+		if fl, ok := ast.Unparen(t.Call.Fun).(*ast.FuncLit); ok {
+			pc.walkStmts(fl.Body.List)
+		}
+	}
+}
+
+// getTarget returns the variable bound to a pooled Get result, if s is one.
+func (pc *poolCheck) getTarget(as *ast.AssignStmt) types.Object {
+	if len(as.Rhs) != 1 || len(as.Lhs) == 0 {
+		return nil
+	}
+	if pc.asGetCall(as.Rhs[0]) == nil {
+		return nil
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		pc.pass.Reportf(as.Pos(), "pooled Get result must be bound to a variable so its Put can be checked")
+		return nil
+	}
+	if obj := pc.pass.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return pc.pass.Info.Uses[id]
+}
+
+// asGetCall unwraps e (through type assertions) to a sync.Pool Get or
+// annotated pool-get accessor call.
+func (pc *poolCheck) asGetCall(e ast.Expr) *ast.CallExpr {
+	e = ast.Unparen(e)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ast.Unparen(ta.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	fn := calleeFunc(pc.pass, call)
+	if fn == nil {
+		return nil
+	}
+	if isSyncPoolMethod(fn, "Get") {
+		return call
+	}
+	if ann := pc.pass.Index.FuncAnnots(fn); ann != nil && ann.PoolGet {
+		return call
+	}
+	return nil
+}
+
+// putFor reports whether stmt is a direct or deferred Put of v, and which.
+func (pc *poolCheck) putFor(s ast.Stmt, v types.Object) (isPut, isDefer bool) {
+	switch t := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(t.X).(*ast.CallExpr); ok {
+			return pc.callPuts(call, v), false
+		}
+	case *ast.DeferStmt:
+		return pc.callPuts(t.Call, v), pc.callPuts(t.Call, v)
+	}
+	return false, false
+}
+
+func (pc *poolCheck) callPuts(call *ast.CallExpr, v types.Object) bool {
+	fn := calleeFunc(pc.pass, call)
+	if fn == nil || len(call.Args) == 0 {
+		return false
+	}
+	isPutCall := isSyncPoolMethod(fn, "Put")
+	if !isPutCall {
+		if ann := pc.pass.Index.FuncAnnots(fn); ann != nil && ann.PoolPut {
+			isPutCall = true
+		}
+	}
+	if !isPutCall {
+		return false
+	}
+	arg := ast.Unparen(call.Args[0])
+	if ue, ok := arg.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+		arg = ast.Unparen(ue.X)
+	}
+	id, ok := arg.(*ast.Ident)
+	return ok && pc.objOf(id) == v
+}
+
+func (pc *poolCheck) objOf(id *ast.Ident) types.Object {
+	if obj := pc.pass.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return pc.pass.Info.Defs[id]
+}
+
+// guaranteesPut reports whether the statement unconditionally puts v: a
+// direct or deferred Put, or an if/else whose both arms guarantee it.
+func (pc *poolCheck) guaranteesPut(s ast.Stmt, v types.Object) (ok, isDefer bool) {
+	if put, def := pc.putFor(s, v); put {
+		return true, def
+	}
+	if ifs, isIf := s.(*ast.IfStmt); isIf && ifs.Else != nil {
+		thenOK := pc.listGuaranteesPut(ifs.Body.List, v)
+		var elseOK bool
+		switch e := ifs.Else.(type) {
+		case *ast.BlockStmt:
+			elseOK = pc.listGuaranteesPut(e.List, v)
+		case *ast.IfStmt:
+			elseOK, _ = pc.guaranteesPut(e, v)
+		}
+		return thenOK && elseOK, false
+	}
+	return false, false
+}
+
+func (pc *poolCheck) listGuaranteesPut(stmts []ast.Stmt, v types.Object) bool {
+	for _, s := range stmts {
+		if ok, _ := pc.guaranteesPut(s, v); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// checkLifetime enforces the Get/Put discipline for v, bound at stmts[i].
+func (pc *poolCheck) checkLifetime(stmts []ast.Stmt, i int, v types.Object) {
+	getPos := stmts[i].Pos()
+	putIdx, putIsDefer := -1, false
+	for j := i + 1; j < len(stmts); j++ {
+		if ok, def := pc.guaranteesPut(stmts[j], v); ok {
+			putIdx, putIsDefer = j, def
+			break
+		}
+	}
+	if putIdx < 0 {
+		pc.pass.Reportf(getPos, "pooled value %s has no Put guaranteed in this block; Put it on every path, or declare the ownership transfer with //rasql:allow pooldiscipline -- <where it is recycled>", v.Name())
+		return
+	}
+	// No path between Get and Put may leave the function.
+	for j := i + 1; j < putIdx; j++ {
+		ast.Inspect(stmts[j], func(n ast.Node) bool {
+			if _, isLit := n.(*ast.FuncLit); isLit {
+				return false
+			}
+			if ret, isRet := n.(*ast.ReturnStmt); isRet {
+				pc.pass.Reportf(ret.Pos(), "return leaks pooled value %s (Put comes later in the block)", v.Name())
+			}
+			return true
+		})
+	}
+	// After a non-deferred Put the value belongs to the pool again.
+	if !putIsDefer {
+		for j := putIdx + 1; j < len(stmts); j++ {
+			ast.Inspect(stmts[j], func(n ast.Node) bool {
+				if id, isID := n.(*ast.Ident); isID && pc.objOf(id) == v {
+					pc.pass.Reportf(id.Pos(), "pooled value %s used after Put; the pool may have handed it to another goroutine", v.Name())
+				}
+				return true
+			})
+		}
+	}
+}
+
+func isSyncPoolMethod(fn *types.Func, name string) bool {
+	if fn.Name() != name || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == "Pool"
+}

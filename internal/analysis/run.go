@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"go/token"
+	"sort"
+)
+
+// BuildIndex scans every loaded package's annotations into one
+// whole-program index and seeds the built-in deterministic package list.
+func BuildIndex(fset *token.FileSet, pkgs []*LoadedPackage) *Index {
+	ix := NewIndex()
+	for _, p := range pkgs {
+		ix.ScanPackage(fset, p.ImportPath, p.Files)
+	}
+	return ix
+}
+
+// RunPackage executes the analyzers over one package, returning the
+// surviving (non-suppressed) diagnostics unsorted.
+func RunPackage(fset *token.FileSet, pkg *LoadedPackage, ix *Index, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Pkg,
+			Info:     pkg.Info,
+			Index:    ix,
+		}
+		pass.report = func(pos token.Pos, msg string) {
+			p := fset.Position(pos)
+			if ix.Allowed(a.Name, p) {
+				return
+			}
+			out = append(out, Diagnostic{Pos: p, Analyzer: a.Name, Message: msg})
+		}
+		a.Run(pass)
+	}
+	return out
+}
+
+// Run executes the analyzers over every package against a whole-program
+// annotation index, returning diagnostics sorted by position. Malformed
+// allow comments are reported alongside analyzer findings.
+func Run(fset *token.FileSet, pkgs []*LoadedPackage, analyzers []*Analyzer) []Diagnostic {
+	ix := BuildIndex(fset, pkgs)
+	out := ix.MalformedAllows(fset)
+	for _, p := range pkgs {
+		out = append(out, RunPackage(fset, p, ix, analyzers)...)
+	}
+	sort.Slice(out, func(i, j int) bool { return positionLess(out[i].Pos, out[j].Pos) })
+	return out
+}

@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/types"
+	"strings"
+)
+
+// DeterministicPrefixes lists the import-path prefixes of the engine
+// packages whose results (and simulated clock, SimNanos) must be a pure
+// function of their inputs: no wall-clock reads, no global math/rand.
+// Out-of-tree packages opt in with a //rasql:deterministic file comment.
+var DeterministicPrefixes = []string{
+	"github.com/rasql/rasql-go/internal/cluster",
+	"github.com/rasql/rasql-go/internal/fixpoint",
+	"github.com/rasql/rasql-go/internal/sql",
+	"github.com/rasql/rasql-go/internal/types",
+	"github.com/rasql/rasql-go/internal/gen",
+}
+
+// bannedTimeFuncs are the package-level time functions that read or wait on
+// the host clock. Conversions and arithmetic (time.Duration, t.Sub) are
+// fine: they are deterministic given their inputs.
+var bannedTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"Tick": true, "After": true, "AfterFunc": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// allowedRandFuncs are the math/rand package functions that construct
+// explicitly seeded generators rather than touching the global source.
+var allowedRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+// Simclock reports wall-clock reads and global math/rand calls inside
+// deterministic engine packages. The cluster's simulated clock (SimNanos)
+// and every query result must be reproducible from inputs alone; host time
+// belongs behind the bench/metrics boundary. Methods on an injected
+// *rand.Rand are always fine — only the process-global source is banned.
+var Simclock = &Analyzer{
+	Name: "simclock",
+	Doc:  "forbid wall-clock and global math/rand calls in deterministic engine packages",
+	Run:  runSimclock,
+}
+
+func runSimclock(pass *Pass) {
+	if !deterministicPackage(pass) {
+		return
+	}
+	for id, obj := range pass.Info.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			continue
+		}
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			continue // methods (e.g. (*rand.Rand).Intn) are deterministic per instance
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			if bannedTimeFuncs[fn.Name()] {
+				pass.Reportf(id.Pos(), "time.%s reads the host clock in deterministic package %s; move it behind the bench/metrics boundary or justify with //rasql:allow simclock -- <why>", fn.Name(), pass.Pkg.Path())
+			}
+		case "math/rand", "math/rand/v2":
+			if !allowedRandFuncs[fn.Name()] {
+				pass.Reportf(id.Pos(), "global %s.%s uses the shared process-wide source in deterministic package %s; inject an explicitly seeded *rand.Rand (rand.New(rand.NewSource(seed)))", fn.Pkg().Path(), fn.Name(), pass.Pkg.Path())
+			}
+		}
+	}
+}
+
+func deterministicPackage(pass *Pass) bool {
+	path := pass.Pkg.Path()
+	if pass.Index.Deterministic(path) {
+		return true
+	}
+	for _, prefix := range DeterministicPrefixes {
+		if path == prefix || strings.HasPrefix(path, prefix+"/") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,75 @@
+// Package noretain exercises the buffer-retention invariant: a function
+// annotated //rasql:noretain must not store its parameter-derived slices
+// anywhere that outlives the call.
+package noretain
+
+var sink []byte
+
+var table = map[string][]byte{}
+
+// DecodeOK copies values out of buf — scalar loads and string conversions
+// launder the taint, so nothing here is a retention.
+//
+//rasql:noretain buf
+func DecodeOK(dst []int, buf []byte) []int {
+	for _, b := range buf {
+		dst = append(dst, int(b))
+	}
+	_ = string(buf)
+	return dst
+}
+
+// LeakGlobal retains the raw parameter in a package-level variable.
+//
+//rasql:noretain buf
+func LeakGlobal(buf []byte) {
+	sink = buf // want `stores a noretain-parameter-derived slice into package-level variable sink`
+}
+
+// LeakSubslice retains memory through a derived local: the subslice still
+// aliases the caller's buffer.
+//
+//rasql:noretain buf
+func LeakSubslice(buf []byte) {
+	head := buf[:4]
+	table["head"] = head // want `stores a noretain-parameter-derived slice into a heap-reachable location`
+}
+
+// LeakReturn hands the aliasing slice back to the caller.
+//
+//rasql:noretain buf
+func LeakReturn(buf []byte) []byte {
+	return buf[1:] // want `returns a value derived from a noretain parameter`
+}
+
+// LeakClosure captures the parameter in a closure that may outlive the call.
+//
+//rasql:noretain buf
+func LeakClosure(buf []byte) func() byte {
+	return func() byte {
+		return buf[0] // want `noretain parameter buf is captured by a closure`
+	}
+}
+
+// LeakChannel sends the aliasing slice to another goroutine.
+//
+//rasql:noretain buf
+func LeakChannel(buf []byte, ch chan []byte) {
+	ch <- buf // want `sends a noretain-parameter-derived value on a channel`
+}
+
+// LeakCallee passes the buffer to a function with no noretain contract.
+//
+//rasql:noretain buf
+func LeakCallee(buf []byte) {
+	stash(buf) // want `passes a noretain-parameter-derived slice to stash`
+}
+
+// ChainOK delegates to another annotated function — the contract carries.
+//
+//rasql:noretain buf
+func ChainOK(dst []int, buf []byte) []int {
+	return DecodeOK(dst, buf)
+}
+
+func stash(b []byte) { sink = b }

@@ -1,0 +1,105 @@
+// Package pooldiscipline exercises the sync.Pool pairing invariant: every
+// Get must reach a Put on all paths, and the value is off-limits after Put.
+package pooldiscipline
+
+import "sync"
+
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 64)
+		return &b
+	},
+}
+
+// getBuf and putBuf are the annotated accessor pair the engine uses.
+//
+//rasql:pool-get
+func getBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+//rasql:pool-put
+func putBuf(b *[]byte) {
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}
+
+func use(b *[]byte)       {}
+func cond() bool          { return false }
+func encode(b *[]byte) int { return len(*b) }
+
+// BalancedOK is the canonical shape: Get, use, Put.
+func BalancedOK() {
+	b := getBuf()
+	use(b)
+	putBuf(b)
+}
+
+// DeferOK covers every path with a deferred Put, so later returns are fine.
+func DeferOK() int {
+	b := getBuf()
+	defer putBuf(b)
+	if cond() {
+		return 0
+	}
+	return encode(b)
+}
+
+// BranchesOK puts on both arms of the if/else.
+func BranchesOK() {
+	b := getBuf()
+	if cond() {
+		putBuf(b)
+	} else {
+		putBuf(b)
+	}
+}
+
+// DirectOK pairs the raw sync.Pool methods without the accessors.
+func DirectOK() {
+	b := bufPool.Get().(*[]byte)
+	use(b)
+	bufPool.Put(b)
+}
+
+// MissingPut leaks the buffer: the pool degrades to plain allocation.
+func MissingPut() {
+	b := getBuf() // want `pooled value b has no Put guaranteed in this block`
+	use(b)
+}
+
+// EarlyReturn leaks on the error path.
+func EarlyReturn() int {
+	b := getBuf()
+	if cond() {
+		return 0 // want `return leaks pooled value b`
+	}
+	n := encode(b)
+	putBuf(b)
+	return n
+}
+
+// UseAfterPut touches a buffer the pool may already have handed out again.
+func UseAfterPut() int {
+	b := getBuf()
+	putBuf(b)
+	return encode(b) // want `pooled value b used after Put`
+}
+
+// ConditionalPut only recycles on one arm, so the other leaks.
+func ConditionalPut() {
+	b := getBuf() // want `pooled value b has no Put guaranteed in this block`
+	if cond() {
+		putBuf(b)
+	}
+}
+
+// Discarded drops the pooled value on the floor immediately.
+func Discarded() {
+	getBuf() // want `pooled Get result is discarded`
+}
+
+// TransferOK declares an ownership hand-off with a justified allow.
+func TransferOK() *[]byte {
+	//rasql:allow pooldiscipline -- fixture: ownership transfers to the caller, which recycles
+	b := getBuf()
+	return b
+}

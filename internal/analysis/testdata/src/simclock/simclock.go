@@ -1,0 +1,45 @@
+// Package simclock exercises the deterministic-clock invariant: wall-clock
+// reads and global math/rand calls are banned; injected generators and
+// justified allows are not.
+//
+//rasql:deterministic
+package simclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() int64 {
+	t0 := time.Now() // want `time\.Now reads the host clock`
+	busy()
+	return int64(time.Since(t0)) // want `time\.Since reads the host clock`
+}
+
+func sleepy() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the host clock`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `global math/rand\.Intn uses the shared process-wide source`
+}
+
+// seeded is the sanctioned pattern: construct an explicit generator and
+// call methods on it.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// durationMath uses time only for deterministic arithmetic — no reads.
+func durationMath(nanos int64) time.Duration {
+	return time.Duration(nanos) * time.Nanosecond
+}
+
+// justified shows a suppression carrying its mandatory justification.
+func justified() time.Time {
+	//rasql:allow simclock -- fixture: stands in for the audited metrics boundary
+	return time.Now()
+}
+
+func busy() {}

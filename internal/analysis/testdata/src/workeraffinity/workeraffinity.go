@@ -1,0 +1,89 @@
+// Package workeraffinity exercises the worker-affinity invariant: an
+// annotated function may only be called from a Task.Run body or another
+// annotated function — never a fresh goroutine or an unannotated caller.
+package workeraffinity
+
+// Task mirrors the cluster's unit of worker-scheduled work: the analyzer
+// treats the Run field's func literal as the worker context.
+type Task struct {
+	Part int
+	Run  func(worker int)
+}
+
+type Shuffle struct {
+	shards [][]int
+}
+
+// Add appends to the producer's shard without a lock; the caller must be
+// the goroutine that owns the shard.
+//
+//rasql:affinity=worker
+func (s *Shuffle) Add(rows []int, producer int) {
+	s.shards[producer] = append(s.shards[producer], rows...)
+}
+
+// TaskBodyOK calls Add from a Task.Run body — the worker context.
+func TaskBodyOK(s *Shuffle, n int) []Task {
+	tasks := make([]Task, n)
+	for i := range tasks {
+		p := i
+		tasks[i] = Task{Part: p, Run: func(w int) {
+			s.Add([]int{p}, w)
+		}}
+	}
+	return tasks
+}
+
+// ChainOK is itself worker-affine, so it may call Add directly.
+//
+//rasql:affinity=worker
+func ChainOK(s *Shuffle, w int) {
+	s.Add(nil, w)
+}
+
+// IIFEOK runs the literal immediately on the caller's goroutine, inside an
+// annotated function — still the worker.
+//
+//rasql:affinity=worker
+func IIFEOK(s *Shuffle, w int) {
+	func() {
+		s.Add(nil, w)
+	}()
+}
+
+// FreshGoroutine breaks the one-writer-per-shard invariant.
+func FreshGoroutine(s *Shuffle) {
+	go func() {
+		s.Add(nil, 0) // want `freshly spawned goroutine`
+	}()
+}
+
+// PlainCaller has no affinity annotation and no Task.Run context.
+func PlainCaller(s *Shuffle) {
+	s.Add(nil, 0) // want `not from PlainCaller`
+}
+
+// EscapingLiteral stores the closure where any goroutine could invoke it.
+func EscapingLiteral(s *Shuffle) func() {
+	f := func() {
+		s.Add(nil, 0) // want `stored or passed as a value`
+	}
+	return f
+}
+
+// NotATask installs the literal in a Run field of some other type.
+type NotATask struct {
+	Run func(worker int)
+}
+
+func WrongType(s *Shuffle) NotATask {
+	return NotATask{Run: func(w int) {
+		s.Add(nil, w) // want `not a Task\.Run body`
+	}}
+}
+
+// DriverAllowed documents the sanctioned driver-side seed write.
+func DriverAllowed(s *Shuffle) {
+	//rasql:allow workeraffinity -- fixture: driver-side write before any task starts
+	s.Add(nil, 0)
+}

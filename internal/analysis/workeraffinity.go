@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WorkerAffinity enforces //rasql:affinity=worker: the annotated functions
+// (the shuffle's lock-free Add, which writes a per-producer shard) rely on
+// the caller being pinned to one worker, so every call must come from a
+// worker task body — a func literal installed as the Run field of a Task —
+// or from another worker-affine function. A call from a freshly spawned
+// goroutine, or from an unannotated function, breaks the one-writer-per-
+// shard invariant that lets Add skip the mutex.
+//
+// The check is syntactic over the enclosing-function chain: immediately
+// invoked func literals (including deferred ones) are transparent, since
+// they run on the caller's goroutine; a literal that is stored or passed
+// elsewhere is flagged conservatively because its executing goroutine is
+// unknowable here.
+var WorkerAffinity = &Analyzer{
+	Name: "workeraffinity",
+	Doc:  "worker-affine functions may only be called from Task.Run bodies or other worker-affine functions",
+	Run:  runWorkerAffinity,
+}
+
+func runWorkerAffinity(pass *Pass) {
+	for _, f := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			ann := pass.Index.FuncAnnots(fn)
+			if ann == nil || !ann.WorkerAffinity {
+				return true
+			}
+			checkAffinity(pass, stack, call, fn)
+			return true
+		})
+	}
+}
+
+// checkAffinity walks outward from the call through its enclosing
+// functions until it finds a context that settles the question.
+func checkAffinity(pass *Pass, stack []ast.Node, call *ast.CallExpr, fn *types.Func) {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch node := stack[i].(type) {
+		case *ast.FuncDecl:
+			key := FuncKey(pass.Pkg.Path(), declRecvName(node), node.Name.Name)
+			if a := pass.Index.DeclAnnots(key); a != nil && a.WorkerAffinity {
+				return
+			}
+			pass.Reportf(call.Pos(), "%s is worker-affine (//rasql:affinity=worker); call it from a Task.Run body or another worker-affine function, not from %s", fn.Name(), node.Name.Name)
+			return
+		case *ast.FuncLit:
+			if i == 0 {
+				return // malformed tree; nothing to conclude
+			}
+			switch parent := stack[i-1].(type) {
+			case *ast.CallExpr:
+				if parent.Fun != node {
+					pass.Reportf(call.Pos(), "%s is worker-affine, but this func literal is passed as an argument; its executing goroutine is unknown here", fn.Name())
+					return
+				}
+				// Immediately invoked: runs on whoever invokes it — unless
+				// that invocation is a go statement.
+				if i >= 2 {
+					if g, ok := stack[i-2].(*ast.GoStmt); ok && g.Call == parent {
+						pass.Reportf(call.Pos(), "%s is worker-affine; calling it from a freshly spawned goroutine breaks the one-writer-per-shard invariant — move the call into the worker's Task.Run body", fn.Name())
+						return
+					}
+				}
+				continue // transparent (plain or deferred invocation)
+			case *ast.KeyValueExpr:
+				if key, ok := parent.Key.(*ast.Ident); ok && key.Name == "Run" && parent.Value == node && i >= 2 {
+					if lit, ok := stack[i-2].(*ast.CompositeLit); ok && isTaskType(pass, lit) {
+						return // the worker task body itself
+					}
+				}
+				pass.Reportf(call.Pos(), "%s is worker-affine, but this func literal is stored in a composite literal that is not a Task.Run body", fn.Name())
+				return
+			default:
+				pass.Reportf(call.Pos(), "%s is worker-affine, but this func literal is stored or passed as a value; its executing goroutine is unknown here", fn.Name())
+				return
+			}
+		}
+	}
+}
+
+// isTaskType reports whether the composite literal builds a value of a
+// named type called Task (the cluster's unit of worker-scheduled work).
+func isTaskType(pass *Pass, lit *ast.CompositeLit) bool {
+	tv, ok := pass.Info.Types[lit]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == "Task"
+}

@@ -38,7 +38,7 @@ func (r *Runner) Figure1() (*Table, error) {
 	if n < 64 {
 		n = 64
 	}
-	g := gen.RMATDefault(n, r.cfg.Seed)
+	g := gen.RMATDefault(n, gen.Rng(r.cfg.Seed))
 	sym := gen.Symmetrized(gen.Unweighted(g))
 	cfg := rasql.Config{Cluster: rasql.ClusterConfig{Workers: r.cfg.Workers, Partitions: r.cfg.Partitions}}
 
@@ -151,12 +151,12 @@ func (r *Runner) Figure6() (*Table, error) {
 	for _, k := range grids {
 		k := k
 		sets = append(sets, ds{fmt.Sprintf("Grid%d (paper Grid150/250)", k),
-			r.dataset(fmt.Sprintf("grid-%d", k), func() *relation.Relation { return gen.Grid(k, r.cfg.Seed) })})
+			r.dataset(fmt.Sprintf("grid-%d", k), func() *relation.Relation { return gen.Grid(k, gen.Rng(r.cfg.Seed)) })})
 	}
 	if !r.cfg.Quick {
 		sets = append(sets,
-			ds{"G2K-3 (paper G10K-3)", r.dataset("g2k-3", func() *relation.Relation { return gen.Erdos(2000, 1e-3, r.cfg.Seed) })},
-			ds{"G1K-2 (paper G10K-2)", r.dataset("g1k-2", func() *relation.Relation { return gen.Erdos(1000, 1e-2, r.cfg.Seed) })},
+			ds{"G2K-3 (paper G10K-3)", r.dataset("g2k-3", func() *relation.Relation { return gen.Erdos(2000, 1e-3, gen.Rng(r.cfg.Seed)) })},
+			ds{"G1K-2 (paper G10K-2)", r.dataset("g1k-2", func() *relation.Relation { return gen.Erdos(1000, 1e-2, gen.Rng(r.cfg.Seed)) })},
 		)
 	}
 	for _, paperM := range []int{40, 80} {
@@ -269,7 +269,7 @@ func (r *Runner) Figure9() (*Table, error) {
 		analogs = analogs[:1]
 	}
 	for _, a := range analogs {
-		g := r.dataset("real-"+a.Name, func() *relation.Relation { return a.Generate(r.cfg.Seed) })
+		g := r.dataset("real-"+a.Name, func() *relation.Relation { return a.Generate(gen.Rng(r.cfg.Seed)) })
 		for _, alg := range []string{"REACH", "CC", "SSSP"} {
 			edges := g
 			switch alg {
@@ -318,9 +318,9 @@ func (r *Runner) Figure10() (*Table, error) {
 	for _, paperM := range sizes {
 		tr := r.tree(paperM)
 		label := fmt.Sprintf("Tree-%dk (paper N-%dM)", tr.Len()/1000, paperM)
-		assbl, basic := tr.AssblBasic(100, r.cfg.Seed+1)
+		assbl, basic := tr.AssblBasic(100, gen.Rng(r.cfg.Seed+1))
 		report := tr.Report()
-		sales, sponsor := tr.SalesSponsor(1000, r.cfg.Seed+2)
+		sales, sponsor := tr.SalesSponsor(1000, gen.Rng(r.cfg.Seed+2))
 
 		type workload struct {
 			name   string
@@ -404,16 +404,16 @@ func (r *Runner) Figure12() (*Table, error) {
 		sweeps = []int{1, 8}
 	}
 
-	g800 := r.dataset("g800-2", func() *relation.Relation { return gen.Erdos(800, 1e-2, r.cfg.Seed) })
-	grid := r.dataset("grid-50", func() *relation.Relation { return gen.Grid(50, r.cfg.Seed) })
-	tr := gen.NewTree(7, 2, 3, 0.2, 0, r.cfg.Seed)
+	g800 := r.dataset("g800-2", func() *relation.Relation { return gen.Erdos(800, 1e-2, gen.Rng(r.cfg.Seed)) })
+	grid := r.dataset("grid-50", func() *relation.Relation { return gen.Grid(50, gen.Rng(r.cfg.Seed)) })
+	tr := gen.NewTree(7, 2, 3, 0.2, 0, gen.Rng(r.cfg.Seed))
 	relTree := relation.New("rel", types.NewSchema(
 		types.Col("Parent", types.KindInt), types.Col("Child", types.KindInt)))
 	for i := 1; i < tr.Len(); i++ {
 		relTree.Append(types.Row{types.Int(int64(tr.Parent[i])), types.Int(int64(i))})
 	}
 	relErdos := r.dataset("rel-g400", func() *relation.Relation {
-		e := gen.Unweighted(gen.Erdos(400, 5e-3, r.cfg.Seed))
+		e := gen.Unweighted(gen.Erdos(400, 5e-3, gen.Rng(r.cfg.Seed)))
 		out := relation.New("rel", types.NewSchema(
 			types.Col("Parent", types.KindInt), types.Col("Child", types.KindInt)))
 		out.Rows = e.Rows

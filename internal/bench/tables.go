@@ -20,7 +20,7 @@ func (r *Runner) Table1() (*Table, error) {
 	}
 	div := r.realGraphDiv()
 	for _, a := range gen.RealWorldAnalogs(div) {
-		g := r.dataset("real-"+a.Name, func() *relation.Relation { return a.Generate(r.cfg.Seed) })
+		g := r.dataset("real-"+a.Name, func() *relation.Relation { return a.Generate(gen.Rng(r.cfg.Seed)) })
 		t.Rows = append(t.Rows, []string{
 			a.Name,
 			fmt.Sprintf("%d", a.PaperVertices), fmt.Sprintf("%d", a.PaperEdges),
@@ -62,7 +62,7 @@ func (r *Runner) Table2() (*Table, error) {
 	// Tree11 at the paper's own parameters (height 11, degree 2-6) is
 	// laptop-feasible for TC; its SG output is ~2e9 rows, so SG runs on
 	// a height-7 tree instead.
-	tree11 := gen.NewTree(11, 2, 6, 0, 0, r.cfg.Seed)
+	tree11 := gen.NewTree(11, 2, 6, 0, 0, gen.Rng(r.cfg.Seed))
 	t11 := relation.New("edge", gen.PlainEdgeSchema())
 	for i := 1; i < tree11.Len(); i++ {
 		t11.Append(types.Row{types.Int(int64(tree11.Parent[i])), types.Int(int64(i))})
@@ -79,9 +79,9 @@ func (r *Runner) Table2() (*Table, error) {
 		rel  *relation.Relation
 		sg   bool
 	}{
-		{"Grid30 (paper Grid150)", gen.Grid(30, r.cfg.Seed), false},
-		{"G1K-3 (paper G10K-3)", gen.Erdos(1000, 1e-3, r.cfg.Seed), true},
-		{"G500-2 (paper G10K-2)", gen.Erdos(500, 1e-2, r.cfg.Seed), true},
+		{"Grid30 (paper Grid150)", gen.Grid(30, gen.Rng(r.cfg.Seed)), false},
+		{"G1K-3 (paper G10K-3)", gen.Erdos(1000, 1e-3, gen.Rng(r.cfg.Seed)), true},
+		{"G500-2 (paper G10K-2)", gen.Erdos(500, 1e-2, gen.Rng(r.cfg.Seed)), true},
 	}
 	for _, s := range small {
 		if r.cfg.Quick && s.name != "G1K-3 (paper G10K-3)" {
@@ -118,7 +118,7 @@ func (r *Runner) Table3() (*Table, error) {
 		analogs = analogs[:1]
 	}
 	for _, a := range analogs {
-		g := r.dataset("real-"+a.Name, func() *relation.Relation { return a.Generate(r.cfg.Seed) })
+		g := r.dataset("real-"+a.Name, func() *relation.Relation { return a.Generate(gen.Rng(r.cfg.Seed)) })
 		sym := r.dataset("real-"+a.Name+"-sym", func() *relation.Relation {
 			return gen.Symmetrized(gen.Unweighted(g))
 		})

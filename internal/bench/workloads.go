@@ -109,7 +109,7 @@ func (r *Runner) rmat(paperMillions int) *relation.Relation {
 		n = 256
 	}
 	return r.dataset(fmt.Sprintf("rmat-%dM", paperMillions), func() *relation.Relation {
-		return gen.RMATDefault(n, r.cfg.Seed)
+		return gen.RMATDefault(n, gen.Rng(r.cfg.Seed))
 	})
 }
 
@@ -158,7 +158,7 @@ func (r *Runner) tree(paperMillions int) *gen.Tree {
 		return t
 	}
 	r.logf("generating %s (%d nodes)...", key, target)
-	t := gen.NewTree(13, 5, 10, 0.4, target, r.cfg.Seed)
+	t := gen.NewTree(13, 5, 10, 0.4, target, gen.Rng(r.cfg.Seed))
 	r.trees[key] = t
 	return t
 }

@@ -19,7 +19,6 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"github.com/rasql/rasql-go/internal/types"
 )
@@ -169,15 +168,15 @@ func (c *Cluster) RunStage(name string, tasks []Task) {
 		queues[w] = append(queues[w], t)
 	}
 
-	start := time.Now()
+	start := startStopwatch()
 	var slowest atomic.Int64
 	runQueue := func(w int, q []Task) {
-		t0 := time.Now()
+		t0 := startStopwatch()
 		for _, t := range q {
 			burn(c.cfg.StageOverheadOps)
 			t.Run(w)
 		}
-		d := int64(time.Since(t0))
+		d := t0.elapsedNanos()
 		for {
 			cur := slowest.Load()
 			if d <= cur || slowest.CompareAndSwap(cur, d) {
@@ -205,7 +204,7 @@ func (c *Cluster) RunStage(name string, tasks []Task) {
 		}
 		wg.Wait()
 	}
-	c.Metrics.StageWallNanos.Add(int64(time.Since(start)))
+	c.Metrics.StageWallNanos.Add(start.elapsedNanos())
 	c.Metrics.SimNanos.Add(slowest.Load())
 }
 

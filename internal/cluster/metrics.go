@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 )
 
 // Metrics aggregates execution counters for one cluster. All counters are
@@ -27,6 +28,24 @@ type Metrics struct {
 	// StageWallNanos accumulates real wall time spent inside stages;
 	// subtracting it from end-to-end wall time isolates driver-side work.
 	StageWallNanos atomic.Int64
+}
+
+// stopwatch is the cluster's only sanctioned wall-clock access: timing
+// instrumentation whose readings feed the metrics counters (SimNanos,
+// StageWallNanos) and nothing else. Results, placement and iteration counts
+// must never depend on a reading, which is why the simclock analyzer bans
+// time.Now everywhere else in the engine and the two reads below carry the
+// audit trail.
+type stopwatch struct{ t0 time.Time }
+
+func startStopwatch() stopwatch {
+	//rasql:allow simclock -- metrics-only instrumentation; readings feed SimNanos/StageWallNanos, never results or placement
+	return stopwatch{t0: time.Now()}
+}
+
+func (s stopwatch) elapsedNanos() int64 {
+	//rasql:allow simclock -- metrics-only instrumentation; see startStopwatch
+	return int64(time.Since(s.t0))
 }
 
 // Snapshot is a plain-value copy of the metrics at one instant.

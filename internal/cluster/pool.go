@@ -13,8 +13,16 @@ var encBufPool = sync.Pool{
 	},
 }
 
+// getEncBuf hands out a pooled encoding buffer; every Get must reach a
+// putEncBuf, which the pooldiscipline analyzer enforces at call sites.
+//
+//rasql:pool-get
 func getEncBuf() *[]byte { return encBufPool.Get().(*[]byte) }
 
+// putEncBuf returns a buffer to the pool, truncated so the next user
+// cannot observe stale bytes.
+//
+//rasql:pool-put
 func putEncBuf(b *[]byte) {
 	*b = (*b)[:0]
 	encBufPool.Put(b)

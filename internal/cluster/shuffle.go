@@ -48,7 +48,11 @@ func (c *Cluster) NewShuffle(targets int) *Shuffle {
 // target partition t, produced on the given worker (-1 for the driver).
 // Rows are encoded into pooled buffers immediately — the map-side shuffle
 // write — and the bytes are counted here, once per shuffled bucket. Safe for
-// concurrent map tasks because each producer owns its shard exclusively.
+// concurrent map tasks because each producer owns its shard exclusively —
+// which is exactly why Add is worker-affine: it must run on the goroutine
+// that owns the producer's shard (a Task.Run body), never a fresh one.
+//
+//rasql:affinity=worker
 func (s *Shuffle) Add(out [][]types.Row, producer int) {
 	sh := &s.shards[producer+1]
 	records, bytes := 0, 0
@@ -57,6 +61,7 @@ func (s *Shuffle) Add(out [][]types.Row, producer int) {
 			continue
 		}
 		records += len(rows)
+		//rasql:allow pooldiscipline -- ownership transfers to encBucket; FetchTarget recycles the buffer after decoding
 		bp := getEncBuf()
 		*bp = types.AppendRows((*bp)[:0], rows)
 		bytes += len(*bp)

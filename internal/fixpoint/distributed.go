@@ -412,6 +412,7 @@ func runCombined(plan *Plan, state *viewState, kernels []*ruleKernel, seed [][]t
 	pr := newProjector(plan, parts)
 
 	sh := c.NewShuffle(parts)
+	//rasql:allow workeraffinity -- driver-side seed write (producer -1) before any worker task starts; the driver shard has exactly one writer
 	sh.Add(seed, -1)
 
 	var pending atomic.Int64

@@ -149,11 +149,11 @@ func runWays(t *testing.T, src string, cat *catalog.Catalog, viewName string) ma
 }
 
 func TestBaselinesAgreeOnAllWorkloads(t *testing.T) {
-	tree := gen.NewTree(4, 2, 3, 0.3, 0, 17)
-	assbl, basic := tree.AssblBasic(30, 3)
-	sales, sponsor := tree.SalesSponsor(50, 4)
+	tree := gen.NewTree(4, 2, 3, 0.3, 0, gen.Rng(17))
+	assbl, basic := tree.AssblBasic(30, gen.Rng(3))
+	sales, sponsor := tree.SalesSponsor(50, gen.Rng(4))
 	report := tree.Report()
-	edges := gen.RMATDefault(128, 21)
+	edges := gen.RMATDefault(128, gen.Rng(21))
 	sym := gen.Symmetrized(gen.Unweighted(edges))
 
 	cases := []struct {
@@ -212,7 +212,7 @@ func sameValued(a, b *relation.Relation, approx bool) bool {
 }
 
 func TestDecomposedMatchesShuffled(t *testing.T) {
-	edges := gen.Unweighted(gen.RMATDefault(64, 5))
+	edges := gen.Unweighted(gen.RMATDefault(64, gen.Rng(5)))
 	cat := testCatalog(edges)
 	progA := analyzeQ(t, queries.TC, cat)
 	ctxA := exec.NewContext()
@@ -232,7 +232,7 @@ func TestDecomposedMatchesShuffled(t *testing.T) {
 }
 
 func TestStageCombinationReducesStages(t *testing.T) {
-	edges := gen.Unweighted(gen.RMATDefault(256, 9))
+	edges := gen.Unweighted(gen.RMATDefault(256, gen.Rng(9)))
 	cat := testCatalog(edges)
 
 	run := func(combine bool) cluster.Snapshot {
@@ -255,7 +255,7 @@ func TestStageCombinationReducesStages(t *testing.T) {
 }
 
 func TestPartitionAwareSchedulingCutsRemoteBytes(t *testing.T) {
-	edges := gen.RMATDefault(256, 13)
+	edges := gen.RMATDefault(256, gen.Rng(13))
 	run := func(policy cluster.Policy) int64 {
 		c := cluster.New(cluster.Config{Workers: 4, Partitions: 4, StageOverheadOps: -1,
 			CompressBroadcast: true, Policy: policy})
@@ -289,7 +289,7 @@ func TestNonTerminationGuardDistributed(t *testing.T) {
 }
 
 func TestVolcanoMatchesFused(t *testing.T) {
-	edges := gen.RMATDefault(128, 31)
+	edges := gen.RMATDefault(128, gen.Rng(31))
 	for _, combine := range []bool{true, false} {
 		progA := analyzeQ(t, queries.SSSP, testCatalog(edges))
 		a, err := Distributed(progA.Clique, exec.NewContext(), testCluster(),
@@ -310,7 +310,7 @@ func TestVolcanoMatchesFused(t *testing.T) {
 }
 
 func TestSortMergeMatchesHash(t *testing.T) {
-	edges := gen.RMATDefault(128, 37)
+	edges := gen.RMATDefault(128, gen.Rng(37))
 	progA := analyzeQ(t, queries.SSSP, testCatalog(edges))
 	a, err := Distributed(progA.Clique, exec.NewContext(), testCluster(),
 		DistOptions{StageCombination: true, Join: SortMerge})
@@ -332,9 +332,9 @@ func TestSortMergeMatchesHash(t *testing.T) {
 // recoverable by restoring the iteration checkpoint and replaying — for
 // set, extremum and (the hard case) additive views.
 func TestFaultRecoveryReplayMatchesFaultFree(t *testing.T) {
-	tree := gen.NewTree(5, 2, 4, 0.3, 0, 23)
+	tree := gen.NewTree(5, 2, 4, 0.3, 0, gen.Rng(23))
 	report := tree.Report()
-	edges := gen.RMATDefault(256, 77)
+	edges := gen.RMATDefault(256, gen.Rng(77))
 
 	cases := []struct {
 		name, src, view string
@@ -381,7 +381,7 @@ WITH recursive p (A, B, min() AS C) AS
     (SELECT edge.Src, p.B, p.C + edge.Cost
      FROM p, edge WHERE p.B = edge.Dst)
 SELECT A, B, C FROM p`
-	edges := gen.RMATDefault(48, 11)
+	edges := gen.RMATDefault(48, gen.Rng(11))
 	cat := testCatalog(edges)
 
 	prog := analyzeQ(t, src, cat)

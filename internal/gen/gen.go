@@ -1,8 +1,14 @@
 // Package gen generates the synthetic datasets of the paper's evaluation:
 // RMAT power-law graphs (Section 8.1), Erdős–Rényi G(n,p) graphs, grid
 // graphs and random trees (Appendix E), plus scaled-down analogs of the
-// four real-world graphs of Table 1. All generators are deterministic in
-// their seed.
+// four real-world graphs of Table 1.
+//
+// Every generator takes an explicitly seeded *rand.Rand — never the global
+// math/rand source (the simclock analyzer bans it engine-wide) — so a
+// dataset is a pure function of its seed: Rng(seed) always reproduces the
+// same relation. Generators that used to take a seed directly are called
+// as, e.g., RMATDefault(n, gen.Rng(seed)), which produces bit-identical
+// data to the old form.
 package gen
 
 import (
@@ -11,6 +17,14 @@ import (
 	"github.com/rasql/rasql-go/internal/relation"
 	"github.com/rasql/rasql-go/internal/types"
 )
+
+// Rng constructs the canonical explicitly seeded generator for a dataset.
+// One Rng feeds one generator call; reusing it across calls chains the
+// streams (deliberately different data), while fresh Rng(seed) calls
+// reproduce the same data.
+func Rng(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
 
 // EdgeSchema is the weighted edge schema edge(Src, Dst, Cost).
 func EdgeSchema() types.Schema {
@@ -32,8 +46,7 @@ func PlainEdgeSchema() types.Schema {
 // RMAT generates an RMAT graph with n vertices and m directed edges using
 // recursive quadrant probabilities (a, b, c, 1-a-b-c) — the paper uses
 // (0.45, 0.25, 0.15) and m = 10n, with uniform integer weights in [0, 100).
-func RMAT(n, m int, a, b, c float64, seed int64) *relation.Relation {
-	rng := rand.New(rand.NewSource(seed))
+func RMAT(n, m int, a, b, c float64, rng *rand.Rand) *relation.Relation {
 	scale := 0
 	for 1<<scale < n {
 		scale++
@@ -66,15 +79,14 @@ func RMAT(n, m int, a, b, c float64, seed int64) *relation.Relation {
 
 // RMATDefault generates the paper's RMAT-n parameterization: n vertices,
 // 10n edges, (a,b,c) = (0.45, 0.25, 0.15).
-func RMATDefault(n int, seed int64) *relation.Relation {
-	return RMAT(n, 10*n, 0.45, 0.25, 0.15, seed)
+func RMATDefault(n int, rng *rand.Rand) *relation.Relation {
+	return RMAT(n, 10*n, 0.45, 0.25, 0.15, rng)
 }
 
 // Erdos generates a directed Erdős–Rényi G(n, p) graph with uniform
 // weights, using geometric skip sampling so the cost is proportional to the
 // edge count. The paper's G10K-3 is Erdos(10000, 1e-3, ...).
-func Erdos(n int, p float64, seed int64) *relation.Relation {
-	rng := rand.New(rand.NewSource(seed))
+func Erdos(n int, p float64, rng *rand.Rand) *relation.Relation {
 	rel := relation.New("edge", EdgeSchema())
 	if p <= 0 {
 		return rel
@@ -105,8 +117,7 @@ func Erdos(n int, p float64, seed int64) *relation.Relation {
 
 // Grid generates the paper's Grid-k dataset: a (k+1) × (k+1) grid with
 // directed right and down edges (Grid150 → 22801 vertices, 45300 edges).
-func Grid(k int, seed int64) *relation.Relation {
-	rng := rand.New(rand.NewSource(seed))
+func Grid(k int, rng *rand.Rand) *relation.Relation {
 	side := k + 1
 	rel := relation.New("edge", EdgeSchema())
 	rel.Rows = make([]types.Row, 0, 2*side*k)
@@ -163,8 +174,7 @@ type Tree struct {
 // Section 8.2 datasets: each internal node has minChild..maxChild children
 // and each child turns leaf with probability leafProb, down to the given
 // height. maxNodes caps generation (0 = unlimited).
-func NewTree(height, minChild, maxChild int, leafProb float64, maxNodes int, seed int64) *Tree {
-	rng := rand.New(rand.NewSource(seed))
+func NewTree(height, minChild, maxChild int, leafProb float64, maxNodes int, rng *rand.Rand) *Tree {
 	t := &Tree{Parent: []int32{-1}, IsLeaf: []bool{false}, Height: height}
 	frontier := []int32{0}
 	for level := 0; level < height && len(frontier) > 0; level++ {
@@ -214,8 +224,7 @@ func (t *Tree) Len() int { return len(t.Parent) }
 
 // AssblBasic converts the tree into the BOM tables: assbl(Part, Spart) for
 // internal edges and basic(Part, Days) with random days on leaves.
-func (t *Tree) AssblBasic(maxDays int, seed int64) (assbl, basic *relation.Relation) {
-	rng := rand.New(rand.NewSource(seed))
+func (t *Tree) AssblBasic(maxDays int, rng *rand.Rand) (assbl, basic *relation.Relation) {
 	assbl = relation.New("assbl", types.NewSchema(
 		types.Col("Part", types.KindInt), types.Col("Spart", types.KindInt)))
 	basic = relation.New("basic", types.NewSchema(
@@ -244,8 +253,7 @@ func (t *Tree) Report() *relation.Relation {
 
 // SalesSponsor converts the tree into the MLM tables: sales(M, P) with
 // random profits on every node and sponsor(M1, M2) along tree edges.
-func (t *Tree) SalesSponsor(maxProfit int, seed int64) (sales, sponsor *relation.Relation) {
-	rng := rand.New(rand.NewSource(seed))
+func (t *Tree) SalesSponsor(maxProfit int, rng *rand.Rand) (sales, sponsor *relation.Relation) {
 	sales = relation.New("sales", types.NewSchema(
 		types.Col("M", types.KindInt), types.Col("P", types.KindFloat)))
 	sponsor = relation.New("sponsor", types.NewSchema(
@@ -297,6 +305,6 @@ func RealWorldAnalogs(scaleDiv int) []RealWorldAnalog {
 // Generate produces the analog graph: RMAT with skewed quadrant weights
 // (0.57, 0.19, 0.19), the parameterization commonly used for social-graph
 // degree skew.
-func (a RealWorldAnalog) Generate(seed int64) *relation.Relation {
-	return RMAT(a.Vertices, a.Vertices*a.EdgeFactor, 0.57, 0.19, 0.19, seed)
+func (a RealWorldAnalog) Generate(rng *rand.Rand) *relation.Relation {
+	return RMAT(a.Vertices, a.Vertices*a.EdgeFactor, 0.57, 0.19, 0.19, rng)
 }

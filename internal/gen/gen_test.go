@@ -7,15 +7,15 @@ import (
 )
 
 func TestRMATDeterministicAndSized(t *testing.T) {
-	a := RMATDefault(1024, 7)
-	b := RMATDefault(1024, 7)
+	a := RMATDefault(1024, Rng(7))
+	b := RMATDefault(1024, Rng(7))
 	if !a.EqualAsBag(b) {
 		t.Error("same seed must generate the same graph")
 	}
 	if a.Len() != 10240 {
 		t.Errorf("RMAT-1024 should have 10n edges, got %d", a.Len())
 	}
-	c := RMATDefault(1024, 8)
+	c := RMATDefault(1024, Rng(8))
 	if a.EqualAsBag(c) {
 		t.Error("different seeds should differ")
 	}
@@ -30,7 +30,7 @@ func TestRMATDeterministicAndSized(t *testing.T) {
 }
 
 func TestRMATIsSkewed(t *testing.T) {
-	g := RMATDefault(4096, 3)
+	g := RMATDefault(4096, Rng(3))
 	deg := map[int64]int{}
 	for _, r := range g.Rows {
 		deg[r[0].AsInt()]++
@@ -50,7 +50,7 @@ func TestRMATIsSkewed(t *testing.T) {
 
 func TestErdosEdgeCount(t *testing.T) {
 	n, p := 2000, 1e-3
-	g := Erdos(n, p, 11)
+	g := Erdos(n, p, Rng(11))
 	want := float64(n) * float64(n-1) * p
 	got := float64(g.Len())
 	if got < want*0.8 || got > want*1.2 {
@@ -61,13 +61,13 @@ func TestErdosEdgeCount(t *testing.T) {
 			t.Fatal("Erdos must not generate self-loops")
 		}
 	}
-	if !g.EqualAsBag(Erdos(n, p, 11)) {
+	if !g.EqualAsBag(Erdos(n, p, Rng(11))) {
 		t.Error("Erdos must be deterministic in its seed")
 	}
 }
 
 func TestGridShape(t *testing.T) {
-	g := Grid(150, 1)
+	g := Grid(150, Rng(1))
 	// Paper Table 2: Grid150 has 22801 vertices and 45300 edges.
 	if g.Len() != 45300 {
 		t.Errorf("Grid150 edges = %d, want 45300", g.Len())
@@ -83,7 +83,7 @@ func TestGridShape(t *testing.T) {
 }
 
 func TestUnweightedAndSymmetrized(t *testing.T) {
-	g := RMATDefault(256, 2)
+	g := RMATDefault(256, Rng(2))
 	u := Unweighted(g)
 	if u.Schema.Len() != 2 || u.Len() != g.Len() {
 		t.Errorf("Unweighted wrong: %v", u.Schema)
@@ -105,7 +105,7 @@ func TestUnweightedAndSymmetrized(t *testing.T) {
 }
 
 func TestTreeStructure(t *testing.T) {
-	tr := NewTree(6, 2, 4, 0.3, 0, 5)
+	tr := NewTree(6, 2, 4, 0.3, 0, Rng(5))
 	if tr.Len() < 10 {
 		t.Fatalf("tree too small: %d", tr.Len())
 	}
@@ -129,22 +129,22 @@ func TestTreeStructure(t *testing.T) {
 		}
 	}
 	// Determinism.
-	tr2 := NewTree(6, 2, 4, 0.3, 0, 5)
+	tr2 := NewTree(6, 2, 4, 0.3, 0, Rng(5))
 	if tr2.Len() != tr.Len() {
 		t.Error("tree generation must be deterministic")
 	}
 }
 
 func TestTreeMaxNodesCap(t *testing.T) {
-	tr := NewTree(20, 5, 10, 0.2, 1000, 1)
+	tr := NewTree(20, 5, 10, 0.2, 1000, Rng(1))
 	if tr.Len() > 1000+10 {
 		t.Errorf("maxNodes exceeded: %d", tr.Len())
 	}
 }
 
 func TestTreeTableConversions(t *testing.T) {
-	tr := NewTree(4, 2, 3, 0.2, 0, 9)
-	assbl, basic := tr.AssblBasic(10, 1)
+	tr := NewTree(4, 2, 3, 0.2, 0, Rng(9))
+	assbl, basic := tr.AssblBasic(10, Rng(1))
 	if assbl.Len() != tr.Len()-1 {
 		t.Errorf("assbl rows = %d, want %d", assbl.Len(), tr.Len()-1)
 	}
@@ -166,7 +166,7 @@ func TestTreeTableConversions(t *testing.T) {
 	if report.Len() != tr.Len()-1 {
 		t.Errorf("report rows = %d", report.Len())
 	}
-	sales, sponsor := tr.SalesSponsor(100, 2)
+	sales, sponsor := tr.SalesSponsor(100, Rng(2))
 	if sales.Len() != tr.Len() || sponsor.Len() != tr.Len()-1 {
 		t.Errorf("sales=%d sponsor=%d", sales.Len(), sponsor.Len())
 	}
@@ -184,7 +184,7 @@ func TestRealWorldAnalogs(t *testing.T) {
 		if int64(a.EdgeFactor) != wantRatio {
 			t.Errorf("%s: edge factor %d, want %d", a.Name, a.EdgeFactor, wantRatio)
 		}
-		g := a.Generate(3)
+		g := a.Generate(Rng(3))
 		if g.Len() != a.Vertices*a.EdgeFactor {
 			t.Errorf("%s: generated %d edges, want %d", a.Name, g.Len(), a.Vertices*a.EdgeFactor)
 		}

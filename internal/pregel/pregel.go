@@ -248,6 +248,7 @@ func Run(c *cluster.Cluster, edges *relation.Relation, alg Algorithm, opt Option
 				t := partOf(r[0].AsInt(), g.parts)
 				buckets[t] = append(buckets[t], r)
 			}
+			//rasql:allow workeraffinity -- driver loop writes each producer shard sequentially between stages; no task is running, so the one-writer-per-shard invariant holds
 			sh.Add(buckets, c.DefaultOwner(producer))
 		}
 		applyTasks := make([]cluster.Task, g.parts)

@@ -54,7 +54,7 @@ func TestReach(t *testing.T) {
 }
 
 func TestCCMatchesSerial(t *testing.T) {
-	g := gen.Symmetrized(gen.Unweighted(gen.RMATDefault(256, 42)))
+	g := gen.Symmetrized(gen.Unweighted(gen.RMATDefault(256, gen.Rng(42))))
 	want := gap.CCRelation(gap.NewCSR(g).CC())
 	for _, prof := range []Profile{ProfileGiraph, ProfileGraphX} {
 		got, _, err := Run(testCluster(), g, CC, Options{Profile: prof})
@@ -68,7 +68,7 @@ func TestCCMatchesSerial(t *testing.T) {
 }
 
 func TestGraphXRunsMoreStages(t *testing.T) {
-	edges := gen.Symmetrized(gen.Unweighted(gen.RMATDefault(128, 1)))
+	edges := gen.Symmetrized(gen.Unweighted(gen.RMATDefault(128, gen.Rng(1))))
 	cGiraph, cGraphX := testCluster(), testCluster()
 	if _, _, err := Run(cGiraph, edges, CC, Options{Profile: ProfileGiraph}); err != nil {
 		t.Fatal(err)

@@ -58,9 +58,9 @@ func interRows(pairs ...[2]int64) *relation.Relation {
 // trees, overlapping intervals — agrees (no divergence at any step; runs
 // on cyclic inputs are budget-bounded, so Holds matters, not Converged).
 func TestStaticCertifiedNeverContradicted(t *testing.T) {
-	tree := gen.NewTree(4, 2, 3, 0.3, 0, 7)
-	assbl, basic := tree.AssblBasic(20, 3)
-	erdos := gen.Erdos(25, 0.12, 11)
+	tree := gen.NewTree(4, 2, 3, 0.3, 0, gen.Rng(7))
+	assbl, basic := tree.AssblBasic(20, gen.Rng(3))
+	erdos := gen.Erdos(25, 0.12, gen.Rng(11))
 
 	cases := []struct {
 		name, src string
@@ -68,7 +68,7 @@ func TestStaticCertifiedNeverContradicted(t *testing.T) {
 		iters     int
 	}{
 		{"SSSP", queries.SSSP, agreeCatalog(t, erdos), 25},
-		{"APSP", queries.APSP, agreeCatalog(t, gen.Erdos(12, 0.2, 5)), 15},
+		{"APSP", queries.APSP, agreeCatalog(t, gen.Erdos(12, 0.2, gen.Rng(5))), 15},
 		{"CCLabels", queries.CCLabels, agreeCatalog(t, gen.Symmetrized(gen.Unweighted(erdos))), 40},
 		{"Delivery", queries.Delivery, agreeCatalog(t, assbl, basic), 0},
 		{"Coalesce", queries.Coalesce,

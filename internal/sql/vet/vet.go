@@ -32,6 +32,7 @@ import (
 
 	"github.com/rasql/rasql-go/internal/sql/analyze"
 	"github.com/rasql/rasql-go/internal/sql/expr"
+	"github.com/rasql/rasql-go/internal/types"
 )
 
 // Severity ranks a diagnostic.
@@ -228,6 +229,7 @@ func Analyze(prog *analyze.Program) *Report {
 		lintCoPartition(r, prog.Clique)
 		lintGroupBy(r, prog.Clique)
 		lintCartesianRules(r, prog.Clique)
+		lintConfluence(r, prog.Clique)
 	}
 	lintUnused(r, prog)
 	if prog.Final != nil {
@@ -361,6 +363,60 @@ func flagCartesian(r *Report, view, rule string, sources []analyze.Source, conju
 			Hint:    "add a join condition, or confirm the cross product is intended",
 		})
 	}
+}
+
+// lintConfluence flags min/max views whose recursive rules derive a group
+// key from an in-flight aggregate column (RV050). The aggregate column of a
+// recursive source holds a provisional value that tightens as the fixpoint
+// runs; a group-by key computed from it places the same logical derivation
+// into different groups depending on the derivation schedule — delta
+// batching, partition count, even map iteration order over the merge
+// buckets — so the fixpoint is not confluent and two runs can return
+// different (both "converged") answers. Reading the aggregate in the
+// aggregate position is the PreM-certified pattern; reading it in a group
+// position is the hazard.
+func lintConfluence(r *Report, clique *analyze.Clique) {
+	for _, v := range clique.Views {
+		if v.Agg != types.AggMin && v.Agg != types.AggMax {
+			continue
+		}
+		for _, rule := range v.RecRules {
+			for _, gi := range v.GroupIdx {
+				col := inFlightAggRead(rule, rule.Head[gi])
+				if col == nil {
+					continue
+				}
+				src := rule.Sources[col.Input].Rec
+				r.add(Diagnostic{
+					Code: "RV050", Severity: SeverityWarning, View: v.Name, Rule: ruleLabel(v, rule),
+					Message: fmt.Sprintf("group column %q is computed from %s.%s, the in-flight %s() aggregate of a recursive source: the group key depends on the derivation schedule, so the fixpoint is not confluent and results can vary run to run",
+						v.Schema.Columns[gi].Name, src.Name, src.Schema.Columns[src.AggIdx].Name, src.Agg),
+					Hint: "group by stable key columns only; read the converged aggregate in the final query, after the fixpoint",
+				})
+			}
+		}
+	}
+}
+
+// inFlightAggRead returns a column reference inside e that reads the
+// aggregate column of a recursive source of the rule, or nil.
+func inFlightAggRead(rule *analyze.Rule, e expr.Expr) *expr.Col {
+	var found *expr.Col
+	expr.Walk(e, func(x expr.Expr) bool {
+		c, ok := x.(*expr.Col)
+		if !ok || found != nil {
+			return true
+		}
+		if c.Input < 0 || c.Input >= len(rule.Sources) {
+			return true
+		}
+		s := rule.Sources[c.Input]
+		if s.Kind == analyze.SourceRec && s.Rec != nil && s.Rec.IsAgg() && c.Idx == s.Rec.AggIdx {
+			found = c
+		}
+		return true
+	})
+	return found
 }
 
 // lintUnused reports CTEs and recursive views whose results are never read

@@ -335,10 +335,20 @@ SELECT G, C FROM p`)
 			t.Errorf("missing RV041\n%s", rep)
 		}
 	})
+	t.Run("RV050 schedule-dependent group key", func(t *testing.T) {
+		rep := vetQuery(t, `
+WITH recursive sp (Dst, min() AS Cost) AS
+    (SELECT 0, 0) UNION
+    (SELECT sp.Cost, sp.Cost + edge.Cost FROM sp, edge WHERE sp.Dst = edge.Src)
+SELECT Dst, Cost FROM sp`)
+		if !hasCode(rep, "RV050") {
+			t.Errorf("missing RV050\n%s", rep)
+		}
+	})
 	t.Run("clean queries stay quiet", func(t *testing.T) {
 		for _, src := range []string{queries.SSSP, queries.Delivery, queries.TC} {
 			rep := vetQuery(t, src)
-			for _, code := range []string{"RV030", "RV031", "RV040", "RV041"} {
+			for _, code := range []string{"RV030", "RV031", "RV040", "RV041", "RV050"} {
 				if hasCode(rep, code) {
 					t.Errorf("unexpected %s\n%s", code, rep)
 				}

@@ -120,7 +120,10 @@ func DecodeRows(buf []byte) ([]Row, error) {
 // appending the rows to dst. Row storage is carved out of chunked value
 // slabs, so decoding allocates per chunk rather than per row; the input
 // buffer is not retained (string payloads are copied), so callers may
-// recycle it immediately.
+// recycle it immediately — the noretain analyzer enforces that contract on
+// this function's body.
+//
+//rasql:noretain buf
 func DecodeRowsAppend(dst []Row, buf []byte) ([]Row, error) {
 	n, sz := binary.Uvarint(buf)
 	if sz <= 0 {
@@ -165,7 +168,10 @@ func DecodeRowsAppend(dst []Row, buf []byte) ([]Row, error) {
 }
 
 // decodeRowInto decodes len(r) values (the body of a row whose width header
-// is already consumed) from buf into r, returning the bytes consumed.
+// is already consumed) from buf into r, returning the bytes consumed. Like
+// DecodeRowsAppend it must not retain buf: every string payload is copied.
+//
+//rasql:noretain buf
 func decodeRowInto(r Row, buf []byte) (int, error) {
 	pos := 0
 	for i := range r {

@@ -20,7 +20,7 @@ func toPublic(rel *relation.Relation) *rasql.Relation { return rel }
 
 func TestPropertySSSPAgainstBellmanFord(t *testing.T) {
 	for trial := 0; trial < 5; trial++ {
-		g := gen.RMATDefault(200, int64(trial)*7+1)
+		g := gen.RMATDefault(200, gen.Rng(int64(trial)*7+1))
 		eng := rasql.New(rasql.Config{})
 		eng.MustRegister(toPublic(g))
 		got, err := eng.Query(queries.SSSP)
@@ -41,7 +41,7 @@ func TestPropertySSSPAgainstBellmanFord(t *testing.T) {
 
 func TestPropertyReachAgainstBFS(t *testing.T) {
 	for trial := 0; trial < 5; trial++ {
-		g := gen.Unweighted(gen.RMATDefault(300, int64(trial)*13+5))
+		g := gen.Unweighted(gen.RMATDefault(300, gen.Rng(int64(trial)*13+5)))
 		eng := rasql.New(rasql.Config{})
 		eng.MustRegister(toPublic(g))
 		got, err := eng.Query(queries.Reach)
@@ -57,7 +57,7 @@ func TestPropertyReachAgainstBFS(t *testing.T) {
 
 func TestPropertyCCAgainstLabelPropagation(t *testing.T) {
 	for trial := 0; trial < 5; trial++ {
-		g := gen.Symmetrized(gen.Unweighted(gen.RMATDefault(150, int64(trial)*3+11)))
+		g := gen.Symmetrized(gen.Unweighted(gen.RMATDefault(150, gen.Rng(int64(trial)*3+11))))
 		eng := rasql.New(rasql.Config{})
 		eng.MustRegister(toPublic(g))
 		got, err := eng.Query(queries.CCLabels)
@@ -179,8 +179,8 @@ func TestPropertyCountPathsAgainstDP(t *testing.T) {
 
 func TestPropertyDeliveryAgainstRecursiveMax(t *testing.T) {
 	for trial := 0; trial < 5; trial++ {
-		tr := gen.NewTree(5, 2, 4, 0.3, 0, int64(trial)+50)
-		assbl, basic := tr.AssblBasic(50, int64(trial)+51)
+		tr := gen.NewTree(5, 2, 4, 0.3, 0, gen.Rng(int64(trial)+50))
+		assbl, basic := tr.AssblBasic(50, gen.Rng(int64(trial)+51))
 		eng := rasql.New(rasql.Config{})
 		eng.MustRegister(toPublic(assbl))
 		eng.MustRegister(toPublic(basic))
@@ -220,7 +220,7 @@ func TestPropertyDeliveryAgainstRecursiveMax(t *testing.T) {
 
 // The engines must agree regardless of partition counts (DSN invariance).
 func TestPropertyPartitionCountInvariance(t *testing.T) {
-	g := gen.RMATDefault(300, 9)
+	g := gen.RMATDefault(300, gen.Rng(9))
 	var results []*rasql.Relation
 	for _, parts := range []int{1, 2, 5, 9, 16} {
 		eng := rasql.New(rasql.Config{Cluster: rasql.ClusterConfig{Workers: 4, Partitions: parts}})
