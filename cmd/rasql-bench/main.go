@@ -74,6 +74,7 @@ func main() {
 		var before runtime.MemStats
 		runtime.ReadMemStats(&before)
 		r.TakeTotals() // drop counters attributed to prior experiments
+		r.TakeCurves() // likewise for convergence curves
 		start := time.Now()
 		tbl, err := f()
 		if err != nil {
@@ -91,6 +92,7 @@ func main() {
 			ShuffleBytes:   m.ShuffleBytes,
 			ShuffleRecords: m.ShuffleRecords,
 			Allocs:         after.Mallocs - before.Mallocs,
+			Curves:         r.TakeCurves(),
 		})
 		if *md {
 			fmt.Println(tbl.Markdown())

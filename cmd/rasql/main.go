@@ -10,11 +10,16 @@
 //	rasql -table ... -f query.sql
 //	rasql -table ...            # interactive: statements end with ';'
 //	rasql vet -table ... -f query.sql   # static analysis only
+//	rasql trace-verify out.json          # validate exported traces
 //
 // Every script is vetted before execution: the static analyzer's
 // diagnostics print to stderr, and error-severity findings (a statically
 // refuted PreM assumption computes wrong answers) abort the query unless
 // -no-vet downgrades them to warnings.
+//
+// A script may open with EXPLAIN (plan only, nothing executes) or EXPLAIN
+// ANALYZE (execute with tracing, render the plan annotated with actual row
+// counts, timings and the per-iteration fixpoint table).
 //
 // Flags:
 //
@@ -22,15 +27,20 @@
 //	-q sql                    run one script and exit
 //	-f file                   run a script file and exit
 //	-explain                  print the plan instead of executing
+//	-explain-analyze          execute and print the plan with actuals
 //	-no-vet                   execute even when vet reports errors
 //	-local                    force the single-threaded reference engine
 //	-naive                    naive (non-semi-naive) evaluation
 //	-workers / -partitions    simulated cluster size
-//	-metrics                  print execution counters after each query
+//	-metrics                  print the execution-counter delta per query
+//	-trace file.json          export a Chrome trace (Perfetto-loadable)
 //	-max-rows n               print at most n result rows (default 50)
 //
 // The vet subcommand exits 0 when the script is clean (or carries only
-// warnings/info) and 1 when any error-severity diagnostic fires.
+// warnings/info) and 1 when any error-severity diagnostic fires. The
+// trace-verify subcommand validates trace files against the Chrome
+// trace-event schema (well-formed JSON, monotone per-track timestamps,
+// balanced B/E spans) and exits 1 on the first invalid file.
 package main
 
 import (
@@ -49,17 +59,23 @@ func main() {
 		vetMain(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "trace-verify" {
+		traceVerifyMain(os.Args[2:])
+		return
+	}
 	var (
 		tables     cli.MultiFlag
 		query      = flag.String("q", "", "query to run")
 		file       = flag.String("f", "", "script file to run")
 		explain    = flag.Bool("explain", false, "print the plan instead of executing")
+		analyze    = flag.Bool("explain-analyze", false, "execute and print the plan with actuals")
 		noVet      = flag.Bool("no-vet", false, "execute even when vet reports errors")
 		local      = flag.Bool("local", false, "force the local reference engine")
 		naive      = flag.Bool("naive", false, "naive evaluation (implies -local)")
 		workers    = flag.Int("workers", 0, "simulated workers (default GOMAXPROCS)")
 		partitions = flag.Int("partitions", 0, "partitions (default = workers)")
-		metrics    = flag.Bool("metrics", false, "print execution metrics")
+		metrics    = flag.Bool("metrics", false, "print the execution-counter delta per query")
+		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON file (load in Perfetto)")
 		maxRows    = flag.Int("max-rows", 50, "max rows to print")
 	)
 	flag.Var(&tables, "table", "name=path:schema (repeatable)")
@@ -73,12 +89,31 @@ func main() {
 	if err := cli.LoadTables(eng, tables); err != nil {
 		fatal(err)
 	}
+	if *traceOut != "" {
+		eng.SetTracer(rasql.NewTracer())
+	}
 
 	run := func(src string) {
 		if strings.TrimSpace(src) == "" {
 			return
 		}
-		if *explain {
+		doExplain, doAnalyze := *explain, *analyze
+		// A script may also opt in per statement: EXPLAIN [ANALYZE] <query>.
+		if rest, ok := stripPrefixFold(src, "EXPLAIN ANALYZE"); ok {
+			src, doAnalyze = rest, true
+		} else if rest, ok := stripPrefixFold(src, "EXPLAIN"); ok {
+			src, doExplain = rest, true
+		}
+		switch {
+		case doAnalyze:
+			out, err := eng.ExplainAnalyze(src)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				return
+			}
+			fmt.Print(out)
+			return
+		case doExplain:
 			plan, err := eng.Explain(src)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
@@ -94,6 +129,7 @@ func main() {
 				return
 			}
 		}
+		before := eng.Metrics()
 		res, err := eng.Exec(src)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
@@ -103,8 +139,7 @@ func main() {
 			fmt.Print(res.Sort().Format(*maxRows))
 		}
 		if *metrics {
-			fmt.Println("--", eng.Metrics())
-			eng.ResetMetrics()
+			fmt.Println("--", eng.Metrics().Sub(before))
 		}
 	}
 
@@ -119,6 +154,61 @@ func main() {
 		run(string(b))
 	default:
 		repl(eng, run)
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		werr := eng.Tracer().WriteChrome(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fatal(werr)
+		}
+		fmt.Fprintf(os.Stderr, "trace: wrote %s\n", *traceOut)
+	}
+}
+
+// stripPrefixFold strips a case-insensitive keyword prefix (followed by
+// whitespace) from the start of a script.
+func stripPrefixFold(src, prefix string) (string, bool) {
+	s := strings.TrimSpace(src)
+	if len(s) <= len(prefix) || !strings.EqualFold(s[:len(prefix)], prefix) {
+		return src, false
+	}
+	rest := s[len(prefix):]
+	if rest[0] != ' ' && rest[0] != '\t' && rest[0] != '\n' && rest[0] != '\r' {
+		return src, false
+	}
+	return strings.TrimSpace(rest), true
+}
+
+// traceVerifyMain implements `rasql trace-verify`: validate Chrome
+// trace-event files, exit 1 if any fails.
+func traceVerifyMain(args []string) {
+	if len(args) == 0 {
+		fatal(fmt.Errorf("trace-verify: no trace files given"))
+	}
+	bad := false
+	for _, path := range args {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rasql:", err)
+			bad = true
+			continue
+		}
+		if err := rasql.ValidateChromeTrace(data); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			bad = true
+			continue
+		}
+		fmt.Printf("%s: ok\n", path)
+	}
+	if bad {
+		os.Exit(1)
 	}
 }
 

@@ -1,0 +1,107 @@
+package rasql_test
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+
+	rasql "github.com/rasql/rasql-go"
+	"github.com/rasql/rasql-go/queries"
+)
+
+// redactAnalyze strips the nondeterministic parts of an EXPLAIN ANALYZE
+// rendering — wall-clock durations and the cluster counter delta (remote
+// vs local fetch split depends on task placement) — leaving the tree
+// shape, row counts, iteration telemetry and skew, which are all
+// deterministic for a fixed cluster size.
+func redactAnalyze(out string) string {
+	out = regexp.MustCompile(`\d+(\.\d+)?(ns|µs|ms|s)`).ReplaceAllString(out, "T")
+	return regexp.MustCompile(`(?m)^Cluster delta: .*$`).ReplaceAllString(out, "Cluster delta: REDACTED")
+}
+
+// TestExplainAnalyzeGolden pins the EXPLAIN ANALYZE tree shape for the SSSP
+// recursive-aggregate query on a fixed 4×4 cluster: plan, phases, stages,
+// and the full per-iteration convergence table.
+func TestExplainAnalyzeGolden(t *testing.T) {
+	eng := rasql.New(rasql.Config{Cluster: rasql.ClusterConfig{Workers: 4, Partitions: 4}})
+	eng.MustRegister(weightedEdges())
+	out, err := eng.ExplainAnalyze(queries.SSSP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `Fixpoint[path] partitionKey=[0] decomposed=false
+  aggregate: min() AS Cost, implicit group by [0]
+  rule 0: strategy=co-partition copartBase=edge on [0]
+  view path(Dst int, Cost double): 1 base rule(s), 1 recursive rule(s)
+Final: 1 source(s), 0 conjunct(s), grouped=false, schema (Dst int, Cost double)
+-- analyze --
+Result: 5 row(s)
+Phases:
+  parse                  ×1    T
+  analyze                ×1    T
+  fixpoint               ×1    T
+  final                  ×1    T
+Stages:
+  copart.build           ×1    T (4 task(s), task time T)
+  fixpoint.shufflemap    ×5    T (20 task(s), task time T)
+Fixpoint iterations (dsn-combined): 5 recorded
+  iter     delta       all       new  improved  shuffleB  shuffleRec  skew  time
+     0         1         1         1         0        25           2  4.00  T
+     1         2         3         2         0        38           3  2.67  T
+     2         3         5         2         1        39           3  2.40  T
+     3         1         5         0         1        13           1  2.40  T
+     4         0         5         0         0         0           0  2.40  T
+Cluster delta: REDACTED
+`
+	if got := redactAnalyze(out); got != want {
+		t.Errorf("EXPLAIN ANALYZE shape drifted.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestExplainAnalyzeRestoresTracer checks that ExplainAnalyze's internal
+// tracer does not clobber one the caller attached.
+func TestExplainAnalyzeRestoresTracer(t *testing.T) {
+	eng := rasql.New(rasql.Config{})
+	eng.MustRegister(weightedEdges())
+	mine := rasql.NewTracer()
+	eng.SetTracer(mine)
+	if _, err := eng.ExplainAnalyze(queries.SSSP); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Tracer() != mine {
+		t.Fatalf("ExplainAnalyze did not restore the attached tracer")
+	}
+	// A full attached tracer keeps recording, so -trace export still sees
+	// the analyzed run.
+	if len(mine.Events()) == 0 || len(mine.Iterations()) == 0 {
+		t.Error("attached tracer did not record the analyzed run")
+	}
+}
+
+// TestTraceExport runs a recursive query with a full tracer attached and
+// checks the Chrome export validates and records the expected tracks.
+func TestTraceExport(t *testing.T) {
+	eng := rasql.New(rasql.Config{Cluster: rasql.ClusterConfig{Workers: 2, Partitions: 2}})
+	eng.MustRegister(weightedEdges())
+	tr := rasql.NewTracer()
+	eng.SetTracer(tr)
+	if _, err := eng.Query(queries.SSSP); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(tr.Iterations()); n == 0 {
+		t.Fatal("no fixpoint iterations recorded")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := rasql.ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatalf("exported trace invalid: %v\n%s", err, buf.String())
+	}
+	for _, want := range []string{`"driver"`, `"worker 0"`, `"fixpoint iterations"`, "delta rows"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("trace missing %s", want)
+		}
+	}
+}

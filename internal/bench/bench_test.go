@@ -143,3 +143,50 @@ func TestCommentaryCoversEveryExperiment(t *testing.T) {
 		}
 	}
 }
+
+// TestConvergenceCurves checks that cluster-backed measurements record
+// per-iteration convergence profiles and that TakeCurves drains them.
+func TestConvergenceCurves(t *testing.T) {
+	r := quickRunner()
+	edges := r.rmatFor(1, "SSSP")
+	if _, err := r.runSystem("rasql", "SSSP", edges); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.runSystem("rasql", "SSSP", edges); err != nil {
+		t.Fatal(err)
+	}
+	curves := r.TakeCurves()
+	if len(curves) != 2 {
+		t.Fatalf("curves = %d, want 2", len(curves))
+	}
+	c := curves[0]
+	if !strings.HasPrefix(c.Label, "rasql:") || c.Mode == "" || len(c.Points) == 0 {
+		t.Fatalf("malformed curve: %+v", c)
+	}
+	if curves[1].Label != c.Label+"#2" {
+		t.Errorf("duplicate label not disambiguated: %q vs %q", c.Label, curves[1].Label)
+	}
+	last := c.Points[len(c.Points)-1]
+	if last.DeltaRows != 0 {
+		t.Errorf("converged curve should end with an empty delta, got %d", last.DeltaRows)
+	}
+	if last.AllRows == 0 {
+		t.Error("final relation size missing from curve")
+	}
+	if r.TakeCurves() != nil {
+		t.Error("TakeCurves did not reset the accumulator")
+	}
+}
+
+func TestRecViewName(t *testing.T) {
+	cases := map[string]string{
+		"WITH recursive path (Dst, min() AS Cost) AS ...": "path",
+		"with RECURSIVE cc(X, min() as C) as (...)":       "cc",
+		"SELECT 1": "query",
+	}
+	for q, want := range cases {
+		if got := recViewName(q); got != want {
+			t.Errorf("recViewName(%q) = %q, want %q", q, got, want)
+		}
+	}
+}

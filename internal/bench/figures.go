@@ -343,11 +343,11 @@ func (r *Runner) Figure10() (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			sn, err := r.runBaseline(fixpoint.DistributedSQLSN, w.query, w.tables...)
+			sn, err := r.runBaseline("sql-sn", fixpoint.DistributedSQLSN, w.query, w.tables...)
 			if err != nil {
 				return nil, err
 			}
-			naive, err := r.runBaseline(fixpoint.DistributedSQLNaive, w.query, w.tables...)
+			naive, err := r.runBaseline("sql-naive", fixpoint.DistributedSQLNaive, w.query, w.tables...)
 			if err != nil {
 				return nil, err
 			}

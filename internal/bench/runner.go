@@ -76,6 +76,13 @@ type Runner struct {
 	// totals accumulates the metrics of every cluster-backed measurement
 	// since the last TakeTotals, feeding the machine-readable bench output.
 	totals cluster.Snapshot
+	// curves accumulates per-iteration convergence profiles since the last
+	// TakeCurves; curveSeen disambiguates repeated labels within a batch.
+	curves    []Curve
+	curveSeen map[string]int
+	// curvePrefix labels the curves of the measurement in flight (the
+	// system or baseline name); empty outside runSystem/runBaseline.
+	curvePrefix string
 }
 
 // NewRunner creates a runner.
@@ -209,12 +216,96 @@ func (r *Runner) TakeTotals() cluster.Snapshot {
 // CLI into BENCH_fixpoint.json so the perf trajectory is comparable across
 // changes.
 type Record struct {
-	Experiment     string `json:"experiment"`
-	WallNanos      int64  `json:"wall_nanos"`
-	SimNanos       int64  `json:"sim_nanos"`
-	ShuffleBytes   int64  `json:"shuffle_bytes"`
-	ShuffleRecords int64  `json:"shuffle_records"`
-	Allocs         uint64 `json:"allocs"`
+	Experiment     string  `json:"experiment"`
+	WallNanos      int64   `json:"wall_nanos"`
+	SimNanos       int64   `json:"sim_nanos"`
+	ShuffleBytes   int64   `json:"shuffle_bytes"`
+	ShuffleRecords int64   `json:"shuffle_records"`
+	Allocs         uint64  `json:"allocs"`
+	Curves         []Curve `json:"curves,omitempty"`
+}
+
+// CurvePoint is one fixpoint iteration of a convergence curve.
+type CurvePoint struct {
+	Iter         int   `json:"iter"`
+	DeltaRows    int   `json:"deltaRows"`
+	AllRows      int   `json:"allRows"`
+	ShuffleBytes int64 `json:"shuffleBytes"`
+}
+
+// Curve is the per-iteration convergence profile of one traced query run
+// (the last repeat when Repeat > 1): how fast the delta shrinks and how
+// much shuffle each iteration costs. Mode names the evaluation strategy the
+// fixpoint engine actually picked (dsn-combined, dsn-two-stage, sql-naive,
+// local, ...).
+type Curve struct {
+	Label  string       `json:"label"`
+	Mode   string       `json:"mode"`
+	Points []CurvePoint `json:"points"`
+}
+
+// TakeCurves returns the convergence curves recorded since the previous
+// call and resets the accumulator, mirroring TakeTotals.
+func (r *Runner) TakeCurves() []Curve {
+	c := r.curves
+	r.curves, r.curveSeen = nil, nil
+	return c
+}
+
+// recordCurve files one traced run's iteration telemetry under label,
+// suffixing repeated labels (#2, #3, ...) so every run in a batch stays
+// addressable.
+func (r *Runner) recordCurve(label string, iters []rasql.TraceIteration) {
+	if len(iters) == 0 {
+		return
+	}
+	if r.curveSeen == nil {
+		r.curveSeen = make(map[string]int)
+	}
+	r.curveSeen[label]++
+	if n := r.curveSeen[label]; n > 1 {
+		label = fmt.Sprintf("%s#%d", label, n)
+	}
+	c := Curve{Label: label, Mode: iters[0].Mode, Points: make([]CurvePoint, 0, len(iters))}
+	for _, it := range iters {
+		c.Points = append(c.Points, CurvePoint{
+			Iter: it.Iter, DeltaRows: it.DeltaRows, AllRows: it.AllRows,
+			ShuffleBytes: it.ShuffleBytes,
+		})
+	}
+	r.curves = append(r.curves, c)
+}
+
+// curveLabel derives a curve label from the measurement context: system or
+// baseline prefix, the recursive view's name, and the driving table.
+func (r *Runner) curveLabel(query string, tables []*relation.Relation) string {
+	label := recViewName(query)
+	if len(tables) > 0 && tables[0].Name != "" {
+		label += "@" + tables[0].Name + "-" + fmt.Sprint(tables[0].Len())
+	}
+	if r.curvePrefix != "" {
+		label = r.curvePrefix + ":" + label
+	}
+	return label
+}
+
+// recViewName extracts the recursive view's name from a query text
+// ("WITH recursive path (Dst, ...)" → "path") for curve labels.
+func recViewName(query string) string {
+	fields := strings.Fields(query)
+	for i, f := range fields {
+		if !strings.EqualFold(f, "recursive") || i+1 >= len(fields) {
+			continue
+		}
+		name := fields[i+1]
+		if j := strings.IndexAny(name, "(,"); j >= 0 {
+			name = name[:j]
+		}
+		if name != "" {
+			return strings.ToLower(name)
+		}
+	}
+	return "query"
 }
 
 // engineConfig builds a rasql.Config for one of the compared system
@@ -247,18 +338,28 @@ func engineConfig(system string, workers, partitions int) rasql.Config {
 }
 
 // runQuery times one query on a fresh engine with the given tables,
-// in simulated time.
+// in simulated time. Every run carries an iterations-only tracer — a
+// handful of slice appends per fixpoint iteration, cheap enough to leave
+// attached while timing — and the last repeat's profile is recorded as a
+// convergence curve.
 func (r *Runner) runQuery(cfg rasql.Config, query string, tables ...*relation.Relation) (time.Duration, error) {
-	return r.timeSim(func() (cluster.Snapshot, error) {
+	var iters []rasql.TraceIteration
+	d, err := r.timeSim(func() (cluster.Snapshot, error) {
 		eng := rasql.New(cfg)
+		eng.SetTracer(rasql.NewIterationsTracer())
 		for _, t := range tables {
 			// Engines only scan registered relations; sharing them across
 			// runs keeps the measurement on query execution.
 			eng.MustRegister(t)
 		}
 		_, err := eng.Query(query)
+		iters = eng.Tracer().Iterations()
 		return eng.Metrics(), err
 	})
+	if err == nil {
+		r.recordCurve(r.curveLabel(query, tables), iters)
+	}
+	return d, err
 }
 
 // runClique times just the fixpoint of a query (loading included, final

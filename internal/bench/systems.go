@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	rasql "github.com/rasql/rasql-go"
 	"github.com/rasql/rasql-go/internal/cluster"
 	"github.com/rasql/rasql-go/internal/fixpoint"
 	"github.com/rasql/rasql-go/internal/gap"
@@ -22,6 +23,8 @@ func (r *Runner) runSystem(sys, alg string, edges *relation.Relation) (time.Dura
 	switch sys {
 	case "rasql", "bigdatalog", "myria":
 		cfg := engineConfig(sys, r.cfg.Workers, r.cfg.Partitions)
+		r.curvePrefix = sys
+		defer func() { r.curvePrefix = "" }()
 		return r.runQuery(cfg, algQuery(alg), edges)
 	case "graphx", "giraph":
 		profile := pregel.ProfileGiraph
@@ -74,9 +77,11 @@ func (r *Runner) runSystem(sys, alg string, edges *relation.Relation) (time.Dura
 // baselineFn is one of the fixpoint SQL-loop baselines.
 type baselineFn func(*analyze.Clique, *exec.Context, *cluster.Cluster, fixpoint.DistOptions) (*fixpoint.Result, error)
 
-// runBaseline times a query through one of the iterative-SQL baselines.
-func (r *Runner) runBaseline(fn baselineFn, query string, tables ...*relation.Relation) (time.Duration, error) {
-	return r.timeSim(func() (cluster.Snapshot, error) {
+// runBaseline times a query through one of the iterative-SQL baselines;
+// name labels its convergence curve ("sql-sn", "sql-naive").
+func (r *Runner) runBaseline(name string, fn baselineFn, query string, tables ...*relation.Relation) (time.Duration, error) {
+	var iters []rasql.TraceIteration
+	d, err := r.timeSim(func() (cluster.Snapshot, error) {
 		c := cluster.New(cluster.Config{Workers: r.cfg.Workers, Partitions: r.cfg.Partitions,
 			Policy: cluster.PolicyHybrid})
 		cat := catalog.New()
@@ -94,7 +99,11 @@ func (r *Runner) runBaseline(fn baselineFn, query string, tables ...*relation.Re
 			return c.Metrics.Snapshot(), err
 		}
 		ctx := exec.NewContext()
-		res, err := fn(prog.Clique, ctx, c, fixpoint.DistOptions{})
+		var opt fixpoint.DistOptions
+		tr := rasql.NewIterationsTracer()
+		opt.Tracer = tr
+		res, err := fn(prog.Clique, ctx, c, opt)
+		iters = tr.Iterations()
 		if err != nil {
 			return c.Metrics.Snapshot(), err
 		}
@@ -102,6 +111,13 @@ func (r *Runner) runBaseline(fn baselineFn, query string, tables ...*relation.Re
 		_, err = exec.Query(prog.Final, ctx)
 		return c.Metrics.Snapshot(), err
 	})
+	if err == nil {
+		prev := r.curvePrefix
+		r.curvePrefix = name
+		r.recordCurve(r.curveLabel(query, tables), iters)
+		r.curvePrefix = prev
+	}
+	return d, err
 }
 
 // pregelSpec describes a vertex-centric Figure 10 workload for the GraphX

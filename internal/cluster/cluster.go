@@ -20,6 +20,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/rasql/rasql-go/internal/trace"
 	"github.com/rasql/rasql-go/internal/types"
 )
 
@@ -109,6 +110,10 @@ func (c Config) withDefaults() Config {
 type Cluster struct {
 	cfg     Config
 	Metrics Metrics
+	// Tracer, when non-nil, records stage and task spans (one track per
+	// worker). The nil default costs one pointer check per stage; the
+	// per-task span is only built when span recording is on.
+	Tracer *trace.Tracer
 	// stageSeq advances per stage; the hybrid policy uses it to rotate
 	// task placement, modeling executors picking up whichever task is
 	// next when they free up.
@@ -168,13 +173,26 @@ func (c *Cluster) RunStage(name string, tasks []Task) {
 		queues[w] = append(queues[w], t)
 	}
 
+	spans := c.Tracer.SpansEnabled()
+	var stageSpan trace.Span
+	if spans {
+		stageSpan = c.Tracer.BeginArgs("stage "+name, trace.TidDriver,
+			trace.Arg{Key: "tasks", Val: int64(len(tasks))})
+	}
 	start := startStopwatch()
 	var slowest atomic.Int64
 	runQueue := func(w int, q []Task) {
 		t0 := startStopwatch()
 		for _, t := range q {
 			burn(c.cfg.StageOverheadOps)
-			t.Run(w)
+			if spans {
+				s := c.Tracer.BeginArgs(name, trace.TidWorker(w),
+					trace.Arg{Key: "part", Val: int64(t.Part)})
+				t.Run(w)
+				s.End()
+			} else {
+				t.Run(w)
+			}
 		}
 		d := t0.elapsedNanos()
 		for {
@@ -206,6 +224,7 @@ func (c *Cluster) RunStage(name string, tasks []Task) {
 	}
 	c.Metrics.StageWallNanos.Add(start.elapsedNanos())
 	c.Metrics.SimNanos.Add(slowest.Load())
+	stageSpan.End()
 }
 
 func (c *Cluster) place(t Task, seq int) int {

@@ -124,8 +124,9 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 	}
 }
 
-// String renders the snapshot as one line.
+// String renders the snapshot as one line, covering every counter.
 func (s Snapshot) String() string {
-	return fmt.Sprintf("stages=%d tasks=%d iters=%d shuffleRecs=%d shuffleBytes=%d remoteBytes=%d bcastBytes=%d",
-		s.StagesRun, s.TasksRun, s.Iterations, s.ShuffleRecords, s.ShuffleBytes, s.RemoteFetchBytes, s.BroadcastBytes)
+	return fmt.Sprintf("stages=%d tasks=%d iters=%d shuffleRecs=%d shuffleBytes=%d remoteBytes=%d localRows=%d bcastBytes=%d simNanos=%d stageWallNanos=%d",
+		s.StagesRun, s.TasksRun, s.Iterations, s.ShuffleRecords, s.ShuffleBytes,
+		s.RemoteFetchBytes, s.LocalFetchRows, s.BroadcastBytes, s.SimNanos, s.StageWallNanos)
 }

@@ -9,6 +9,7 @@ import (
 	"github.com/rasql/rasql-go/internal/relation"
 	"github.com/rasql/rasql-go/internal/sql/analyze"
 	"github.com/rasql/rasql-go/internal/sql/exec"
+	"github.com/rasql/rasql-go/internal/trace"
 	"github.com/rasql/rasql-go/internal/types"
 )
 
@@ -70,6 +71,7 @@ func DistributedSQLNaive(clique *analyze.Clique, ctx *exec.Context, c *cluster.C
 	// state[p] holds the current full relation partition; each iteration
 	// builds a fresh copy (immutable SQL results).
 	state := make([][]types.Row, parts)
+	tr := opt.Tracer
 	iter := 0
 	for {
 		iter++
@@ -83,6 +85,11 @@ func DistributedSQLNaive(clique *analyze.Clique, ctx *exec.Context, c *cluster.C
 			return nil, err
 		}
 
+		var mark shuffleMark
+		if tr.Enabled() {
+			mark = markShuffle(c)
+		}
+		is := tr.BeginIteration(iter)
 		sh := c.NewShuffle(parts)
 		//rasql:allow workeraffinity -- driver-side seed write (producer -1) before any map task starts; the driver shard has exactly one writer
 		sh.Add(seed, -1) // the base branch of the UNION, re-scanned
@@ -124,6 +131,22 @@ func DistributedSQLNaive(clique *analyze.Clique, ctx *exec.Context, c *cluster.C
 			}}
 		}
 		c.RunStage("sqlnaive.reduce", redTasks)
+		if tr.Enabled() {
+			// Naive SQL has no delta; report relation growth against the
+			// previous iteration so the curve compares with semi-naive runs.
+			grown := rowsTotal(next) - rowsTotal(state)
+			if grown < 0 {
+				grown = 0
+			}
+			ev := trace.IterationEvent{
+				Mode: "sql-naive", DeltaRows: grown, NewKeys: grown,
+				AllRows:        rowsTotal(next),
+				ShuffleBytes:   c.Metrics.ShuffleBytes.Load() - mark.bytes,
+				ShuffleRecords: c.Metrics.ShuffleRecords.Load() - mark.recs,
+				PartRows:       partLens(next),
+			}
+			is.End(ev)
+		}
 		state = next
 		if !changedAny {
 			break
@@ -149,6 +172,14 @@ func rowsTotal(state [][]types.Row) int {
 		n += len(p)
 	}
 	return n
+}
+
+func partLens(state [][]types.Row) []int {
+	out := make([]int, len(state))
+	for p, rows := range state {
+		out[p] = len(rows)
+	}
+	return out
 }
 
 // aggregateFull applies the view's γ (group aggregate or set dedup) to a

@@ -333,8 +333,10 @@ func runTwoStage(plan *Plan, state *viewState, kernels []*ruleKernel, seed [][]t
 	parts := state.partitions()
 	pr := newProjector(plan, parts)
 	deltas := make([]deltaBatch, parts)
+	tr := opt.Tracer
 
 	// Seed: merge the base case in one reduce-like stage.
+	seedSpan := tr.BeginIteration(0)
 	seedTasks := make([]cluster.Task, parts)
 	for i := range seedTasks {
 		p := i
@@ -344,6 +346,11 @@ func runTwoStage(plan *Plan, state *viewState, kernels []*ruleKernel, seed [][]t
 		}}
 	}
 	c.RunStage("fixpoint.seed", seedTasks)
+	if tr.Enabled() {
+		ev := iterEvent("dsn-two-stage", state, nil, shuffleMark{})
+		countDeltas(&ev, deltas)
+		seedSpan.End(ev)
+	}
 
 	iter := 0
 	for {
@@ -362,6 +369,11 @@ func runTwoStage(plan *Plan, state *viewState, kernels []*ruleKernel, seed [][]t
 				return nil, err
 			}
 		}
+		var mark shuffleMark
+		if tr.Enabled() {
+			mark = markShuffle(c)
+		}
+		is := tr.BeginIteration(iter)
 		sh := c.NewShuffle(parts)
 		mapTasks := make([]cluster.Task, 0, parts)
 		for p := 0; p < parts; p++ {
@@ -398,6 +410,11 @@ func runTwoStage(plan *Plan, state *viewState, kernels []*ruleKernel, seed [][]t
 		}
 		c.RunStage("fixpoint.reduce", redTasks)
 		deltas = next
+		if tr.Enabled() {
+			ev := iterEvent("dsn-two-stage", state, c, mark)
+			countDeltas(&ev, deltas)
+			is.End(ev)
+		}
 	}
 	return collect(plan, state, c, iter)
 }
@@ -410,6 +427,8 @@ func runTwoStage(plan *Plan, state *viewState, kernels []*ruleKernel, seed [][]t
 func runCombined(plan *Plan, state *viewState, kernels []*ruleKernel, seed [][]types.Row, c *cluster.Cluster, opt DistOptions) (*Result, error) {
 	parts := state.partitions()
 	pr := newProjector(plan, parts)
+	tr := opt.Tracer
+	traceOn := tr.Enabled()
 
 	sh := c.NewShuffle(parts)
 	//rasql:allow workeraffinity -- driver-side seed write (producer -1) before any worker task starts; the driver shard has exactly one writer
@@ -417,6 +436,9 @@ func runCombined(plan *Plan, state *viewState, kernels []*ruleKernel, seed [][]t
 
 	var pending atomic.Int64
 	var failureFired atomic.Bool
+	// Per-pass frontier counters, accumulated by the merge tasks (the
+	// combined runner never materializes its deltas on the driver).
+	var dRows, dNews, dImp atomic.Int64
 	pending.Store(1) // seed data
 	iter := 0
 	for pending.Load() > 0 {
@@ -430,6 +452,16 @@ func runCombined(plan *Plan, state *viewState, kernels []*ruleKernel, seed [][]t
 		if iter > opt.maxIter() || (opt.MaxRows > 0 && state.len() > opt.MaxRows) {
 			return nil, &ErrNonTermination{Iterations: iter, Rows: state.len()}
 		}
+		var mark shuffleMark
+		if traceOn {
+			mark = markShuffle(c)
+			dRows.Store(0)
+			dNews.Store(0)
+			dImp.Store(0)
+		}
+		// Pass 1 is the base-case merge, so its telemetry lands on
+		// iteration 0 — aligned with the two-stage runner's seed stage.
+		is := tr.BeginIteration(iter - 1)
 		next := c.NewShuffle(parts)
 		pending.Store(0)
 		tasks := make([]cluster.Task, parts)
@@ -456,6 +488,12 @@ func runCombined(plan *Plan, state *viewState, kernels []*ruleKernel, seed [][]t
 					state.restore(cp)
 					d = state.merge(p, rows)
 				}
+				if traceOn {
+					rows, news, imp := countDelta(d)
+					dRows.Add(int64(rows))
+					dNews.Add(int64(news))
+					dImp.Add(int64(imp))
+				}
 				if d.empty() {
 					return
 				}
@@ -470,6 +508,13 @@ func runCombined(plan *Plan, state *viewState, kernels []*ruleKernel, seed [][]t
 			}}
 		}
 		c.RunStage("fixpoint.shufflemap", tasks)
+		if traceOn {
+			ev := iterEvent("dsn-combined", state, c, mark)
+			ev.DeltaRows = int(dRows.Load())
+			ev.NewKeys = int(dNews.Load())
+			ev.Improved = int(dImp.Load())
+			is.End(ev)
+		}
 		sh = next
 	}
 	return collect(plan, state, c, iter-1)
@@ -482,11 +527,19 @@ func runCombined(plan *Plan, state *viewState, kernels []*ruleKernel, seed [][]t
 func runDecomposed(plan *Plan, state *viewState, kernels []*ruleKernel, seed [][]types.Row, c *cluster.Cluster, opt DistOptions) (*Result, error) {
 	parts := state.partitions()
 	pr := newProjector(plan, parts)
+	tr := opt.Tracer
+	traceOn := tr.Enabled()
 	var maxIters atomic.Int64
+	var dRows, dNews, dImp atomic.Int64
 	var failed atomic.Bool
 	var mu sync.Mutex
 	var firstErr error
 
+	// Decomposed execution has no global iteration barrier — each partition
+	// races to its own fixpoint inside one stage — so the telemetry is a
+	// single summary event spanning the stage, numbered with the deepest
+	// partition's iteration count.
+	is := tr.BeginIteration(0)
 	tasks := make([]cluster.Task, parts)
 	for i := range tasks {
 		p := i
@@ -495,6 +548,12 @@ func runDecomposed(plan *Plan, state *viewState, kernels []*ruleKernel, seed [][
 			d := state.merge(p, rows)
 			local := 0
 			for !d.empty() {
+				if traceOn {
+					n, nw, im := countDelta(d)
+					dRows.Add(int64(n))
+					dNews.Add(int64(nw))
+					dImp.Add(int64(im))
+				}
 				local++
 				if local > opt.maxIter() || (opt.MaxRows > 0 && len(state.rows(p))*parts > opt.MaxRows) {
 					failed.Store(true)
@@ -532,6 +591,13 @@ func runDecomposed(plan *Plan, state *viewState, kernels []*ruleKernel, seed [][
 		return nil, firstErr
 	}
 	c.Metrics.Iterations.Add(maxIters.Load())
+	if traceOn {
+		ev := iterEvent("dsn-decomposed", state, nil, shuffleMark{})
+		ev.DeltaRows = int(dRows.Load())
+		ev.NewKeys = int(dNews.Load())
+		ev.Improved = int(dImp.Load())
+		is.EndAt(int(maxIters.Load()), ev)
+	}
 	return collect(plan, state, c, int(maxIters.Load()))
 }
 

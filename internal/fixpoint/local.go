@@ -20,6 +20,7 @@ import (
 	"github.com/rasql/rasql-go/internal/sql/analyze"
 	"github.com/rasql/rasql-go/internal/sql/exec"
 	"github.com/rasql/rasql-go/internal/sql/expr"
+	"github.com/rasql/rasql-go/internal/trace"
 	"github.com/rasql/rasql-go/internal/types"
 )
 
@@ -34,6 +35,10 @@ type Options struct {
 	// Naive disables semi-naive evaluation: every iteration re-derives
 	// everything from the full state (the paper's Algorithm 1/2).
 	Naive bool
+	// Tracer, when non-nil, receives per-iteration fixpoint telemetry
+	// (and, through the cluster, stage/task spans). Nil disables tracing
+	// at near-zero cost.
+	Tracer *trace.Tracer
 }
 
 func (o Options) maxIter() int {
@@ -237,7 +242,9 @@ func Local(clique *analyze.Clique, ctx *exec.Context, opt Options) (*Result, err
 		byName[strings.ToLower(lv.v.Name)] = lv
 	}
 
-	// Base cases seed the deltas.
+	tr := opt.Tracer
+	// Base cases seed the deltas (iteration 0 of the telemetry).
+	seedSpan := tr.BeginIteration(0)
 	for _, lv := range views {
 		var emitted []types.Row
 		for _, rule := range lv.v.BaseRules {
@@ -248,6 +255,9 @@ func Local(clique *analyze.Clique, ctx *exec.Context, opt Options) (*Result, err
 			emitted = append(emitted, rows...)
 		}
 		lv.merge(emitted)
+	}
+	if tr.Enabled() {
+		seedSpan.End(localIterEvent("local", views))
 	}
 
 	iter := 0
@@ -266,6 +276,7 @@ func Local(clique *analyze.Clique, ctx *exec.Context, opt Options) (*Result, err
 			return nil, &ErrNonTermination{Iterations: iter, Rows: totalRows(views)}
 		}
 
+		is := tr.BeginIteration(iter)
 		emitted := make([][]types.Row, len(views))
 		for vi, lv := range views {
 			for _, rule := range lv.v.RecRules {
@@ -278,6 +289,9 @@ func Local(clique *analyze.Clique, ctx *exec.Context, opt Options) (*Result, err
 		}
 		for vi, lv := range views {
 			lv.merge(emitted[vi])
+		}
+		if tr.Enabled() {
+			is.End(localIterEvent("local", views))
 		}
 	}
 
@@ -444,17 +458,31 @@ func localNaive(clique *analyze.Clique, ctx *exec.Context, opt Options) (*Result
 	for _, v := range clique.Views {
 		state[strings.ToLower(v.Name)] = relation.New(v.Name, v.Schema)
 	}
+	tr := opt.Tracer
+	prevRows := 0
 	iter := 0
 	for {
 		iter++
 		if iter > opt.maxIter() {
 			return nil, &ErrNonTermination{Iterations: iter, Rows: naiveRows(state)}
 		}
+		is := tr.BeginIteration(iter)
 		next, changedAny, err := NaiveStep(clique, state, ctx)
 		if err != nil {
 			return nil, err
 		}
 		state = next
+		if tr.Enabled() {
+			// Naive evaluation has no delta; report relation growth so the
+			// curve is comparable with the semi-naive runs.
+			n := naiveRows(state)
+			grown := n - prevRows
+			if grown < 0 {
+				grown = 0
+			}
+			prevRows = n
+			is.End(trace.IterationEvent{Mode: "local-naive", DeltaRows: grown, NewKeys: grown, AllRows: n})
+		}
 		if !changedAny {
 			break
 		}

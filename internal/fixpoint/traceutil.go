@@ -1,0 +1,86 @@
+package fixpoint
+
+import (
+	"github.com/rasql/rasql-go/internal/cluster"
+	"github.com/rasql/rasql-go/internal/trace"
+)
+
+// This file adapts the evaluators' internal state to trace.IterationEvent.
+// Everything here is driver-side and runs only when a tracer is attached;
+// the evaluators guard each call with Tracer.Enabled() so the disabled path
+// never pays for the telemetry.
+
+// shuffleMark snapshots the cluster shuffle counters so an iteration's
+// shuffle volume can be reported as a delta rather than a running total.
+type shuffleMark struct{ bytes, recs int64 }
+
+func markShuffle(c *cluster.Cluster) shuffleMark {
+	return shuffleMark{
+		bytes: c.Metrics.ShuffleBytes.Load(),
+		recs:  c.Metrics.ShuffleRecords.Load(),
+	}
+}
+
+// iterEvent builds the state- and cluster-derived half of an iteration
+// event: all-relation size, per-partition skew profile, shuffle deltas.
+// Delta counts are filled in by the caller (countDeltas or task-side
+// accumulators, depending on where the evaluator sees its frontier).
+func iterEvent(mode string, state *viewState, c *cluster.Cluster, m shuffleMark) trace.IterationEvent {
+	ev := trace.IterationEvent{Mode: mode}
+	if state != nil {
+		ev.AllRows = state.len()
+		ev.PartRows = make([]int, state.partitions())
+		for p := range ev.PartRows {
+			ev.PartRows[p] = len(state.rows(p))
+		}
+	}
+	if c != nil {
+		ev.ShuffleBytes = c.Metrics.ShuffleBytes.Load() - m.bytes
+		ev.ShuffleRecords = c.Metrics.ShuffleRecords.Load() - m.recs
+	}
+	return ev
+}
+
+// countDeltas folds per-partition frontier batches into the event's delta
+// counts. A batch without News flags is a set frontier: every row is a
+// first derivation.
+func countDeltas(ev *trace.IterationEvent, deltas []deltaBatch) {
+	for _, d := range deltas {
+		rows, news, improved := countDelta(d)
+		ev.DeltaRows += rows
+		ev.NewKeys += news
+		ev.Improved += improved
+	}
+}
+
+// localIterEvent summarizes the single-threaded evaluator's frontier: the
+// per-view deltas just produced and the accumulated state size.
+func localIterEvent(mode string, views []*localView) trace.IterationEvent {
+	ev := trace.IterationEvent{Mode: mode, AllRows: totalRows(views)}
+	for _, lv := range views {
+		for _, d := range lv.delta {
+			ev.DeltaRows++
+			if d.isNew {
+				ev.NewKeys++
+			} else {
+				ev.Improved++
+			}
+		}
+	}
+	return ev
+}
+
+func countDelta(d deltaBatch) (rows, news, improved int) {
+	rows = len(d.Rows)
+	if d.News == nil {
+		return rows, rows, 0
+	}
+	for _, n := range d.News {
+		if n {
+			news++
+		} else {
+			improved++
+		}
+	}
+	return rows, news, improved
+}

@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteChrome serializes the recorded events in the Chrome trace-event JSON
+// format (the one Perfetto and chrome://tracing load): an object with a
+// traceEvents array, timestamps and durations in microseconds. Each worker
+// renders as its own named thread track, iteration telemetry as B/E slices
+// plus counter series on a dedicated track.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	events := t.Events()
+	sort.SliceStable(events, func(i, j int) bool { return events[i].TS < events[j].TS })
+
+	out := make([]map[string]any, 0, len(events)+8)
+	out = append(out, map[string]any{
+		"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+		"args": map[string]any{"name": "rasql"},
+	})
+	seen := map[int]bool{}
+	for _, e := range events {
+		if seen[e.Tid] {
+			continue
+		}
+		seen[e.Tid] = true
+		out = append(out, map[string]any{
+			"name": "thread_name", "ph": "M", "pid": 1, "tid": e.Tid,
+			"args": map[string]any{"name": trackName(e.Tid)},
+		})
+	}
+	for _, e := range events {
+		ev := map[string]any{
+			"name": e.Name,
+			"ph":   string(e.Phase),
+			"pid":  1,
+			"tid":  e.Tid,
+			"ts":   float64(e.TS) / 1e3,
+		}
+		if e.Phase == 'X' {
+			ev["dur"] = float64(e.Dur) / 1e3
+		}
+		if e.Phase == 'i' {
+			ev["s"] = "t" // thread-scoped instant
+		}
+		if len(e.Args) > 0 {
+			args := make(map[string]any, len(e.Args))
+			for _, a := range e.Args {
+				args[a.Key] = a.Val
+			}
+			ev["args"] = args
+		}
+		out = append(out, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"traceEvents":     out,
+		"displayTimeUnit": "ms",
+	})
+}
+
+func trackName(tid int) string {
+	switch {
+	case tid == TidDriver:
+		return "driver"
+	case tid == TidIterations:
+		return "fixpoint iterations"
+	default:
+		return "worker " + itoa(tid-1)
+	}
+}
+
+// chromeEvent is the subset of the trace-event schema ValidateChrome checks.
+type chromeEvent struct {
+	Name string   `json:"name"`
+	Ph   string   `json:"ph"`
+	Pid  int      `json:"pid"`
+	Tid  int      `json:"tid"`
+	TS   *float64 `json:"ts"`
+	Dur  float64  `json:"dur"`
+}
+
+// ValidateChrome checks that data is a well-formed Chrome trace: parseable
+// as {"traceEvents": [...]} or a bare event array, every event carrying a
+// name, a known phase and a non-negative timestamp, timestamps monotone
+// non-decreasing per track, and B/E pairs balanced with matching names.
+func ValidateChrome(data []byte) error {
+	var wrapper struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	var events []chromeEvent
+	if err := json.Unmarshal(data, &wrapper); err == nil && wrapper.TraceEvents != nil {
+		events = wrapper.TraceEvents
+	} else if err := json.Unmarshal(data, &events); err != nil {
+		return fmt.Errorf("trace: not a trace-event JSON document: %w", err)
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("trace: no events")
+	}
+
+	lastTS := map[int]float64{}
+	stacks := map[int][]string{}
+	for i, e := range events {
+		where := fmt.Sprintf("event %d (%q)", i, e.Name)
+		if e.Name == "" {
+			return fmt.Errorf("trace: event %d has no name", i)
+		}
+		switch e.Ph {
+		case "B", "E", "X", "C", "i", "M":
+		default:
+			return fmt.Errorf("trace: %s has unsupported phase %q", where, e.Ph)
+		}
+		if e.Ph == "M" {
+			continue // metadata events carry no timestamp
+		}
+		if e.TS == nil {
+			return fmt.Errorf("trace: %s has no timestamp", where)
+		}
+		ts := *e.TS
+		if ts < 0 {
+			return fmt.Errorf("trace: %s has negative timestamp %v", where, ts)
+		}
+		if prev, ok := lastTS[e.Tid]; ok && ts < prev {
+			return fmt.Errorf("trace: %s goes back in time on track %d (%v < %v)", where, e.Tid, ts, prev)
+		}
+		lastTS[e.Tid] = ts
+		switch e.Ph {
+		case "X":
+			if e.Dur < 0 {
+				return fmt.Errorf("trace: %s has negative duration %v", where, e.Dur)
+			}
+		case "B":
+			stacks[e.Tid] = append(stacks[e.Tid], e.Name)
+		case "E":
+			st := stacks[e.Tid]
+			if len(st) == 0 {
+				return fmt.Errorf("trace: %s ends a span that never began on track %d", where, e.Tid)
+			}
+			if top := st[len(st)-1]; top != e.Name {
+				return fmt.Errorf("trace: %s ends while %q is open on track %d", where, top, e.Tid)
+			}
+			stacks[e.Tid] = st[:len(st)-1]
+		}
+	}
+	for tid, st := range stacks {
+		if len(st) > 0 {
+			return fmt.Errorf("trace: track %d has %d unclosed span(s), first %q", tid, len(st), st[0])
+		}
+	}
+	return nil
+}

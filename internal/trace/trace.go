@@ -1,0 +1,311 @@
+// Package trace is the engine's structured execution tracer: spans for
+// driver phases, stages and tasks, plus per-iteration fixpoint telemetry
+// (delta sizes, all-relation growth, shuffle volume, partition skew).
+//
+// Like the cluster's metrics stopwatch, this package is the observability
+// side of the simclock boundary: its readings feed traces and EXPLAIN
+// ANALYZE output, never results, placement or iteration counts. It is
+// therefore deliberately outside the simclock analyzer's deterministic
+// package set — the engine packages that call into it stay clock-free, and
+// the clock reads live in exactly one place (clock.go).
+//
+// A nil *Tracer is the disabled tracer: every method is safe to call on it
+// and costs one nil check, no allocation. Hot paths that must stay
+// allocation-free when tracing is off (the cluster's per-task loop) call
+// SpansEnabled before building any event data.
+package trace
+
+import "sync"
+
+// Level selects how much a Tracer records.
+type Level int
+
+const (
+	// LevelIterations records fixpoint iteration events only. Span calls
+	// are no-ops, so a run traced at this level pays one mutex append per
+	// iteration — cheap enough to leave on during benchmarking.
+	LevelIterations Level = iota
+	// LevelSpans additionally records driver-phase, stage and task spans.
+	LevelSpans
+)
+
+// Track ids (Chrome trace "tid"s). The driver is track 0, workers count
+// from 1, and iteration events render on their own counter-style track.
+const (
+	TidDriver     = 0
+	TidIterations = 1000000
+)
+
+// TidWorker maps a simulated worker index to its track id (-1, the driver,
+// maps to the driver track).
+func TidWorker(w int) int {
+	if w < 0 {
+		return TidDriver
+	}
+	return w + 1
+}
+
+// Arg is one key/value annotation on an event.
+type Arg struct {
+	Key string
+	Val int64
+}
+
+// Event is one recorded trace event, timestamped in nanoseconds since the
+// tracer was created. Phase follows the Chrome trace-event vocabulary:
+// 'X' complete span, 'B'/'E' begin/end pair, 'C' counter, 'i' instant.
+type Event struct {
+	Name  string
+	Phase byte
+	Tid   int
+	TS    int64
+	Dur   int64 // 'X' only
+	Args  []Arg
+}
+
+// IterationEvent is the per-iteration fixpoint telemetry record. Iteration
+// 0 is the base-case (seed) merge; iterations count from 1 after that, so
+// the series aligns with the cluster's Iterations metric across execution
+// modes.
+type IterationEvent struct {
+	// Iter is the iteration number (0 = base-case merge).
+	Iter int
+	// Mode names the evaluator that produced the event (dsn-two-stage,
+	// dsn-combined, dsn-decomposed, sql-naive, local, local-naive).
+	Mode string
+	// DeltaRows counts the delta rows produced by this iteration's merge.
+	DeltaRows int
+	// AllRows is the all-relation size after the merge.
+	AllRows int
+	// NewKeys counts delta entries whose tuple/group first appeared this
+	// iteration; Improved counts entries whose aggregate value changed on
+	// an existing group (DeltaRows = NewKeys + Improved).
+	NewKeys  int
+	Improved int
+	// ShuffleBytes / ShuffleRecords are the shuffle volume written during
+	// this iteration (counter deltas, not totals).
+	ShuffleBytes   int64
+	ShuffleRecords int64
+	// PartRows holds the per-partition all-relation row counts after the
+	// merge — the skew profile.
+	PartRows []int
+	// StartNS/EndNS bound the iteration on the trace clock.
+	StartNS, EndNS int64
+}
+
+// Skew returns the max/mean ratio of the per-partition row counts
+// (1.0 = perfectly balanced; 0 when the event carries no partition data).
+func (e *IterationEvent) Skew() float64 {
+	if len(e.PartRows) == 0 {
+		return 0
+	}
+	total, max := 0, 0
+	for _, n := range e.PartRows {
+		total += n
+		if n > max {
+			max = n
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	mean := float64(total) / float64(len(e.PartRows))
+	return float64(max) / mean
+}
+
+// Tracer records execution events. It is safe for concurrent use by the
+// driver and worker goroutines; a nil Tracer is the disabled tracer.
+type Tracer struct {
+	level Level
+	start startRef
+
+	mu     sync.Mutex
+	events []Event
+	iters  []IterationEvent
+}
+
+// New creates a full tracer: spans and iteration events.
+func New() *Tracer {
+	return &Tracer{level: LevelSpans, start: startClock()}
+}
+
+// NewIterationsOnly creates a tracer that records iteration events but
+// drops spans — the mode the benchmark runner uses so convergence curves
+// come out of measured runs without per-task tracing overhead.
+func NewIterationsOnly() *Tracer {
+	return &Tracer{level: LevelIterations, start: startClock()}
+}
+
+// Enabled reports whether the tracer records anything (nil = disabled).
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// SpansEnabled reports whether span events are recorded. Callers that
+// would allocate to build span data must check this first.
+func (t *Tracer) SpansEnabled() bool { return t != nil && t.level >= LevelSpans }
+
+// Span is an in-flight span returned by Begin; its End records the event.
+// The zero Span (from a disabled tracer) is a no-op.
+type Span struct {
+	t    *Tracer
+	name string
+	tid  int
+	args []Arg
+	t0   int64
+}
+
+// Begin opens a span on the given track. On a disabled tracer it returns
+// the zero Span without reading the clock or allocating.
+func (t *Tracer) Begin(name string, tid int) Span {
+	if !t.SpansEnabled() {
+		return Span{}
+	}
+	return Span{t: t, name: name, tid: tid, t0: t.sinceStart()}
+}
+
+// BeginArgs is Begin with annotations attached to the completed span.
+func (t *Tracer) BeginArgs(name string, tid int, args ...Arg) Span {
+	if !t.SpansEnabled() {
+		return Span{}
+	}
+	return Span{t: t, name: name, tid: tid, args: args, t0: t.sinceStart()}
+}
+
+// End completes the span and records it as an 'X' event.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	now := s.t.sinceStart()
+	s.t.append(Event{Name: s.name, Phase: 'X', Tid: s.tid, TS: s.t0, Dur: now - s.t0, Args: s.args})
+}
+
+// IterSpan brackets one fixpoint iteration; End attaches the telemetry.
+// The zero IterSpan is a no-op.
+type IterSpan struct {
+	t    *Tracer
+	iter int
+	t0   int64
+}
+
+// BeginIteration opens iteration telemetry. Unlike Begin it works at every
+// level — iteration events are the tracer's reason to exist.
+func (t *Tracer) BeginIteration(iter int) IterSpan {
+	if t == nil {
+		return IterSpan{}
+	}
+	return IterSpan{t: t, iter: iter, t0: t.sinceStart()}
+}
+
+// End records the iteration event: the telemetry row plus, on the
+// iteration track, a B/E span pair and counter samples for the convergence
+// curves. ev.Iter, StartNS and EndNS are filled from the span.
+func (s IterSpan) End(ev IterationEvent) {
+	if s.t == nil {
+		return
+	}
+	now := s.t.sinceStart()
+	ev.Iter = s.iter
+	ev.StartNS, ev.EndNS = s.t0, now
+	name := "iteration " + itoa(s.iter)
+	s.t.mu.Lock()
+	s.t.iters = append(s.t.iters, ev)
+	if s.t.level >= LevelSpans {
+		s.t.events = append(s.t.events,
+			Event{Name: name, Phase: 'B', Tid: TidIterations, TS: s.t0},
+			Event{Name: name, Phase: 'E', Tid: TidIterations, TS: now},
+			Event{Name: "delta rows", Phase: 'C', Tid: TidIterations, TS: now, Args: []Arg{{"rows", int64(ev.DeltaRows)}}},
+			Event{Name: "all rows", Phase: 'C', Tid: TidIterations, TS: now, Args: []Arg{{"rows", int64(ev.AllRows)}}},
+			Event{Name: "shuffle bytes/iter", Phase: 'C', Tid: TidIterations, TS: now, Args: []Arg{{"bytes", ev.ShuffleBytes}}},
+		)
+	}
+	s.t.mu.Unlock()
+}
+
+// EndAt is End with the iteration number resolved late — for evaluators
+// (the decomposed runner) that only learn the count when their single
+// stage completes.
+func (s IterSpan) EndAt(iter int, ev IterationEvent) {
+	if s.t == nil {
+		return
+	}
+	s.iter = iter
+	s.End(ev)
+}
+
+// Instant records a point event on a track.
+func (t *Tracer) Instant(name string, tid int, args ...Arg) {
+	if !t.SpansEnabled() {
+		return
+	}
+	t.append(Event{Name: name, Phase: 'i', Tid: tid, TS: t.sinceStart(), Args: args})
+}
+
+func (t *Tracer) append(e Event) {
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// Iterations returns a copy of the recorded iteration telemetry, in
+// recording order.
+func (t *Tracer) Iterations() []IterationEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]IterationEvent(nil), t.iters...)
+}
+
+// SpanStat aggregates the 'X' spans sharing one name.
+type SpanStat struct {
+	Name    string
+	Count   int
+	TotalNS int64
+}
+
+// SummarizeSpans aggregates complete ('X') spans by name, in first-seen
+// order. A nil pred admits every span.
+func SummarizeSpans(events []Event, pred func(Event) bool) []SpanStat {
+	idx := map[string]int{}
+	var out []SpanStat
+	for _, e := range events {
+		if e.Phase != 'X' || (pred != nil && !pred(e)) {
+			continue
+		}
+		i, ok := idx[e.Name]
+		if !ok {
+			i = len(out)
+			idx[e.Name] = i
+			out = append(out, SpanStat{Name: e.Name})
+		}
+		out[i].Count++
+		out[i].TotalNS += e.Dur
+	}
+	return out
+}
+
+// itoa is strconv.Itoa for small non-negative ints without the import.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

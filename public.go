@@ -6,6 +6,7 @@ import (
 	"github.com/rasql/rasql-go/internal/cluster"
 	"github.com/rasql/rasql-go/internal/relation"
 	"github.com/rasql/rasql-go/internal/sql/vet"
+	"github.com/rasql/rasql-go/internal/trace"
 	"github.com/rasql/rasql-go/internal/types"
 )
 
@@ -44,6 +45,29 @@ type ClusterConfig = cluster.Config
 
 // MetricsSnapshot is a copy of the cluster's execution counters.
 type MetricsSnapshot = cluster.Snapshot
+
+// Tracer records structured execution traces: driver-phase, stage and task
+// spans plus per-iteration fixpoint telemetry. Attach one with
+// Engine.SetTracer; a nil tracer disables tracing at near-zero cost.
+type Tracer = trace.Tracer
+
+// TraceEvent is one recorded span/counter/instant event.
+type TraceEvent = trace.Event
+
+// TraceIteration is one iteration's fixpoint telemetry.
+type TraceIteration = trace.IterationEvent
+
+// NewTracer creates a full tracer (spans and iteration telemetry).
+func NewTracer() *Tracer { return trace.New() }
+
+// NewIterationsTracer creates a tracer that records only per-iteration
+// fixpoint telemetry — cheap enough to leave attached while benchmarking.
+func NewIterationsTracer() *Tracer { return trace.NewIterationsOnly() }
+
+// ValidateChromeTrace checks data against the Chrome trace-event schema
+// (well-formed JSON, known phases, per-track monotone timestamps, balanced
+// B/E pairs) — the validation the CI smoke test runs on exported traces.
+func ValidateChromeTrace(data []byte) error { return trace.ValidateChrome(data) }
 
 // Scheduling policies for ClusterConfig.Policy.
 const (

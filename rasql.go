@@ -22,7 +22,6 @@ package rasql
 import (
 	"errors"
 	"fmt"
-	"strings"
 
 	"github.com/rasql/rasql-go/internal/cluster"
 	"github.com/rasql/rasql-go/internal/fixpoint"
@@ -34,6 +33,7 @@ import (
 	"github.com/rasql/rasql-go/internal/sql/optimize"
 	"github.com/rasql/rasql-go/internal/sql/parser"
 	"github.com/rasql/rasql-go/internal/sql/vet"
+	"github.com/rasql/rasql-go/internal/trace"
 )
 
 // Config parameterizes an Engine. The zero value is a working default:
@@ -65,6 +65,7 @@ type Engine struct {
 	cfg     Config
 	cat     *catalog.Catalog
 	cluster *cluster.Cluster
+	tracer  *trace.Tracer
 }
 
 // New creates an engine. Unless cfg.RawOptimizations is set, the paper's
@@ -101,11 +102,25 @@ func (e *Engine) Metrics() cluster.Snapshot { return e.cluster.Metrics.Snapshot(
 // ResetMetrics zeroes the cluster counters.
 func (e *Engine) ResetMetrics() { e.cluster.Metrics.Reset() }
 
+// SetTracer attaches a tracer to the engine; subsequent queries record
+// driver-phase, stage and task spans plus per-iteration fixpoint telemetry
+// into it. Passing nil detaches tracing (the default, near-zero-cost
+// state).
+func (e *Engine) SetTracer(t *trace.Tracer) {
+	e.tracer = t
+	e.cluster.Tracer = t
+}
+
+// Tracer returns the currently attached tracer (nil when tracing is off).
+func (e *Engine) Tracer() *trace.Tracer { return e.tracer }
+
 // Exec runs a script: CREATE VIEW statements register views; each SELECT or
 // WITH statement executes. The result of the last query statement is
 // returned (nil if the script only defines views).
 func (e *Engine) Exec(src string) (*relation.Relation, error) {
+	sp := e.tracer.Begin("parse", trace.TidDriver)
 	stmts, err := parser.Parse(src)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -119,11 +134,15 @@ func (e *Engine) Exec(src string) (*relation.Relation, error) {
 			}
 			continue
 		}
+		sp = e.tracer.Begin("analyze", trace.TidDriver)
 		prog, err := analyze.Statement(s, e.cat)
 		if err != nil {
+			sp.End()
 			return nil, err
 		}
-		last, err = e.Run(optimize.Program(prog))
+		opt := optimize.Program(prog)
+		sp.End()
+		last, err = e.Run(opt)
 		if err != nil {
 			return nil, err
 		}
@@ -150,6 +169,8 @@ func (e *Engine) Query(src string) (*relation.Relation, error) {
 // throwaway copy of the catalog, so vetting never mutates the session. The
 // merged report covers every query statement in the script.
 func (e *Engine) Vet(src string) (*vet.Report, error) {
+	sp := e.tracer.Begin("vet", trace.TidDriver)
+	defer sp.End()
 	stmts, err := parser.Parse(src)
 	if err != nil {
 		return nil, err
@@ -179,13 +200,18 @@ func (e *Engine) Vet(src string) (*vet.Report, error) {
 func (e *Engine) Run(prog *analyze.Program) (*relation.Relation, error) {
 	ctx := exec.NewContext()
 	if prog.Clique != nil && len(prog.Clique.Views) > 0 {
+		sp := e.tracer.Begin("fixpoint", trace.TidDriver)
 		res, err := e.runClique(prog.Clique, ctx)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
 		res.Bind(ctx)
 	}
-	return exec.Query(prog.Final, ctx)
+	sp := e.tracer.Begin("final", trace.TidDriver)
+	rel, err := exec.Query(prog.Final, ctx)
+	sp.End()
+	return rel, err
 }
 
 // RunClique evaluates just the recursive clique of a program, returning the
@@ -198,10 +224,14 @@ func (e *Engine) RunClique(prog *analyze.Program) (*fixpoint.Result, error) {
 }
 
 func (e *Engine) runClique(clique *analyze.Clique, ctx *exec.Context) (*fixpoint.Result, error) {
-	if e.cfg.ForceLocal {
-		return fixpoint.Local(clique, ctx, e.cfg.Fixpoint.Options)
+	opt := e.cfg.Fixpoint
+	if e.tracer != nil {
+		opt.Tracer = e.tracer
 	}
-	res, err := fixpoint.Distributed(clique, ctx, e.cluster, e.cfg.Fixpoint)
+	if e.cfg.ForceLocal {
+		return fixpoint.Local(clique, ctx, opt.Options)
+	}
+	res, err := fixpoint.Distributed(clique, ctx, e.cluster, opt)
 	if err == nil {
 		return res, nil
 	}
@@ -210,54 +240,7 @@ func (e *Engine) runClique(clique *analyze.Clique, ctx *exec.Context) (*fixpoint
 		// Mutual recursion and non-linear rules run on the exact local
 		// engine — the distributed engine covers the linear fragment the
 		// paper benchmarks.
-		return fixpoint.Local(clique, ctx, e.cfg.Fixpoint.Options)
+		return fixpoint.Local(clique, ctx, opt.Options)
 	}
 	return nil, err
-}
-
-// Explain renders the execution plan of a query: the recursive clique, its
-// distributed plan (or the local fallback reason), and the final query
-// shape.
-func (e *Engine) Explain(src string) (string, error) {
-	stmts, err := parser.Parse(src)
-	if err != nil {
-		return "", err
-	}
-	var b strings.Builder
-	for _, s := range stmts {
-		if cv, ok := s.(*ast.CreateView); ok {
-			fmt.Fprintf(&b, "View %s(%s)\n", cv.Name, strings.Join(cv.Columns, ", "))
-			if err := e.cat.RegisterView(&catalog.ViewDef{Name: cv.Name, Columns: cv.Columns, Query: cv.Query}); err != nil {
-				return "", err
-			}
-			continue
-		}
-		prog, err := analyze.Statement(s, e.cat)
-		if err != nil {
-			return "", err
-		}
-		if prog.Clique != nil && len(prog.Clique.Views) > 0 {
-			plan, perr := fixpoint.PlanDistributed(prog.Clique)
-			switch {
-			case e.cfg.ForceLocal:
-				b.WriteString("Fixpoint: local (forced)\n")
-			case perr == nil:
-				b.WriteString(plan.Describe())
-			default:
-				fmt.Fprintf(&b, "Fixpoint: local engine (%v)\n", perr)
-			}
-			for _, v := range prog.Clique.Views {
-				kind := "set"
-				if v.IsAgg() {
-					kind = v.Agg.String()
-				}
-				fmt.Fprintf(&b, "  view %s%s: %d base rule(s), %d recursive rule(s)\n",
-					v.Name, v.Schema, len(v.BaseRules), len(v.RecRules))
-				_ = kind
-			}
-		}
-		fmt.Fprintf(&b, "Final: %d source(s), %d conjunct(s), grouped=%v, schema %s\n",
-			len(prog.Final.Sources), len(prog.Final.Conjuncts), prog.Final.Grouped, prog.Final.Schema)
-	}
-	return b.String(), nil
 }
