@@ -1,18 +1,25 @@
 GO ?= go
 
-.PHONY: build test vet race lint rasql-lint golangci ci
+.PHONY: build test vet race fuzz lint rasql-lint golangci ci
 
 build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/fixpoint/... ./internal/cluster/...
+	$(GO) test -race ./internal/fixpoint/... ./internal/cluster/... .
+
+# Short smoke of every fuzz target (wire format, row keys, SQL parser);
+# crashers land in testdata/fuzz/ — check them in as regression seeds.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeRowsAppend$$' -fuzztime 30s ./internal/types/
+	$(GO) test -run '^$$' -fuzz '^FuzzRowKey$$' -fuzztime 30s ./internal/types/
+	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 30s ./internal/sql/parser/
 
 # Engine-invariant checkers (internal/analysis): standalone whole-program
 # pass, then the go vet driver so _test.go files are covered too.

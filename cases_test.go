@@ -1,0 +1,78 @@
+package rasql_test
+
+import (
+	rasql "github.com/rasql/rasql-go"
+	"github.com/rasql/rasql-go/queries"
+)
+
+// exampleCase pairs one example query from queries/ with small input tables
+// chosen so every plan shape (linear recursion, aggregates in the head,
+// stratified epilogues, multi-table joins) is exercised.
+//
+// The table is shared by the parallel-stages invariance test and the chaos
+// differential harness: any new example query added here is automatically
+// covered by both.
+type exampleCase struct {
+	name   string
+	query  string
+	tables func() []*rasql.Relation
+}
+
+func exampleCases() []exampleCase {
+	return []exampleCase{
+		{"sssp", queries.SSSP, func() []*rasql.Relation { return []*rasql.Relation{weightedEdges()} }},
+		{"apsp", queries.APSP, func() []*rasql.Relation { return []*rasql.Relation{weightedEdges()} }},
+		{"tc", queries.TC, func() []*rasql.Relation {
+			return []*rasql.Relation{plainEdges([2]int64{1, 2}, [2]int64{2, 3}, [2]int64{3, 1}, [2]int64{3, 4})}
+		}},
+		{"reach", queries.Reach, func() []*rasql.Relation {
+			return []*rasql.Relation{plainEdges([2]int64{1, 2}, [2]int64{2, 3}, [2]int64{3, 1}, [2]int64{4, 5})}
+		}},
+		{"reach-stratified", queries.ReachStratified, func() []*rasql.Relation {
+			return []*rasql.Relation{plainEdges([2]int64{1, 2}, [2]int64{2, 3}, [2]int64{3, 1}, [2]int64{4, 5})}
+		}},
+		{"cc", queries.CC, func() []*rasql.Relation { return []*rasql.Relation{ccEdges()} }},
+		{"cc-labels", queries.CCLabels, func() []*rasql.Relation { return []*rasql.Relation{ccEdges()} }},
+		{"cc-stratified", queries.CCStratified, func() []*rasql.Relation { return []*rasql.Relation{ccEdges()} }},
+		{"count-paths", queries.CountPaths, func() []*rasql.Relation {
+			return []*rasql.Relation{plainEdges([2]int64{1, 2}, [2]int64{1, 3}, [2]int64{2, 4}, [2]int64{3, 4}, [2]int64{4, 5})}
+		}},
+		{"management", queries.Management, func() []*rasql.Relation {
+			return []*rasql.Relation{relOf("report",
+				rasql.NewSchema(rasql.Col("Emp", rasql.KindInt), rasql.Col("Mgr", rasql.KindInt)),
+				iRow(2, 1), iRow(3, 1), iRow(4, 2))}
+		}},
+		{"mlm", queries.MLM, func() []*rasql.Relation {
+			sales := relOf("sales",
+				rasql.NewSchema(rasql.Col("M", rasql.KindInt), rasql.Col("P", rasql.KindFloat)),
+				rasql.Row{rasql.Int(1), rasql.Float(100)},
+				rasql.Row{rasql.Int(2), rasql.Float(200)},
+				rasql.Row{rasql.Int(3), rasql.Float(300)})
+			sponsor := relOf("sponsor",
+				rasql.NewSchema(rasql.Col("M1", rasql.KindInt), rasql.Col("M2", rasql.KindInt)),
+				iRow(1, 2), iRow(2, 3))
+			return []*rasql.Relation{sales, sponsor}
+		}},
+		{"delivery", queries.Delivery, bomTables},
+		{"delivery-stratified", queries.DeliveryStratified, bomTables},
+		{"sg", queries.SG, func() []*rasql.Relation {
+			return []*rasql.Relation{relOf("rel",
+				rasql.NewSchema(rasql.Col("Parent", rasql.KindInt), rasql.Col("Child", rasql.KindInt)),
+				iRow(1, 2), iRow(1, 3), iRow(2, 4), iRow(3, 5))}
+		}},
+		{"coalesce", queries.Coalesce, func() []*rasql.Relation {
+			return []*rasql.Relation{relOf("inter",
+				rasql.NewSchema(rasql.Col("S", rasql.KindInt), rasql.Col("E", rasql.KindInt)),
+				iRow(1, 3), iRow(2, 4), iRow(6, 7))}
+		}},
+		{"party", queries.Party, partyTables},
+		{"company-control", queries.CompanyControl, func() []*rasql.Relation {
+			s := func(by, of string, p int64) rasql.Row {
+				return rasql.Row{rasql.Str(by), rasql.Str(of), rasql.Int(p)}
+			}
+			return []*rasql.Relation{relOf("shares",
+				rasql.NewSchema(rasql.Col("By", rasql.KindString), rasql.Col("Of", rasql.KindString), rasql.Col("Percent", rasql.KindInt)),
+				s("a", "b", 60), s("a", "c", 30), s("b", "c", 25))}
+		}},
+	}
+}

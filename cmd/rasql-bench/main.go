@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"github.com/rasql/rasql-go/internal/bench"
+	"github.com/rasql/rasql-go/internal/cli"
 )
 
 func main() {
@@ -39,12 +40,19 @@ func main() {
 		md        = flag.Bool("md", false, "markdown output")
 		quiet     = flag.Bool("quiet", false, "suppress progress lines")
 		jsonOut   = flag.String("json", "BENCH_fixpoint.json", "write per-experiment machine-readable results to this file (empty to disable)")
+		chaosSpec = flag.String("chaos", "", "fault injection for every measurement: seed=N,rate=P[,attempts=K]")
 	)
 	flag.Parse()
 
+	chaos, err := cli.ParseChaos(*chaosSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rasql-bench:", err)
+		os.Exit(2)
+	}
 	cfg := bench.Config{
 		Scale: *scale, TreeScale: *treeScale, Workers: *workers,
 		Partitions: *workers, Repeat: *repeat, Seed: *seed, Quick: *quick,
+		Chaos: chaos,
 	}
 	if !*quiet {
 		cfg.Progress = os.Stderr
@@ -86,13 +94,16 @@ func main() {
 		runtime.ReadMemStats(&after)
 		m := r.TakeTotals()
 		records = append(records, bench.Record{
-			Experiment:     id,
-			WallNanos:      int64(wall),
-			SimNanos:       m.SimNanos,
-			ShuffleBytes:   m.ShuffleBytes,
-			ShuffleRecords: m.ShuffleRecords,
-			Allocs:         after.Mallocs - before.Mallocs,
-			Curves:         r.TakeCurves(),
+			Experiment:          id,
+			WallNanos:           int64(wall),
+			SimNanos:            m.SimNanos,
+			ShuffleBytes:        m.ShuffleBytes,
+			ShuffleRecords:      m.ShuffleRecords,
+			Allocs:              after.Mallocs - before.Mallocs,
+			TaskRetries:         m.TaskRetries,
+			RowsReplayed:        m.RowsReplayed,
+			RecoveredIterations: m.RecoveredIterations,
+			Curves:              r.TakeCurves(),
 		})
 		if *md {
 			fmt.Println(tbl.Markdown())

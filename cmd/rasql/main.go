@@ -33,6 +33,9 @@
 //	-naive                    naive (non-semi-naive) evaluation
 //	-workers / -partitions    simulated cluster size
 //	-metrics                  print the execution-counter delta per query
+//	-chaos seed=N,rate=P      deterministic fault injection (recovery is
+//	                          transparent; results are unchanged — see
+//	                          DESIGN.md §9)
 //	-trace file.json          export a Chrome trace (Perfetto-loadable)
 //	-max-rows n               print at most n result rows (default 50)
 //
@@ -75,14 +78,19 @@ func main() {
 		workers    = flag.Int("workers", 0, "simulated workers (default GOMAXPROCS)")
 		partitions = flag.Int("partitions", 0, "partitions (default = workers)")
 		metrics    = flag.Bool("metrics", false, "print the execution-counter delta per query")
+		chaosSpec  = flag.String("chaos", "", "fault injection: seed=N,rate=P[,attempts=K]")
 		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON file (load in Perfetto)")
 		maxRows    = flag.Int("max-rows", 50, "max rows to print")
 	)
 	flag.Var(&tables, "table", "name=path:schema (repeatable)")
 	flag.Parse()
 
+	chaos, err := cli.ParseChaos(*chaosSpec)
+	if err != nil {
+		fatal(err)
+	}
 	eng := rasql.New(rasql.Config{
-		Cluster:    rasql.ClusterConfig{Workers: *workers, Partitions: *partitions},
+		Cluster:    rasql.ClusterConfig{Workers: *workers, Partitions: *partitions, Chaos: chaos},
 		ForceLocal: *local,
 		Naive:      *naive,
 	})

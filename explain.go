@@ -114,6 +114,12 @@ func (e *Engine) ExplainAnalyze(src string) (string, error) {
 	writeStageSummary(&b, events)
 	writeIterationTable(&b, tr.Iterations()[preIters:])
 	fmt.Fprintf(&b, "Cluster delta: %s\n", delta)
+	// Recovery telemetry only appears when fault injection actually fired
+	// (fault-free runs keep the analyze output unchanged).
+	if delta.TaskRetries > 0 || delta.RecoveredIterations > 0 {
+		fmt.Fprintf(&b, "Recovery: %d task retries, %d partition rollbacks, %d rows replayed\n",
+			delta.TaskRetries, delta.RecoveredIterations, delta.RowsReplayed)
+	}
 	return b.String(), nil
 }
 

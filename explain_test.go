@@ -59,6 +59,29 @@ Cluster delta: REDACTED
 	}
 }
 
+// Under chaos the analyze output gains a Recovery line; fault-free runs
+// (the golden test above) must not show one.
+func TestExplainAnalyzeRecoveryLine(t *testing.T) {
+	cfg := rasql.Config{Cluster: rasql.ClusterConfig{Workers: 4, Partitions: 4}}
+	cfg.Cluster.Chaos = rasql.ChaosConfig{Schedule: []rasql.ChaosEvent{
+		{Stage: "fixpoint.shufflemap", Occurrence: -1, Part: 0, Attempt: 0, Kind: rasql.FaultPostMerge},
+	}}
+	eng := rasql.New(cfg)
+	eng.MustRegister(weightedEdges())
+	out, err := eng.ExplainAnalyze(queries.SSSP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := regexp.MustCompile(`(?m)^Recovery: (\d+) task retries, (\d+) partition rollbacks, \d+ rows replayed$`).
+		FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("no Recovery line under chaos:\n%s", out)
+	}
+	if m[1] == "0" || m[2] == "0" {
+		t.Errorf("Recovery line shows no retries/rollbacks: %q", m[0])
+	}
+}
+
 // TestExplainAnalyzeRestoresTracer checks that ExplainAnalyze's internal
 // tracer does not clobber one the caller attached.
 func TestExplainAnalyzeRestoresTracer(t *testing.T) {

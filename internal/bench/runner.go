@@ -36,6 +36,10 @@ type Config struct {
 	Repeat int
 	// Quick shrinks sizes further for smoke tests and testing.B runs.
 	Quick bool
+	// Chaos injects deterministic faults into every cluster-backed
+	// measurement (the recovery-overhead experiment of DESIGN.md §9). The
+	// zero value measures fault-free runs.
+	Chaos rasql.ChaosConfig
 	// Progress, when non-nil, receives progress lines.
 	Progress io.Writer
 }
@@ -216,13 +220,18 @@ func (r *Runner) TakeTotals() cluster.Snapshot {
 // CLI into BENCH_fixpoint.json so the perf trajectory is comparable across
 // changes.
 type Record struct {
-	Experiment     string  `json:"experiment"`
-	WallNanos      int64   `json:"wall_nanos"`
-	SimNanos       int64   `json:"sim_nanos"`
-	ShuffleBytes   int64   `json:"shuffle_bytes"`
-	ShuffleRecords int64   `json:"shuffle_records"`
-	Allocs         uint64  `json:"allocs"`
-	Curves         []Curve `json:"curves,omitempty"`
+	Experiment     string `json:"experiment"`
+	WallNanos      int64  `json:"wall_nanos"`
+	SimNanos       int64  `json:"sim_nanos"`
+	ShuffleBytes   int64  `json:"shuffle_bytes"`
+	ShuffleRecords int64  `json:"shuffle_records"`
+	Allocs         uint64 `json:"allocs"`
+	// Recovery counters: zero on fault-free runs, nonzero when the run was
+	// benchmarked under -chaos (the recovery-overhead experiment).
+	TaskRetries         int64   `json:"task_retries"`
+	RowsReplayed        int64   `json:"rows_replayed"`
+	RecoveredIterations int64   `json:"recovered_iterations"`
+	Curves              []Curve `json:"curves,omitempty"`
 }
 
 // CurvePoint is one fixpoint iteration of a convergence curve.
@@ -343,6 +352,7 @@ func engineConfig(system string, workers, partitions int) rasql.Config {
 // attached while timing — and the last repeat's profile is recorded as a
 // convergence curve.
 func (r *Runner) runQuery(cfg rasql.Config, query string, tables ...*relation.Relation) (time.Duration, error) {
+	cfg.Cluster.Chaos = r.cfg.Chaos
 	var iters []rasql.TraceIteration
 	d, err := r.timeSim(func() (cluster.Snapshot, error) {
 		eng := rasql.New(cfg)

@@ -4,6 +4,7 @@ package cli
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	rasql "github.com/rasql/rasql-go"
@@ -95,6 +96,47 @@ func LoadTables(eng *rasql.Engine, specs []string) error {
 		}
 	}
 	return nil
+}
+
+// ParseChaos parses a -chaos flag: "seed=N,rate=P[,attempts=K]" — e.g.
+// "seed=7,rate=0.01". The empty spec returns the zero (disabled) config.
+func ParseChaos(spec string) (rasql.ChaosConfig, error) {
+	var cfg rasql.ChaosConfig
+	if strings.TrimSpace(spec) == "" {
+		return cfg, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return rasql.ChaosConfig{}, fmt.Errorf("chaos spec %q: want seed=N,rate=P[,attempts=K]", spec)
+		}
+		switch strings.ToLower(strings.TrimSpace(kv[0])) {
+		case "seed":
+			n, err := strconv.ParseInt(kv[1], 10, 64)
+			if err != nil {
+				return rasql.ChaosConfig{}, fmt.Errorf("chaos seed %q: %w", kv[1], err)
+			}
+			cfg.Seed = n
+		case "rate":
+			p, err := strconv.ParseFloat(kv[1], 64)
+			if err != nil {
+				return rasql.ChaosConfig{}, fmt.Errorf("chaos rate %q: %w", kv[1], err)
+			}
+			if p < 0 || p > 1 {
+				return rasql.ChaosConfig{}, fmt.Errorf("chaos rate %v: want a probability in [0,1]", p)
+			}
+			cfg.Rate = p
+		case "attempts":
+			k, err := strconv.Atoi(kv[1])
+			if err != nil || k < 1 {
+				return rasql.ChaosConfig{}, fmt.Errorf("chaos attempts %q: want a positive integer", kv[1])
+			}
+			cfg.MaxAttempts = k
+		default:
+			return rasql.ChaosConfig{}, fmt.Errorf("chaos spec %q: unknown key %q (seed, rate, attempts)", spec, kv[0])
+		}
+	}
+	return cfg, nil
 }
 
 // MultiFlag collects repeated string flags.

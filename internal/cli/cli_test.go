@@ -84,6 +84,31 @@ func TestLoadTables(t *testing.T) {
 	}
 }
 
+func TestParseChaos(t *testing.T) {
+	cfg, err := ParseChaos("seed=7,rate=0.01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 7 || cfg.Rate != 0.01 || cfg.MaxAttempts != 0 {
+		t.Errorf("cfg = %+v", cfg)
+	}
+	if !cfg.Enabled() {
+		t.Error("rate>0 must enable the injector")
+	}
+	cfg, err = ParseChaos(" rate=0.5 , attempts=5 ")
+	if err != nil || cfg.Rate != 0.5 || cfg.MaxAttempts != 5 {
+		t.Errorf("cfg = %+v, err %v", cfg, err)
+	}
+	if cfg, err := ParseChaos(""); err != nil || cfg.Enabled() {
+		t.Errorf("empty spec must be the disabled zero config, got %+v, %v", cfg, err)
+	}
+	for _, bad := range []string{"seed", "seed=x", "rate=2", "rate=-0.1", "attempts=0", "bogus=1"} {
+		if _, err := ParseChaos(bad); err == nil {
+			t.Errorf("spec %q should fail", bad)
+		}
+	}
+}
+
 func TestMultiFlag(t *testing.T) {
 	var m MultiFlag
 	_ = m.Set("a")

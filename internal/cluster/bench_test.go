@@ -104,6 +104,23 @@ func BenchmarkShuffleRoundTrip(b *testing.B) {
 	}
 }
 
+// BenchmarkDisabledInjector pins the cost of the chaos hooks when chaos is
+// off: the whole stage path (placement, dispatch, fetch-point and post-merge
+// nil checks) must stay at 0 allocs/op, so a production run pays nothing for
+// the fault-injection machinery being compiled in.
+func BenchmarkDisabledInjector(b *testing.B) {
+	c := New(Config{Workers: 4, Partitions: 4, StageOverheadOps: -1, SequentialStages: true})
+	tasks := make([]Task, 4)
+	for i := range tasks {
+		tasks[i] = Task{Part: i, Preferred: i, Run: func(w int) { c.ChaosPostMerge(w) }}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.RunStage("noop", tasks)
+	}
+}
+
 func BenchmarkRowTableProbe(b *testing.B) {
 	rows := benchClusterRows(4096)
 	t := BuildRowTable(rows, []int{1, 3})

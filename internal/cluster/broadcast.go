@@ -13,10 +13,53 @@ type Broadcast struct {
 	Key    []int
 	// tables[w] is worker w's private hash table.
 	tables []*RowTable
+	// wire is the encoded relation, retained only under chaos so a worker
+	// whose cache blocks were invalidated by a simulated worker loss can
+	// rebuild its table (re-fetching the broadcast, paid in BroadcastBytes).
+	wire       []byte
+	compressed bool
+	c          *Cluster
 }
 
-// Table returns the hash table visible to the given worker.
-func (b *Broadcast) Table(worker int) *RowTable { return b.tables[worker] }
+// Table returns the hash table visible to the given worker. A worker whose
+// cached table was invalidated by a simulated worker loss rebuilds it from
+// the retained wire — always on that worker's own goroutine, so the slot is
+// data-race free.
+func (b *Broadcast) Table(worker int) *RowTable {
+	if t := b.tables[worker]; t != nil || b.wire == nil {
+		return t
+	}
+	b.c.Metrics.BroadcastBytes.Add(int64(len(b.wire)))
+	b.tables[worker] = buildFromWire(b.wire, b.compressed, b.Key)
+	return b.tables[worker]
+}
+
+// invalidate drops one worker's cache block; no-op unless the wire was
+// retained (chaos on), since without it the table could not be rebuilt.
+func (b *Broadcast) invalidate(worker int) {
+	if b.wire != nil {
+		b.tables[worker] = nil
+	}
+}
+
+// buildFromWire decodes a broadcast wire payload and builds the probe table.
+func buildFromWire(wire []byte, compressed bool, key []int) *RowTable {
+	if compressed {
+		got, err := types.DecodeRows(wire)
+		if err != nil {
+			panic("cluster: broadcast wire corruption: " + err.Error())
+		}
+		return BuildRowTable(got, key)
+	}
+	// Re-bucket the shipped hashed relation into the worker's probe
+	// structure.
+	hashed := decodeHashed(wire)
+	var rows []types.Row
+	for _, bucket := range hashed {
+		rows = append(rows, bucket...)
+	}
+	return BuildRowTable(rows, key)
+}
 
 // Broadcast replicates rows to every worker, keyed on key, honouring the
 // cluster's CompressBroadcast setting.
@@ -40,27 +83,20 @@ func (c *Cluster) Broadcast(rows []types.Row, schema types.Schema, key []int) *B
 		wire = encodeHashed(buildTable(rows, key))
 	}
 	c.Metrics.BroadcastBytes.Add(int64(len(wire)) * int64(c.cfg.Workers))
+	if c.chaos != nil {
+		// Keep the wire around so a worker-loss fault can invalidate and
+		// lazily rebuild per-worker tables, and register for invalidation.
+		b.wire, b.compressed, b.c = wire, c.cfg.CompressBroadcast, c
+		c.chaos.broadcasts = append(c.chaos.broadcasts, b)
+	}
 
 	tasks := make([]Task, c.cfg.Workers)
 	for w := range tasks {
 		worker := w
 		tasks[w] = Task{Part: worker, Preferred: worker, Run: func(onW int) {
-			if c.cfg.CompressBroadcast {
-				got, err := types.DecodeRows(wire)
-				if err != nil {
-					panic("cluster: broadcast wire corruption: " + err.Error())
-				}
-				b.tables[worker] = BuildRowTable(got, key)
-				return
-			}
-			// Re-bucket the shipped hashed relation into the worker's
-			// probe structure.
-			hashed := decodeHashed(wire)
-			var rows []types.Row
-			for _, bucket := range hashed {
-				rows = append(rows, bucket...)
-			}
-			b.tables[worker] = BuildRowTable(rows, key)
+			// Idempotent by construction: a replayed attempt just rebuilds
+			// the same private table, so no Rollback is needed.
+			b.tables[worker] = buildFromWire(wire, c.cfg.CompressBroadcast, key)
 		}}
 	}
 	c.RunStage("broadcast", tasks)

@@ -81,6 +81,10 @@ type Config struct {
 	// either way; sequential mode exists for debugging and for deterministic
 	// single-threaded profiling.
 	SequentialStages bool
+	// Chaos configures the deterministic fault injector (see chaos.go). The
+	// zero value disables it entirely; a disabled injector costs one nil
+	// check per stage/fetch and zero allocations.
+	Chaos ChaosConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -121,11 +125,21 @@ type Cluster struct {
 	// queues is per-worker task-queue scratch reused across stages (the
 	// stage barrier guarantees no queue outlives its RunStage call).
 	queues [][]Task
+	// slowest is per-stage scratch for the critical-path sim-time of the
+	// current stage; a field (not a RunStage local) so worker goroutines
+	// don't force a heap allocation per stage capturing it.
+	slowest atomic.Int64
+	// chaos is the fault injector, nil unless Config.Chaos enables it.
+	chaos *injector
 }
 
 // New creates a cluster from the config (zero values get defaults).
 func New(cfg Config) *Cluster {
-	return &Cluster{cfg: cfg.withDefaults()}
+	c := &Cluster{cfg: cfg.withDefaults()}
+	if c.cfg.Chaos.Enabled() {
+		c.chaos = newInjector(c.cfg.Chaos, c.cfg.Workers)
+	}
+	return c
 }
 
 // Config returns the effective (defaulted) configuration.
@@ -145,6 +159,10 @@ type Task struct {
 	Preferred int
 	// Run executes the task body on the assigned worker.
 	Run func(worker int)
+	// Rollback, when set, undoes any cached-state mutation a failed attempt
+	// left behind so Run can be replayed. Only consulted under an enabled
+	// fault injector; runs on the same goroutine as the failed attempt.
+	Rollback func()
 }
 
 // RunStage places the tasks per the scheduling policy and executes them,
@@ -179,33 +197,16 @@ func (c *Cluster) RunStage(name string, tasks []Task) {
 		stageSpan = c.Tracer.BeginArgs("stage "+name, trace.TidDriver,
 			trace.Arg{Key: "tasks", Val: int64(len(tasks))})
 	}
-	start := startStopwatch()
-	var slowest atomic.Int64
-	runQueue := func(w int, q []Task) {
-		t0 := startStopwatch()
-		for _, t := range q {
-			burn(c.cfg.StageOverheadOps)
-			if spans {
-				s := c.Tracer.BeginArgs(name, trace.TidWorker(w),
-					trace.Arg{Key: "part", Val: int64(t.Part)})
-				t.Run(w)
-				s.End()
-			} else {
-				t.Run(w)
-			}
-		}
-		d := t0.elapsedNanos()
-		for {
-			cur := slowest.Load()
-			if d <= cur || slowest.CompareAndSwap(cur, d) {
-				break
-			}
-		}
+	var sc *stageChaos
+	if c.chaos != nil {
+		sc = c.chaos.beginStage(name, seq)
 	}
+	start := startStopwatch()
+	c.slowest.Store(0)
 	if c.cfg.SequentialStages {
 		for w, q := range queues {
 			if len(q) > 0 {
-				runQueue(w, q)
+				c.runQueue(w, q, name, spans, sc)
 			}
 		}
 	} else {
@@ -215,16 +216,47 @@ func (c *Cluster) RunStage(name string, tasks []Task) {
 				continue
 			}
 			wg.Add(1)
-			go func(w int, q []Task) {
+			// All loop/stage state is passed as arguments: capturing sc (or
+			// name/spans) by reference would heap-allocate them even on the
+			// sequential path, which never builds this closure.
+			go func(w int, q []Task, name string, spans bool, sc *stageChaos) {
 				defer wg.Done()
-				runQueue(w, q)
-			}(w, q)
+				c.runQueue(w, q, name, spans, sc)
+			}(w, q, name, spans, sc)
 		}
 		wg.Wait()
 	}
 	c.Metrics.StageWallNanos.Add(start.elapsedNanos())
-	c.Metrics.SimNanos.Add(slowest.Load())
+	c.Metrics.SimNanos.Add(c.slowest.Load())
 	stageSpan.End()
+}
+
+// runQueue drains one worker's task queue for the current stage. A method
+// rather than a RunStage closure so the sequential (and benchmark-pinned)
+// path stays allocation-free; only the parallel branch pays for its
+// per-worker goroutine closures.
+func (c *Cluster) runQueue(w int, q []Task, name string, spans bool, sc *stageChaos) {
+	t0 := startStopwatch()
+	for _, t := range q {
+		burn(c.cfg.StageOverheadOps)
+		if sc != nil {
+			c.runTaskChaos(sc, t, w, spans, name)
+		} else if spans {
+			s := c.Tracer.BeginArgs(name, trace.TidWorker(w),
+				trace.Arg{Key: "part", Val: int64(t.Part)})
+			t.Run(w)
+			s.End()
+		} else {
+			t.Run(w)
+		}
+	}
+	d := t0.elapsedNanos()
+	for {
+		cur := c.slowest.Load()
+		if d <= cur || c.slowest.CompareAndSwap(cur, d) {
+			break
+		}
+	}
 }
 
 func (c *Cluster) place(t Task, seq int) int {
@@ -274,8 +306,12 @@ func (c *Cluster) transfer(rows []types.Row) []types.Row {
 }
 
 // Fetch returns a partition's rows as seen from the given worker: free for
-// the owner, serialized round trip for anyone else.
+// the owner, serialized round trip for anyone else. Under chaos, rows a
+// retrying task fetches again are counted as replayed (wasted) work.
 func (c *Cluster) Fetch(rows []types.Row, owner, onWorker int) []types.Row {
+	if c.chaos != nil {
+		c.chaos.replayRows(c, onWorker, len(rows))
+	}
 	if owner == onWorker {
 		c.Metrics.LocalFetchRows.Add(int64(len(rows)))
 		return rows

@@ -28,6 +28,17 @@ type Metrics struct {
 	// StageWallNanos accumulates real wall time spent inside stages;
 	// subtracting it from end-to-end wall time isolates driver-side work.
 	StageWallNanos atomic.Int64
+	// TaskRetries counts task attempts killed by the fault injector and
+	// replayed; always zero with chaos disabled.
+	TaskRetries atomic.Int64
+	// RowsReplayed counts rows re-fetched (partition fetch or shuffle
+	// target) by retry attempts — the wasted data-movement work recovery
+	// paid on top of the fault-free run.
+	RowsReplayed atomic.Int64
+	// RecoveredIterations counts partition-level rollbacks: a failed
+	// attempt's cached-state mutations undone via Checkpoint/Restore before
+	// replay (the paper's Section 6.1 "replay the current iteration" path).
+	RecoveredIterations atomic.Int64
 }
 
 // stopwatch is the cluster's only sanctioned wall-clock access: timing
@@ -50,31 +61,37 @@ func (s stopwatch) elapsedNanos() int64 {
 
 // Snapshot is a plain-value copy of the metrics at one instant.
 type Snapshot struct {
-	StagesRun        int64
-	TasksRun         int64
-	ShuffleRecords   int64
-	ShuffleBytes     int64
-	RemoteFetchBytes int64
-	LocalFetchRows   int64
-	BroadcastBytes   int64
-	Iterations       int64
-	SimNanos         int64
-	StageWallNanos   int64
+	StagesRun           int64
+	TasksRun            int64
+	ShuffleRecords      int64
+	ShuffleBytes        int64
+	RemoteFetchBytes    int64
+	LocalFetchRows      int64
+	BroadcastBytes      int64
+	Iterations          int64
+	SimNanos            int64
+	StageWallNanos      int64
+	TaskRetries         int64
+	RowsReplayed        int64
+	RecoveredIterations int64
 }
 
 // Snapshot copies the current counter values.
 func (m *Metrics) Snapshot() Snapshot {
 	return Snapshot{
-		StagesRun:        m.StagesRun.Load(),
-		TasksRun:         m.TasksRun.Load(),
-		ShuffleRecords:   m.ShuffleRecords.Load(),
-		ShuffleBytes:     m.ShuffleBytes.Load(),
-		RemoteFetchBytes: m.RemoteFetchBytes.Load(),
-		LocalFetchRows:   m.LocalFetchRows.Load(),
-		BroadcastBytes:   m.BroadcastBytes.Load(),
-		Iterations:       m.Iterations.Load(),
-		SimNanos:         m.SimNanos.Load(),
-		StageWallNanos:   m.StageWallNanos.Load(),
+		StagesRun:           m.StagesRun.Load(),
+		TasksRun:            m.TasksRun.Load(),
+		ShuffleRecords:      m.ShuffleRecords.Load(),
+		ShuffleBytes:        m.ShuffleBytes.Load(),
+		RemoteFetchBytes:    m.RemoteFetchBytes.Load(),
+		LocalFetchRows:      m.LocalFetchRows.Load(),
+		BroadcastBytes:      m.BroadcastBytes.Load(),
+		Iterations:          m.Iterations.Load(),
+		SimNanos:            m.SimNanos.Load(),
+		StageWallNanos:      m.StageWallNanos.Load(),
+		TaskRetries:         m.TaskRetries.Load(),
+		RowsReplayed:        m.RowsReplayed.Load(),
+		RecoveredIterations: m.RecoveredIterations.Load(),
 	}
 }
 
@@ -90,43 +107,53 @@ func (m *Metrics) Reset() {
 	m.Iterations.Store(0)
 	m.SimNanos.Store(0)
 	m.StageWallNanos.Store(0)
+	m.TaskRetries.Store(0)
+	m.RowsReplayed.Store(0)
+	m.RecoveredIterations.Store(0)
 }
 
 // Add returns the counter-wise sum s + o (accumulating totals across runs).
 func (s Snapshot) Add(o Snapshot) Snapshot {
 	return Snapshot{
-		StagesRun:        s.StagesRun + o.StagesRun,
-		TasksRun:         s.TasksRun + o.TasksRun,
-		ShuffleRecords:   s.ShuffleRecords + o.ShuffleRecords,
-		ShuffleBytes:     s.ShuffleBytes + o.ShuffleBytes,
-		RemoteFetchBytes: s.RemoteFetchBytes + o.RemoteFetchBytes,
-		LocalFetchRows:   s.LocalFetchRows + o.LocalFetchRows,
-		BroadcastBytes:   s.BroadcastBytes + o.BroadcastBytes,
-		Iterations:       s.Iterations + o.Iterations,
-		SimNanos:         s.SimNanos + o.SimNanos,
-		StageWallNanos:   s.StageWallNanos + o.StageWallNanos,
+		StagesRun:           s.StagesRun + o.StagesRun,
+		TasksRun:            s.TasksRun + o.TasksRun,
+		ShuffleRecords:      s.ShuffleRecords + o.ShuffleRecords,
+		ShuffleBytes:        s.ShuffleBytes + o.ShuffleBytes,
+		RemoteFetchBytes:    s.RemoteFetchBytes + o.RemoteFetchBytes,
+		LocalFetchRows:      s.LocalFetchRows + o.LocalFetchRows,
+		BroadcastBytes:      s.BroadcastBytes + o.BroadcastBytes,
+		Iterations:          s.Iterations + o.Iterations,
+		SimNanos:            s.SimNanos + o.SimNanos,
+		StageWallNanos:      s.StageWallNanos + o.StageWallNanos,
+		TaskRetries:         s.TaskRetries + o.TaskRetries,
+		RowsReplayed:        s.RowsReplayed + o.RowsReplayed,
+		RecoveredIterations: s.RecoveredIterations + o.RecoveredIterations,
 	}
 }
 
 // Sub returns the delta s - o, counter-wise.
 func (s Snapshot) Sub(o Snapshot) Snapshot {
 	return Snapshot{
-		StagesRun:        s.StagesRun - o.StagesRun,
-		TasksRun:         s.TasksRun - o.TasksRun,
-		ShuffleRecords:   s.ShuffleRecords - o.ShuffleRecords,
-		ShuffleBytes:     s.ShuffleBytes - o.ShuffleBytes,
-		RemoteFetchBytes: s.RemoteFetchBytes - o.RemoteFetchBytes,
-		LocalFetchRows:   s.LocalFetchRows - o.LocalFetchRows,
-		BroadcastBytes:   s.BroadcastBytes - o.BroadcastBytes,
-		Iterations:       s.Iterations - o.Iterations,
-		SimNanos:         s.SimNanos - o.SimNanos,
-		StageWallNanos:   s.StageWallNanos - o.StageWallNanos,
+		StagesRun:           s.StagesRun - o.StagesRun,
+		TasksRun:            s.TasksRun - o.TasksRun,
+		ShuffleRecords:      s.ShuffleRecords - o.ShuffleRecords,
+		ShuffleBytes:        s.ShuffleBytes - o.ShuffleBytes,
+		RemoteFetchBytes:    s.RemoteFetchBytes - o.RemoteFetchBytes,
+		LocalFetchRows:      s.LocalFetchRows - o.LocalFetchRows,
+		BroadcastBytes:      s.BroadcastBytes - o.BroadcastBytes,
+		Iterations:          s.Iterations - o.Iterations,
+		SimNanos:            s.SimNanos - o.SimNanos,
+		StageWallNanos:      s.StageWallNanos - o.StageWallNanos,
+		TaskRetries:         s.TaskRetries - o.TaskRetries,
+		RowsReplayed:        s.RowsReplayed - o.RowsReplayed,
+		RecoveredIterations: s.RecoveredIterations - o.RecoveredIterations,
 	}
 }
 
 // String renders the snapshot as one line, covering every counter.
 func (s Snapshot) String() string {
-	return fmt.Sprintf("stages=%d tasks=%d iters=%d shuffleRecs=%d shuffleBytes=%d remoteBytes=%d localRows=%d bcastBytes=%d simNanos=%d stageWallNanos=%d",
+	return fmt.Sprintf("stages=%d tasks=%d iters=%d shuffleRecs=%d shuffleBytes=%d remoteBytes=%d localRows=%d bcastBytes=%d simNanos=%d stageWallNanos=%d taskRetries=%d rowsReplayed=%d recoveredIters=%d",
 		s.StagesRun, s.TasksRun, s.Iterations, s.ShuffleRecords, s.ShuffleBytes,
-		s.RemoteFetchBytes, s.LocalFetchRows, s.BroadcastBytes, s.SimNanos, s.StageWallNanos)
+		s.RemoteFetchBytes, s.LocalFetchRows, s.BroadcastBytes, s.SimNanos, s.StageWallNanos,
+		s.TaskRetries, s.RowsReplayed, s.RecoveredIterations)
 }

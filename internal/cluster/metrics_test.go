@@ -74,6 +74,9 @@ func TestMetricsConcurrentUpdates(t *testing.T) {
 				m.Iterations.Add(8)
 				m.SimNanos.Add(9)
 				m.StageWallNanos.Add(10)
+				m.TaskRetries.Add(11)
+				m.RowsReplayed.Add(12)
+				m.RecoveredIterations.Add(13)
 				_ = m.Snapshot() // concurrent reads race-check the loads
 			}
 		}()
@@ -85,6 +88,7 @@ func TestMetricsConcurrentUpdates(t *testing.T) {
 		StagesRun: n, TasksRun: 2 * n, ShuffleRecords: 3 * n, ShuffleBytes: 4 * n,
 		RemoteFetchBytes: 5 * n, LocalFetchRows: 6 * n, BroadcastBytes: 7 * n,
 		Iterations: 8 * n, SimNanos: 9 * n, StageWallNanos: 10 * n,
+		TaskRetries: 11 * n, RowsReplayed: 12 * n, RecoveredIterations: 13 * n,
 	}
 	if got != want {
 		t.Errorf("lost updates: got %+v, want %+v", got, want)

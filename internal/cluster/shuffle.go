@@ -76,8 +76,16 @@ func (s *Shuffle) Add(out [][]types.Row, producer int) {
 // trip (the serialize half was paid at Add), and cross-worker buckets
 // additionally count as network traffic (and incur the configured
 // communication penalty). The bucket buffers are recycled, so each target
-// may be fetched at most once.
+// may be fetched at most once — except under chaos, where the encoded
+// buckets are retained so a retrying task re-fetches pristine rows (the
+// map-side shuffle files survive a reduce-task failure on a real cluster
+// too); the re-decoded rows then count as replayed work, and the fetch
+// itself is a fault point.
 func (s *Shuffle) FetchTarget(t, onWorker int) []types.Row {
+	chaos := s.c.chaos
+	if chaos != nil {
+		chaos.fetchPoint(onWorker)
+	}
 	total := 0
 	for i := range s.shards {
 		for _, b := range s.shards[i].buckets[t] {
@@ -104,9 +112,16 @@ func (s *Shuffle) FetchTarget(t, onWorker int) []types.Row {
 			if err != nil {
 				panic("cluster: shuffle wire corruption: " + err.Error())
 			}
-			putEncBuf(b.buf)
+			if chaos == nil {
+				putEncBuf(b.buf)
+			}
 		}
-		s.shards[i].buckets[t] = nil
+		if chaos == nil {
+			s.shards[i].buckets[t] = nil
+		}
+	}
+	if chaos != nil {
+		chaos.replayRows(s.c, onWorker, total)
 	}
 	return out
 }

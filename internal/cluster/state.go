@@ -184,7 +184,8 @@ func (a *AggRDD) lookup(part int, r types.Row) (int, bool) {
 // the value column of an incoming row is a candidate value; for sum/count it
 // is an increment. Must be called from the task owning the partition.
 //
-// Ownership: Merge adopts the incoming rows, and the returned delta rows
+// Ownership: incoming rows stay caller-owned (a new group stores a clone,
+// never the incoming row itself — see below), and the returned delta rows
 // alias the stored state (the value column reflects the new total or
 // extremum at merge time). Callers must treat delta rows as read-only and
 // consume them before the next merge of the same partition — exactly the
@@ -207,8 +208,15 @@ func (a *AggRDD) Merge(part int, incoming []types.Row) AggDelta {
 				continue // zero increment on a fresh group derives nothing
 			}
 			x.getOrInsert(b, h)
-			a.rows[part] = append(a.rows[part], r)
-			d.Rows = append(d.Rows, r)
+			// Store a clone: a second contribution to this group later in
+			// the same batch updates the stored row's value column in
+			// place, and adopting the caller's row would leak that
+			// mutation into the input batch — Checkpoint/Restore only
+			// reverts rows that existed at snapshot time, so a replay of
+			// the same batch would then double-count the corrupted row.
+			nr := r.Clone()
+			a.rows[part] = append(a.rows[part], nr)
+			d.Rows = append(d.Rows, nr)
 			d.News = append(d.News, true)
 			if additive {
 				d.Incs = append(d.Incs, v)

@@ -246,3 +246,113 @@ func TestAggRDDCheckpointRestoreExtremum(t *testing.T) {
 		t.Errorf("restored extremum = %v", row[1])
 	}
 }
+
+// Restore must revert a merge that both improved existing groups and added
+// new ones, and leave the key index consistent for the replay.
+func TestAggRDDCheckpointRestoreMixedMerge(t *testing.T) {
+	c := newTestCluster(2, 2)
+	a := c.NewAggRDD(pairSchemaFloat(), []int{0}, 1, types.AggMin)
+	a.Merge(0, []types.Row{aggRow(1, 10), aggRow(2, 20)})
+	cp := a.Checkpoint(0)
+	a.Merge(0, []types.Row{aggRow(1, 4), aggRow(3, 30), aggRow(2, 25)})
+	a.Restore(cp)
+	if a.Len() != 2 {
+		t.Fatalf("Len after restore = %d, want 2", a.Len())
+	}
+	for k, want := range map[int64]float64{1: 10, 2: 20} {
+		row, ok := a.Lookup(0, aggRow(k, 0))
+		if !ok || !row[1].Equal(types.Float(want)) {
+			t.Errorf("group %d after restore = %v, want %v", k, row, want)
+		}
+	}
+	if _, ok := a.Lookup(0, aggRow(3, 0)); ok {
+		t.Error("group 3 survived restore")
+	}
+	// The replayed merge lands identically: 1 improves, 3 is new, 2 does not.
+	d := a.Merge(0, []types.Row{aggRow(1, 4), aggRow(3, 30), aggRow(2, 25)})
+	if len(d.Rows) != 2 {
+		t.Fatalf("replay delta = %v, want rows for groups 1 and 3", d.Rows)
+	}
+	row, _ := a.Lookup(0, aggRow(2, 0))
+	if !row[1].Equal(types.Float(20)) {
+		t.Errorf("group 2 after replay = %v, want 20", row[1])
+	}
+}
+
+// Checkpointing a partition that has never seen a merge must work: the
+// recovery path snapshots every task up front, including those whose
+// partition receives no rows.
+func TestCheckpointEmptyPartition(t *testing.T) {
+	c := newTestCluster(2, 2)
+	s := c.NewSetRDD(pairSchema())
+	scp := s.Checkpoint(1)
+	s.Merge(1, intRows([2]int64{7, 8}))
+	s.Restore(scp)
+	if s.Len() != 0 || len(s.Rows(1)) != 0 {
+		t.Errorf("SetRDD empty-partition restore left %d rows", s.Len())
+	}
+	if d := s.Merge(1, intRows([2]int64{7, 8})); len(d) != 1 {
+		t.Errorf("replay after empty restore delta = %d, want 1", len(d))
+	}
+
+	a := c.NewAggRDD(pairSchemaFloat(), []int{0}, 1, types.AggSum)
+	acp := a.Checkpoint(1)
+	a.Merge(1, []types.Row{aggRow(1, 5)})
+	a.Restore(acp)
+	if a.Len() != 0 {
+		t.Errorf("AggRDD empty-partition restore left %d groups", a.Len())
+	}
+	a.Merge(1, []types.Row{aggRow(1, 5)})
+	if row, ok := a.Lookup(1, aggRow(1, 0)); !ok || !row[1].Equal(types.Float(5)) {
+		t.Errorf("replay after empty restore = %v, want 5", row)
+	}
+}
+
+// Restoring the same checkpoint twice is a no-op the second time — the
+// retry loop may roll back again if a second attempt also dies.
+func TestCheckpointDoubleRestoreIdempotent(t *testing.T) {
+	c := newTestCluster(2, 2)
+	s := c.NewSetRDD(pairSchema())
+	s.Merge(0, intRows([2]int64{1, 2}))
+	scp := s.Checkpoint(0)
+	s.Merge(0, intRows([2]int64{3, 4}))
+	s.Restore(scp)
+	s.Restore(scp)
+	if s.Len() != 1 || !s.Contains(0, types.Row{types.Int(1), types.Int(2)}) {
+		t.Errorf("double restore corrupted SetRDD: len=%d", s.Len())
+	}
+
+	a := c.NewAggRDD(pairSchemaFloat(), []int{0}, 1, types.AggSum)
+	a.Merge(0, []types.Row{aggRow(1, 10)})
+	acp := a.Checkpoint(0)
+	a.Merge(0, []types.Row{aggRow(1, 5), aggRow(2, 1)})
+	a.Restore(acp)
+	a.Merge(0, []types.Row{aggRow(1, 2)}) // second attempt gets partway…
+	a.Restore(acp)                        // …and dies too
+	row, ok := a.Lookup(0, aggRow(1, 0))
+	if !ok || !row[1].Equal(types.Float(10)) || a.Len() != 1 {
+		t.Errorf("double restore corrupted AggRDD: %v len=%d", row, a.Len())
+	}
+}
+
+// Regression for the replay double-count bug: a batch with two contributions
+// to the same fresh group updates the stored row's value column in place. If
+// Merge adopts the caller's row for the new group instead of cloning it, that
+// in-place update corrupts the input batch — and a restore-then-replay of the
+// same slice (exactly what task retry does) double-counts.
+func TestAggRDDRestoreThenReplaySameSlice(t *testing.T) {
+	c := newTestCluster(2, 2)
+	a := c.NewAggRDD(pairSchemaFloat(), []int{0}, 1, types.AggSum)
+	batch := []types.Row{aggRow(1, 1), aggRow(1, 2)}
+	cp := a.Checkpoint(0)
+	a.Merge(0, batch)
+	if !batch[0][1].Equal(types.Float(1)) || !batch[1][1].Equal(types.Float(2)) {
+		t.Fatalf("Merge mutated its input batch: %v", batch)
+	}
+	a.Restore(cp)
+	a.Merge(0, batch)
+	row, ok := a.Lookup(0, aggRow(1, 0))
+	if !ok || !row[1].Equal(types.Float(3)) {
+		t.Errorf("replayed total = %v, want 3 (double-count bug)", row)
+	}
+}

@@ -34,19 +34,6 @@ type DistOptions struct {
 	// iterative-SQL loop that cannot cache across statements (the
 	// Spark-SQL-SN baseline of Section 8.2).
 	RebuildJoinState bool
-	// InjectFailure, when non-nil, simulates an executor dying once,
-	// mid-iteration, after it has already merged its input into the
-	// cached state. The stage-combined runner restores the partition from
-	// its iteration checkpoint and replays the task — the Section 6.1
-	// recovery story for mutable SetRDD state.
-	InjectFailure *FailurePoint
-}
-
-// FailurePoint names the task the injected failure kills (1-based
-// iteration, partition index).
-type FailurePoint struct {
-	Iteration int
-	Partition int
 }
 
 // Distributed evaluates a linear single-view clique on the simulated
@@ -155,6 +142,24 @@ func (s *viewState) restore(cp stateCheckpoint) {
 		return
 	}
 	s.agg.Restore(cp.agg)
+}
+
+// recoverableTask wraps a stage task that merges into the view state. Under
+// an enabled fault injector it snapshots the partition at stage-construction
+// time (the driver builds tasks before any attempt runs, so the snapshot is
+// valid even when the fault fires before the body) and registers a Rollback
+// that restores it — the Section 6.1 recovery: the accumulated all relation
+// is its own checkpoint, and a failed attempt replays only the current
+// iteration's work on that partition.
+func recoverableTask(c *cluster.Cluster, state *viewState, t cluster.Task) cluster.Task {
+	if c.ChaosEnabled() {
+		cp := state.checkpoint(t.Part)
+		t.Rollback = func() {
+			state.restore(cp)
+			c.Metrics.RecoveredIterations.Add(1)
+		}
+	}
+	return t
 }
 
 func runDistributed(plan *Plan, ctx *exec.Context, c *cluster.Cluster, opt DistOptions) (*Result, error) {
@@ -340,10 +345,11 @@ func runTwoStage(plan *Plan, state *viewState, kernels []*ruleKernel, seed [][]t
 	seedTasks := make([]cluster.Task, parts)
 	for i := range seedTasks {
 		p := i
-		seedTasks[i] = cluster.Task{Part: p, Preferred: state.owner(p), Run: func(w int) {
+		seedTasks[i] = recoverableTask(c, state, cluster.Task{Part: p, Preferred: state.owner(p), Run: func(w int) {
 			rows := c.Fetch(seed[p], -1, w)
 			deltas[p] = state.merge(p, rows)
-		}}
+			c.ChaosPostMerge(w)
+		}})
 	}
 	c.RunStage("fixpoint.seed", seedTasks)
 	if tr.Enabled() {
@@ -398,7 +404,7 @@ func runTwoStage(plan *Plan, state *viewState, kernels []*ruleKernel, seed [][]t
 		redTasks := make([]cluster.Task, parts)
 		for i := range redTasks {
 			p := i
-			redTasks[i] = cluster.Task{Part: p, Preferred: state.owner(p), Run: func(w int) {
+			redTasks[i] = recoverableTask(c, state, cluster.Task{Part: p, Preferred: state.owner(p), Run: func(w int) {
 				rows := sh.FetchTarget(p, w)
 				// State lives on its owner; a task placed elsewhere must
 				// move the data there (the hybrid scheduler pays this).
@@ -406,7 +412,8 @@ func runTwoStage(plan *Plan, state *viewState, kernels []*ruleKernel, seed [][]t
 					rows = c.Fetch(rows, w, state.owner(p))
 				}
 				next[p] = state.merge(p, rows)
-			}}
+				c.ChaosPostMerge(w)
+			}})
 		}
 		c.RunStage("fixpoint.reduce", redTasks)
 		deltas = next
@@ -435,7 +442,6 @@ func runCombined(plan *Plan, state *viewState, kernels []*ruleKernel, seed [][]t
 	sh.Add(seed, -1)
 
 	var pending atomic.Int64
-	var failureFired atomic.Bool
 	// Per-pass frontier counters, accumulated by the merge tasks (the
 	// combined runner never materializes its deltas on the driver).
 	var dRows, dNews, dImp atomic.Int64
@@ -467,27 +473,17 @@ func runCombined(plan *Plan, state *viewState, kernels []*ruleKernel, seed [][]t
 		tasks := make([]cluster.Task, parts)
 		for i := range tasks {
 			p := i
-			curIter := iter
-			tasks[i] = cluster.Task{Part: p, Preferred: state.owner(p), Run: func(w int) {
+			tasks[i] = recoverableTask(c, state, cluster.Task{Part: p, Preferred: state.owner(p), Run: func(w int) {
 				rows := sh.FetchTarget(p, w)
 				if w != state.owner(p) {
 					rows = c.Fetch(rows, w, state.owner(p))
 				}
-				var cp stateCheckpoint
-				inject := opt.InjectFailure != nil && !failureFired.Load() &&
-					opt.InjectFailure.Iteration == curIter && opt.InjectFailure.Partition == p
-				if inject {
-					cp = state.checkpoint(p)
-				}
 				d := state.merge(p, rows)
-				if inject {
-					// The executor dies after mutating the cached state;
-					// recovery restores the iteration checkpoint and
-					// replays the task (Section 6.1).
-					failureFired.Store(true)
-					state.restore(cp)
-					d = state.merge(p, rows)
-				}
+				// The post-merge fault point models an executor dying after
+				// mutating the cached state but before publishing output —
+				// the case where recovery must restore the iteration
+				// checkpoint before the replay (Section 6.1).
+				c.ChaosPostMerge(w)
 				if traceOn {
 					rows, news, imp := countDelta(d)
 					dRows.Add(int64(rows))
@@ -505,7 +501,7 @@ func runCombined(plan *Plan, state *viewState, kernels []*ruleKernel, seed [][]t
 					}
 				}
 				next.Add(out, w)
-			}}
+			}})
 		}
 		c.RunStage("fixpoint.shufflemap", tasks)
 		if traceOn {
@@ -543,16 +539,26 @@ func runDecomposed(plan *Plan, state *viewState, kernels []*ruleKernel, seed [][
 	tasks := make([]cluster.Task, parts)
 	for i := range tasks {
 		p := i
-		tasks[i] = cluster.Task{Part: p, Preferred: state.owner(p), Run: func(w int) {
+		tasks[i] = recoverableTask(c, state, cluster.Task{Part: p, Preferred: state.owner(p), Run: func(w int) {
 			rows := c.Fetch(seed[p], -1, w)
 			d := state.merge(p, rows)
+			// A decomposed task runs its whole local fixpoint in one
+			// attempt, so a fault anywhere rolls the partition back to its
+			// (empty) stage checkpoint and replays the fixpoint from the
+			// seed — the whole-task replay a lineage-free executor loss
+			// forces.
+			c.ChaosPostMerge(w)
 			local := 0
+			// Per-attempt telemetry, published only when the attempt
+			// completes, so rounds rolled back by a fault are not counted
+			// twice by the replay.
+			var tRows, tNews, tImp int
 			for !d.empty() {
 				if traceOn {
 					n, nw, im := countDelta(d)
-					dRows.Add(int64(n))
-					dNews.Add(int64(nw))
-					dImp.Add(int64(im))
+					tRows += n
+					tNews += nw
+					tImp += im
 				}
 				local++
 				if local > opt.maxIter() || (opt.MaxRows > 0 && len(state.rows(p))*parts > opt.MaxRows) {
@@ -577,6 +583,12 @@ func runDecomposed(plan *Plan, state *viewState, kernels []*ruleKernel, seed [][
 					}
 				}
 				d = state.merge(p, mine)
+				c.ChaosPostMerge(w)
+			}
+			if traceOn {
+				dRows.Add(int64(tRows))
+				dNews.Add(int64(tNews))
+				dImp.Add(int64(tImp))
 			}
 			for {
 				cur := maxIters.Load()
@@ -584,7 +596,7 @@ func runDecomposed(plan *Plan, state *viewState, kernels []*ruleKernel, seed [][
 					break
 				}
 			}
-		}}
+		}})
 	}
 	c.RunStage("fixpoint.decomposed", tasks)
 	if failed.Load() {

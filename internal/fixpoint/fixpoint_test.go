@@ -330,7 +330,10 @@ func TestSortMergeMatchesHash(t *testing.T) {
 
 // Section 6.1: a task failure after mutating the cached state must be
 // recoverable by restoring the iteration checkpoint and replaying — for
-// set, extremum and (the hard case) additive views.
+// set, extremum and (the hard case) additive views. The fault is scripted
+// via the cluster's chaos schedule: a post-merge kill of a specific
+// shuffle-map pass/partition, asserted to have actually fired via the
+// recovery counters.
 func TestFaultRecoveryReplayMatchesFaultFree(t *testing.T) {
 	tree := gen.NewTree(5, 2, 4, 0.3, 0, gen.Rng(23))
 	report := tree.Report()
@@ -351,16 +354,28 @@ func TestFaultRecoveryReplayMatchesFaultFree(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", c.name, err)
 		}
-		for _, fp := range []FailurePoint{{Iteration: 1, Partition: 0}, {Iteration: 2, Partition: 3}} {
+		// Pass 1 of fixpoint.shufflemap merges the base case; occurrence is
+		// the 0-based pass index, so these mirror the old "iteration 1,
+		// partition 0" and "iteration 2, partition 3" failure points.
+		for _, ev := range []cluster.ChaosEvent{
+			{Stage: "fixpoint.shufflemap", Occurrence: 0, Part: 0, Kind: cluster.FaultPostMerge},
+			{Stage: "fixpoint.shufflemap", Occurrence: 1, Part: 3, Kind: cluster.FaultPostMerge},
+		} {
 			prog := analyzeQ(t, c.src, c.cat)
-			got, err := Distributed(prog.Clique, exec.NewContext(), testCluster(),
-				DistOptions{StageCombination: true, InjectFailure: &fp})
+			cl := chaosCluster(cluster.ChaosConfig{Schedule: []cluster.ChaosEvent{ev}})
+			got, err := Distributed(prog.Clique, exec.NewContext(), cl,
+				DistOptions{StageCombination: true})
 			if err != nil {
-				t.Fatalf("%s %+v: %v", c.name, fp, err)
+				t.Fatalf("%s %+v: %v", c.name, ev, err)
+			}
+			m := cl.Metrics.Snapshot()
+			if m.TaskRetries < 1 || m.RecoveredIterations < 1 {
+				t.Fatalf("%s %+v: fault never fired (retries=%d recovered=%d)",
+					c.name, ev, m.TaskRetries, m.RecoveredIterations)
 			}
 			if !got.Relations[c.view].EqualAsSet(want.Relations[c.view]) {
 				t.Errorf("%s: replay after failure at %+v diverged (%d vs %d rows)",
-					c.name, fp, got.Relations[c.view].Len(), want.Relations[c.view].Len())
+					c.name, ev, got.Relations[c.view].Len(), want.Relations[c.view].Len())
 			}
 		}
 	}

@@ -47,6 +47,12 @@ func DecodeRow(buf []byte) (Row, int, error) {
 	if sz <= 0 {
 		return nil, 0, fmt.Errorf("types: truncated row header")
 	}
+	// Every value costs at least its kind byte, so a width the remaining
+	// buffer can't possibly hold is corruption — reject it before sizing
+	// the row, not after an absurd allocation.
+	if n > uint64(len(buf)-sz) {
+		return nil, 0, fmt.Errorf("types: row width %d exceeds buffer", n)
+	}
 	r := make(Row, n)
 	used, err := decodeRowInto(r, buf[sz:])
 	if err != nil {
@@ -129,6 +135,12 @@ func DecodeRowsAppend(dst []Row, buf []byte) ([]Row, error) {
 	if sz <= 0 {
 		return nil, fmt.Errorf("types: truncated batch header")
 	}
+	// Every row costs at least one byte (its width header), so a count the
+	// remaining buffer can't hold is corruption; rejecting it here keeps the
+	// capacity hint below safe against attacker-sized allocations.
+	if n > uint64(len(buf)-sz) {
+		return nil, fmt.Errorf("types: batch count %d exceeds buffer", n)
+	}
 	pos := sz
 	if dst == nil {
 		dst = make([]Row, 0, n)
@@ -140,6 +152,10 @@ func DecodeRowsAppend(dst []Row, buf []byte) ([]Row, error) {
 			return nil, fmt.Errorf("types: row %d: truncated row header", i)
 		}
 		pos += wsz
+		// Same argument per value: at least a kind byte each.
+		if width > uint64(len(buf)-pos) {
+			return nil, fmt.Errorf("types: row %d: width %d exceeds buffer", i, width)
+		}
 		w := int(width)
 		if len(slab) < w {
 			// Chunks stay under the runtime's 32KB large-object threshold
@@ -198,7 +214,10 @@ func decodeRowInto(r Row, buf []byte) (int, error) {
 			pos += 8
 		case KindString:
 			l, s := binary.Uvarint(buf[pos:])
-			if s <= 0 || pos+s+int(l) > len(buf) {
+			// Compare unsigned: a length near 2^64 converted to int goes
+			// negative and would sail past an int-arithmetic bounds check
+			// into a negative slice index.
+			if s <= 0 || l > uint64(len(buf)-pos-s) {
 				return 0, fmt.Errorf("types: truncated string")
 			}
 			pos += s

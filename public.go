@@ -75,6 +75,29 @@ const (
 	PolicyHybrid         = cluster.PolicyHybrid
 )
 
+// ChaosConfig configures the cluster's deterministic fault injector (see
+// ClusterConfig.Chaos): seeded random faults at a per-task-attempt Rate
+// plus exactly scripted ChaosEvents, recovered transparently by bounded
+// task retry with per-partition checkpoint rollback. The zero value
+// disables injection at zero cost.
+type ChaosConfig = cluster.ChaosConfig
+
+// ChaosEvent scripts one fault at an exact (stage, occurrence, partition,
+// attempt) coordinate.
+type ChaosEvent = cluster.ChaosEvent
+
+// FaultKind selects what a chaos fault breaks.
+type FaultKind = cluster.FaultKind
+
+// The injectable fault kinds.
+const (
+	FaultTaskStart  = cluster.FaultTaskStart
+	FaultWorkerLoss = cluster.FaultWorkerLoss
+	FaultFetch      = cluster.FaultFetch
+	FaultPostMerge  = cluster.FaultPostMerge
+	FaultStraggler  = cluster.FaultStraggler
+)
+
 // VetReport is the result of Engine.Vet: structured diagnostics (stable
 // RVxxx codes, severities, remediation hints) plus per-view PreM verdicts.
 type VetReport = vet.Report
