@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race fuzz lint rasql-lint golangci ci
+.PHONY: build test vet race race-concurrent fuzz lint rasql-lint golangci ci
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,11 @@ vet:
 
 race:
 	$(GO) test -race ./internal/fixpoint/... ./internal/cluster/... .
+
+# Differential proof of the concurrency model (DESIGN.md §10): one shared
+# engine, many goroutines, results must match a sequential oracle.
+race-concurrent:
+	$(GO) test -race -shuffle=on -run TestConcurrent .
 
 # Short smoke of every fuzz target (wire format, row keys, SQL parser);
 # crashers land in testdata/fuzz/ — check them in as regression seeds.
@@ -35,4 +40,4 @@ golangci:
 
 lint: rasql-lint
 
-ci: build vet test race rasql-lint
+ci: build vet test race race-concurrent rasql-lint

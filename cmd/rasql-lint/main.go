@@ -1,14 +1,20 @@
 // Command rasql-lint checks the engine-source invariants that keep the
-// allocation-free data plane honest: deterministic clocks (simclock),
-// non-retention of decode buffers (noretain), sync.Pool Get/Put pairing
-// (pooldiscipline), and worker-affine shuffle writes (workeraffinity).
-// See the internal/analysis package documentation for the invariants and
-// the //rasql: annotation language.
+// allocation-free data plane honest and the engine safe for concurrent
+// queries: deterministic clocks (simclock), non-retention of decode
+// buffers (noretain), sync.Pool Get/Put pairing (pooldiscipline),
+// worker-affine shuffle writes (workeraffinity), mutex-guarded field
+// access (guardedby), deadlock-free lock ordering (lockorder), and
+// unmixed atomic/plain access (atomicmix). See the internal/analysis
+// package documentation for the invariants and the //rasql: annotation
+// language.
 //
 // Two modes:
 //
 //	rasql-lint ./...                          # standalone, whole-program
 //	go vet -vettool=$(which rasql-lint) ./... # unitchecker under cmd/go
+//
+// Standalone findings print human-readable by default; -json emits a
+// machine-readable array of {file,line,col,analyzer,code,message}.
 //
 // Standalone mode loads and type-checks the matched module packages itself
 // and sees every annotation at once. Under go vet, cmd/go drives one
@@ -51,8 +57,9 @@ func main() {
 
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	dir := flag.String("C", ".", "change to `dir` before loading packages")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: rasql-lint [-C dir] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: rasql-lint [-C dir] [-json] [packages]\n\n")
 		fmt.Fprintf(flag.CommandLine.Output(), "Checks rasql engine-source invariants. With no packages, checks ./...\n")
 		flag.PrintDefaults()
 	}
@@ -60,7 +67,7 @@ func main() {
 
 	if *list {
 		for _, a := range analysis.All() {
-			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-16s %-6s %s\n", a.Name, a.Code, a.Doc)
 		}
 		return
 	}
@@ -75,8 +82,14 @@ func main() {
 		os.Exit(1)
 	}
 	diags := analysis.Run(fset, pkgs, analysis.All())
-	for _, d := range diags {
-		fmt.Fprintln(os.Stderr, d)
+	if *jsonOut {
+		err = analysis.RenderJSON(os.Stdout, diags)
+	} else {
+		err = analysis.RenderHuman(os.Stderr, diags)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rasql-lint: %v\n", err)
+		os.Exit(1)
 	}
 	if len(diags) > 0 {
 		os.Exit(2)

@@ -75,29 +75,27 @@ func (e *Engine) explain(src string, cat *catalog.Catalog) (string, error) {
 // script is then executed for real — views it creates stay registered, like
 // Exec. A full tracer already attached with SetTracer keeps recording (so
 // EXPLAIN ANALYZE composes with -trace export); otherwise a throwaway
-// tracer is attached for the run and the previous one restored after.
+// per-query tracer captures the run. Either way the counters come from the
+// run's own query context, so concurrent queries never bleed into the
+// report.
 func (e *Engine) ExplainAnalyze(src string) (string, error) {
 	plan, err := e.explain(src, e.cat.Clone())
 	if err != nil {
 		return "", err
 	}
 
-	prev := e.tracer
-	tr := prev
+	tr := e.Tracer()
 	if !tr.SpansEnabled() {
 		tr = trace.New()
-		e.SetTracer(tr)
 	}
 	preEvents, preIters := len(tr.Events()), len(tr.Iterations())
-	before := e.Metrics()
-	rel, err := e.Exec(src)
-	if tr != prev {
-		e.SetTracer(prev)
-	}
+	qc := e.cluster.NewQuery(tr)
+	rel, err := e.exec(qc, src)
+	qc.Finish()
 	if err != nil {
 		return "", err
 	}
-	delta := e.Metrics().Sub(before)
+	delta := qc.Metrics.Snapshot()
 
 	var b strings.Builder
 	b.WriteString(plan)

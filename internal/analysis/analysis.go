@@ -14,7 +14,18 @@
 //     return path, and the pooled value is not used after Put;
 //   - workeraffinity: functions annotated //rasql:affinity=worker (the
 //     shuffle's lock-free Add) are only called from per-worker task bodies
-//     or other worker-affine functions, never from fresh goroutines.
+//     or other worker-affine functions, never from fresh goroutines;
+//   - guardedby: struct fields annotated //rasql:guardedby=<mutex-field>
+//     are only touched while the named mutex on the same struct is provably
+//     held — acquired in the same function, or the caller is annotated
+//     //rasql:locked=<mutex-field>. Reads may hold the read lock; writes
+//     need the write lock;
+//   - lockorder: the inter-procedural acquired-while-held graph is acyclic,
+//     so no two code paths can acquire the same pair of locks in opposite
+//     orders and deadlock;
+//   - atomicmix: a variable or field touched through sync/atomic anywhere
+//     in the program is never read or written plainly elsewhere, and values
+//     of sync/atomic struct types are never copied.
 //
 // The framework mirrors the shape of golang.org/x/tools/go/analysis
 // (Analyzer, Pass, Reportf) but is built on the standard library alone:
@@ -46,10 +57,26 @@ type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and in
 	// //rasql:allow comments.
 	Name string
+	// Code is the stable diagnostic code (RL001…) carried into -json
+	// output so downstream tooling survives message-text changes.
+	Code string
 	// Doc describes the invariant the analyzer enforces.
 	Doc string
-	// Run executes the analyzer over one package.
+	// Run executes the analyzer over one package. Nil for analyzers that
+	// only report at program scope.
 	Run func(*Pass)
+	// Prepare, if set, runs over every package before any reporting pass
+	// and records cross-package evidence (lock-acquisition edges, atomic
+	// access sites) into the pass Index. In unitchecker mode it runs over
+	// the current unit on top of the dependency facts, and what it records
+	// is exported as this unit's facts.
+	Prepare func(*Pass)
+	// RunProgram, if set, runs once per whole-program load (or once per
+	// unit under go vet) after every Prepare, with the Index holding the
+	// merged evidence. The pass carries no single package's syntax:
+	// Files/Pkg/Info are nil and diagnostics anchor at positions recorded
+	// during Prepare.
+	RunProgram func(*Pass)
 }
 
 // Pass carries one package's syntax and type information to an analyzer,
@@ -79,6 +106,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
+	Code     string
 	Message  string
 }
 
@@ -89,5 +117,5 @@ func (d Diagnostic) String() string {
 
 // All returns the full analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{Simclock, NoRetain, PoolDiscipline, WorkerAffinity}
+	return []*Analyzer{Simclock, NoRetain, PoolDiscipline, WorkerAffinity, GuardedBy, LockOrder, AtomicMix}
 }

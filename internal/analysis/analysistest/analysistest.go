@@ -26,7 +26,7 @@ import (
 // fixtureDeps are the standard-library packages fixtures may import; their
 // export data (and that of their transitive dependencies) is listed once
 // per test binary.
-var fixtureDeps = []string{"sync", "time", "math/rand"}
+var fixtureDeps = []string{"sync", "sync/atomic", "time", "math/rand"}
 
 var (
 	exportsOnce sync.Once

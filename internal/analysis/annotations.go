@@ -23,8 +23,31 @@ import (
 //	                                  accessor; its argument is recycled
 //	//rasql:deterministic           — anywhere in a file: the whole package
 //	                                  opts into the simclock restriction
+//	//rasql:guardedby=<mutex>       — on a struct field: the field may only
+//	                                  be accessed while the named
+//	                                  sync.Mutex/RWMutex field of the same
+//	                                  struct is held (read lock suffices
+//	                                  for reads)
+//	//rasql:locked=<mutex>          — on a method: callers must already
+//	                                  hold the named mutex field of the
+//	                                  receiver exclusively; the body is
+//	                                  checked as if the lock were taken on
+//	                                  entry
 //	//rasql:allow <names> -- <why>  — on or above a line: suppress the named
 //	                                  analyzers there, with justification
+//
+// Two kinds of shared mutable state are deliberately exempt from guardedby
+// rather than annotated:
+//
+//   - package-level sync.Pool variables (the cluster's encBufPool): the
+//     pool is its own synchronization — Get/Put are safe under any
+//     interleaving, and the separate pooldiscipline analyzer enforces the
+//     engine's stricter Get/Put pairing on top;
+//   - write-only atomic sinks (the cluster's burnSink): an atomic value
+//     that is only ever written and never read cannot produce an
+//     observable race, so a guarding mutex would change nothing. The
+//     atomicmix analyzer still covers such variables — any plain
+//     (non-atomic) access anywhere in the program is a diagnostic.
 
 // FuncAnnots are the annotations attached to one function declaration.
 type FuncAnnots struct {
@@ -39,10 +62,14 @@ type FuncAnnots struct {
 	WorkerAffinity bool
 	// PoolGet and PoolPut mark sync.Pool accessor wrappers.
 	PoolGet, PoolPut bool
+	// Locked lists the receiver mutex fields named by //rasql:locked=;
+	// callers must hold them exclusively and the body is checked with
+	// them held.
+	Locked []string
 }
 
 func (a *FuncAnnots) empty() bool {
-	return a == nil || (!a.HasNoRetain && !a.WorkerAffinity && !a.PoolGet && !a.PoolPut)
+	return a == nil || (!a.HasNoRetain && !a.WorkerAffinity && !a.PoolGet && !a.PoolPut && len(a.Locked) == 0)
 }
 
 // NoRetainCovers reports whether the annotation covers the parameter name.
@@ -76,10 +103,48 @@ type allowSite struct {
 type Index struct {
 	funcs         map[string]*FuncAnnots
 	deterministic map[string]bool
+	// fields maps "pkgpath.Struct.Field" to the guarding mutex field name
+	// from //rasql:guardedby annotations.
+	fields map[string]string
 	// allows maps filename -> line -> analyzer names suppressed there.
 	allows map[string]map[int][]string
 	// malformed collects allow comments missing their justification.
 	malformed []allowSite
+
+	// The program-scope evidence below is recorded by analyzer Prepare
+	// hooks (local entries carry a usable token.Pos) and merged from
+	// dependency facts (position survives only as a string).
+
+	// acquires maps a function key to every lock class it may acquire,
+	// transitively through calls.
+	acquires map[string][]string
+	// lockEdges are acquired-while-held observations: To was acquired at
+	// Pos while From was held.
+	lockEdges []LockEdge
+	// atomicSites and plainSites record, per variable/field key, where it
+	// was accessed through sync/atomic and where it was accessed plainly.
+	atomicSites map[string][]Site
+	plainSites  map[string][]Site
+
+	siteSeen map[string]bool
+}
+
+// Site is one recorded access, addressable across packages by its
+// formatted position; Pos is token.NoPos for sites merged from facts.
+type Site struct {
+	PosStr string
+	Pos    token.Pos
+	Local  bool
+}
+
+// LockEdge is one acquired-while-held observation. Via names the call
+// chain for inter-procedural edges ("" for direct acquisitions).
+type LockEdge struct {
+	From, To string
+	PosStr   string
+	Via      string
+	Pos      token.Pos
+	Local    bool
 }
 
 // NewIndex returns an empty index.
@@ -87,7 +152,12 @@ func NewIndex() *Index {
 	return &Index{
 		funcs:         map[string]*FuncAnnots{},
 		deterministic: map[string]bool{},
+		fields:        map[string]string{},
 		allows:        map[string]map[int][]string{},
+		acquires:      map[string][]string{},
+		atomicSites:   map[string][]Site{},
+		plainSites:    map[string][]Site{},
+		siteSeen:      map[string]bool{},
 	}
 }
 
@@ -137,6 +207,53 @@ func (ix *Index) Deterministic(pkgPath string) bool { return ix.deterministic[pk
 // merging facts and for the built-in engine package list).
 func (ix *Index) MarkDeterministic(pkgPath string) { ix.deterministic[pkgPath] = true }
 
+// GuardedBy returns the guarding mutex field name for a field key
+// ("pkgpath.Struct.Field"), or "" when the field carries no annotation.
+func (ix *Index) GuardedBy(fieldKey string) string { return ix.fields[fieldKey] }
+
+// Acquires returns the transitive lock-acquisition set recorded for a
+// function key (nil when unknown).
+func (ix *Index) Acquires(funcKey string) []string { return ix.acquires[funcKey] }
+
+// SetAcquires records a function's transitive lock-acquisition set.
+func (ix *Index) SetAcquires(funcKey string, locks []string) {
+	if len(locks) > 0 {
+		ix.acquires[funcKey] = locks
+	}
+}
+
+// AddLockEdge records one acquired-while-held observation, deduplicated
+// by (from, to, position).
+func (ix *Index) AddLockEdge(e LockEdge) {
+	k := "edge\x00" + e.From + "\x00" + e.To + "\x00" + e.PosStr
+	if ix.siteSeen[k] {
+		return
+	}
+	ix.siteSeen[k] = true
+	ix.lockEdges = append(ix.lockEdges, e)
+}
+
+// LockEdges returns every recorded acquired-while-held edge.
+func (ix *Index) LockEdges() []LockEdge { return ix.lockEdges }
+
+// AddAtomicSite / AddPlainSite record one access to the keyed variable,
+// deduplicated by position.
+func (ix *Index) AddAtomicSite(key string, s Site) { ix.addSite(ix.atomicSites, "a", key, s) }
+func (ix *Index) AddPlainSite(key string, s Site)  { ix.addSite(ix.plainSites, "p", key, s) }
+
+func (ix *Index) addSite(m map[string][]Site, kind, key string, s Site) {
+	k := kind + "\x00" + key + "\x00" + s.PosStr
+	if ix.siteSeen[k] {
+		return
+	}
+	ix.siteSeen[k] = true
+	m[key] = append(m[key], s)
+}
+
+// AtomicSites and PlainSites expose the recorded access maps.
+func (ix *Index) AtomicSites() map[string][]Site { return ix.atomicSites }
+func (ix *Index) PlainSites() map[string][]Site  { return ix.plainSites }
+
 // ScanPackage records every //rasql: annotation in the files of one
 // package: function annotations, package determinism opt-ins, and
 // per-line allow suppressions.
@@ -148,15 +265,19 @@ func (ix *Index) ScanPackage(fset *token.FileSet, pkgPath string, files []*ast.F
 
 func (ix *Index) scanFile(fset *token.FileSet, pkgPath string, f *ast.File) {
 	for _, d := range f.Decls {
-		fd, ok := d.(*ast.FuncDecl)
-		if !ok || fd.Doc == nil {
-			continue
+		switch d := d.(type) {
+		case *ast.FuncDecl:
+			if d.Doc == nil {
+				continue
+			}
+			ann := parseFuncAnnots(d.Doc)
+			if ann.empty() {
+				continue
+			}
+			ix.funcs[FuncKey(pkgPath, declRecvName(d), d.Name.Name)] = ann
+		case *ast.GenDecl:
+			ix.scanTypeDecl(pkgPath, d)
 		}
-		ann := parseFuncAnnots(fd.Doc)
-		if ann.empty() {
-			continue
-		}
-		ix.funcs[FuncKey(pkgPath, declRecvName(fd), fd.Name.Name)] = ann
 	}
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
@@ -169,6 +290,55 @@ func (ix *Index) scanFile(fset *token.FileSet, pkgPath string, f *ast.File) {
 			}
 		}
 	}
+}
+
+// scanTypeDecl records //rasql:guardedby annotations on struct fields.
+// The annotation rides in the field's doc comment (the line above) or its
+// trailing line comment.
+func (ix *Index) scanTypeDecl(pkgPath string, d *ast.GenDecl) {
+	if d.Tok != token.TYPE {
+		return
+	}
+	for _, spec := range d.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok || st.Fields == nil {
+			continue
+		}
+		for _, field := range st.Fields.List {
+			mu := guardedByOf(field.Doc)
+			if mu == "" {
+				mu = guardedByOf(field.Comment)
+			}
+			if mu == "" {
+				continue
+			}
+			for _, name := range field.Names {
+				ix.fields[FieldKey(pkgPath, ts.Name.Name, name.Name)] = mu
+			}
+		}
+	}
+}
+
+func guardedByOf(cg *ast.CommentGroup) string {
+	if cg == nil {
+		return ""
+	}
+	for _, c := range cg.List {
+		line := strings.TrimSpace(c.Text)
+		if mu, ok := strings.CutPrefix(line, "//rasql:guardedby="); ok {
+			return strings.TrimSpace(mu)
+		}
+	}
+	return ""
+}
+
+// FieldKey builds the index key for a struct field annotation.
+func FieldKey(pkgPath, structName, fieldName string) string {
+	return pkgPath + "." + structName + "." + fieldName
 }
 
 // declRecvName extracts the receiver type name of a declaration
@@ -209,6 +379,10 @@ func parseFuncAnnots(doc *ast.CommentGroup) *FuncAnnots {
 			ann.PoolGet = true
 		case "pool-put":
 			ann.PoolPut = true
+		default:
+			if mu, ok := strings.CutPrefix(fields[0], "locked="); ok && mu != "" {
+				ann.Locked = append(ann.Locked, mu)
+			}
 		}
 	}
 	return ann
@@ -247,34 +421,88 @@ func (ix *Index) Allowed(analyzer string, pos token.Position) bool {
 }
 
 // Facts is the serializable subset of the index exchanged between
-// unitchecker runs: the annotations a package exports to its dependents.
+// unitchecker runs: the annotations and program-scope evidence a package
+// exports to its dependents. Facts are cumulative — a unit re-exports its
+// dependencies' facts alongside its own, so evidence reaches indirect
+// dependents no matter how cmd/go wires the vetx graph.
 type Facts struct {
 	Funcs         map[string]*FuncAnnots `json:"funcs,omitempty"`
 	Deterministic []string               `json:"deterministic,omitempty"`
+	Fields        map[string]string      `json:"fields,omitempty"`
+	Acquires      map[string][]string    `json:"acquires,omitempty"`
+	LockEdges     []LockEdgeFact         `json:"lockEdges,omitempty"`
+	AtomicSites   map[string][]string    `json:"atomicSites,omitempty"`
+	PlainSites    map[string][]string    `json:"plainSites,omitempty"`
 }
 
-// ExportFacts extracts the facts recorded for one package.
+// LockEdgeFact is the serialized form of a LockEdge (positions survive
+// only as strings across the facts boundary).
+type LockEdgeFact struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	Pos  string `json:"pos"`
+	Via  string `json:"via,omitempty"`
+}
+
+// ExportFacts extracts the cumulative facts held by the index: this
+// package's annotations and evidence plus everything merged from its
+// dependencies.
 func (ix *Index) ExportFacts(pkgPath string) Facts {
-	f := Facts{Funcs: map[string]*FuncAnnots{}}
-	prefix := pkgPath + "."
-	for k, v := range ix.funcs {
-		if strings.HasPrefix(k, prefix) {
-			f.Funcs[k] = v
+	f := Facts{
+		Funcs:       ix.funcs,
+		Fields:      ix.fields,
+		Acquires:    ix.acquires,
+		AtomicSites: map[string][]string{},
+		PlainSites:  map[string][]string{},
+	}
+	for p := range ix.deterministic {
+		f.Deterministic = append(f.Deterministic, p)
+	}
+	sort.Strings(f.Deterministic)
+	for _, e := range ix.lockEdges {
+		f.LockEdges = append(f.LockEdges, LockEdgeFact{From: e.From, To: e.To, Pos: e.PosStr, Via: e.Via})
+	}
+	for k, sites := range ix.atomicSites {
+		for _, s := range sites {
+			f.AtomicSites[k] = append(f.AtomicSites[k], s.PosStr)
 		}
 	}
-	if ix.deterministic[pkgPath] {
-		f.Deterministic = []string{pkgPath}
+	for k, sites := range ix.plainSites {
+		for _, s := range sites {
+			f.PlainSites[k] = append(f.PlainSites[k], s.PosStr)
+		}
 	}
 	return f
 }
 
-// MergeFacts folds a dependency's exported facts into the index.
+// MergeFacts folds a dependency's exported facts into the index. Merged
+// evidence is non-local: it anchors no diagnostics itself but completes
+// graphs and cross-references for the local package's reports.
 func (ix *Index) MergeFacts(f Facts) {
 	for k, v := range f.Funcs {
 		ix.funcs[k] = v
 	}
 	for _, p := range f.Deterministic {
 		ix.deterministic[p] = true
+	}
+	for k, v := range f.Fields {
+		ix.fields[k] = v
+	}
+	for k, v := range f.Acquires {
+		ix.acquires[k] = v
+	}
+	for _, e := range f.LockEdges {
+		ix.AddLockEdge(LockEdge{From: e.From, To: e.To, PosStr: e.Pos, Via: e.Via})
+	}
+	for k, sites := range f.AtomicSites {
+		for _, pos := range sites {
+			ix.AddAtomicSite(k, Site{PosStr: pos})
+		}
+	}
+	for k, sites := range f.PlainSites {
+		for _, pos := range sites {
+			ix.AddPlainSite(k, Site{PosStr: pos})
+		}
 	}
 }
 
@@ -286,6 +514,7 @@ func (ix *Index) MalformedAllows(fset *token.FileSet) []Diagnostic {
 		out = append(out, Diagnostic{
 			Pos:      fset.Position(m.pos),
 			Analyzer: "rasql-lint",
+			Code:     "RL000",
 			Message:  "//rasql:allow needs analyzer names and a `-- justification`",
 		})
 	}

@@ -1,0 +1,252 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AtomicMix detects mixed atomic/plain access, the race class where half
+// the program synchronizes and the other half doesn't:
+//
+//   - a variable or field whose address is passed to a sync/atomic
+//     function anywhere in the program must never be read or written
+//     plainly elsewhere — the plain access races with every atomic one,
+//     and the compiler may tear, cache or reorder it;
+//   - values of the sync/atomic struct types (atomic.Int64, atomic.Uint64,
+//     atomic.Bool, …) must only be used through their methods or by
+//     address: copying one (assignment, argument, return, composite
+//     literal) forks its internal state and silently decouples the copy.
+//
+// The first class is cross-package: atomic sites and plain access sites
+// are collected per package during Prepare and joined program-wide (or
+// against dependency facts under go vet). The second is purely local
+// syntax and is checked per package.
+var AtomicMix = &Analyzer{
+	Name:       "atomicmix",
+	Code:       "RL007",
+	Doc:        "state touched via sync/atomic is never accessed plainly elsewhere, and atomic values are never copied",
+	Run:        runAtomicMixPackage,
+	Prepare:    prepareAtomicMix,
+	RunProgram: runAtomicMixProgram,
+}
+
+// atomicCapable reports whether a plain variable of type t could be the
+// target of sync/atomic free functions (the only types they accept).
+func atomicCapable(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok {
+		switch b.Kind() {
+		case types.Int32, types.Int64, types.Uint32, types.Uint64, types.Uintptr, types.UnsafePointer:
+			return true
+		}
+	}
+	return false
+}
+
+// isAtomicFreeFunc reports whether the call invokes a sync/atomic
+// package-level function (AddInt64, StoreUint32, …).
+func isAtomicFreeFunc(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// isAtomicStructType reports whether t is one of sync/atomic's value types
+// (atomic.Int64, atomic.Bool, atomic.Pointer[T], …).
+func isAtomicStructType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync/atomic"
+}
+
+// atomicTargetKey names the variable or field whose address feeds an
+// atomic call, addressable program-wide: fields as "pkgpath.Struct.Field",
+// package vars as "pkgpath.var", locals by declaration position.
+func atomicTargetKey(pass *Pass, e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		return fieldAccessKey(pass, e)
+	case *ast.Ident:
+		obj, ok := pass.Info.Uses[e].(*types.Var)
+		if !ok || obj.IsField() || obj.Pkg() == nil {
+			return ""
+		}
+		if isPackageLevel(obj) {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+		return obj.Pkg().Path() + "." + obj.Name() + "@" + pass.Fset.Position(obj.Pos()).String()
+	}
+	return ""
+}
+
+// displayKey renders an access key for diagnostics (strips the local
+// declaration-position suffix).
+func displayKey(key string) string {
+	if i := strings.Index(key, "@"); i >= 0 {
+		key = key[:i]
+	}
+	return key
+}
+
+func prepareAtomicMix(pass *Pass) {
+	// First pass: record every &x handed to a sync/atomic free function as
+	// an atomic site, and remember those operand nodes — they are the one
+	// place a plain spelling of the variable is legitimate.
+	exempt := map[ast.Expr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicFreeFunc(calleeFunc(pass, call)) {
+				return true
+			}
+			for _, arg := range call.Args {
+				u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				target := ast.Unparen(u.X)
+				key := atomicTargetKey(pass, target)
+				if key == "" {
+					continue
+				}
+				exempt[target] = true
+				pass.Index.AddAtomicSite(key, Site{
+					Pos: target.Pos(), PosStr: pass.Fset.Position(target.Pos()).String(), Local: true,
+				})
+			}
+			return true
+		})
+	}
+
+	// Second pass: record every other spelling of an atomic-capable
+	// variable or field as a plain access site.
+	for _, f := range pass.Files {
+		walkWithStack(f, func(stack []ast.Node, n ast.Node) {
+			expr, ok := n.(ast.Expr)
+			if !ok || exempt[expr] {
+				return
+			}
+			var key string
+			switch e := n.(type) {
+			case *ast.SelectorExpr:
+				key = fieldAccessKey(pass, e)
+			case *ast.Ident:
+				obj, ok := pass.Info.Uses[e].(*types.Var)
+				if !ok || obj.IsField() {
+					return
+				}
+				// The Sel of a selector is also an Ident use of the field
+				// object; the SelectorExpr case already covers it.
+				if len(stack) >= 2 {
+					if sel, ok := stack[len(stack)-2].(*ast.SelectorExpr); ok && sel.Sel == e {
+						return
+					}
+				}
+				key = atomicTargetKey(pass, e)
+			default:
+				return
+			}
+			if key == "" || !atomicCapable(pass.typeOf(expr)) {
+				return
+			}
+			pass.Index.AddPlainSite(key, Site{
+				Pos: expr.Pos(), PosStr: pass.Fset.Position(expr.Pos()).String(), Local: true,
+			})
+		})
+	}
+}
+
+// runAtomicMixPackage flags copies of sync/atomic value types.
+func runAtomicMixPackage(pass *Pass) {
+	for _, f := range pass.Files {
+		walkWithStack(f, func(stack []ast.Node, n ast.Node) {
+			expr, ok := n.(ast.Expr)
+			if !ok {
+				return
+			}
+			switch e := n.(type) {
+			case *ast.SelectorExpr:
+				if s, ok := pass.Info.Selections[e]; !ok || s.Kind() != types.FieldVal {
+					return
+				}
+			case *ast.Ident:
+				obj, ok := pass.Info.Uses[e].(*types.Var)
+				if !ok || obj.IsField() {
+					return
+				}
+			default:
+				return
+			}
+			if !isAtomicStructType(pass.typeOf(expr)) {
+				return
+			}
+			if len(stack) < 2 {
+				return
+			}
+			switch p := stack[len(stack)-2].(type) {
+			case *ast.SelectorExpr:
+				if p.X == expr || p.Sel == expr {
+					return // method call or the selector's own Sel ident
+				}
+			case *ast.UnaryExpr:
+				if p.Op == token.AND && p.X == expr {
+					return // taking the address is how atomics are shared
+				}
+			case *ast.ParenExpr:
+				return // conservatively skip parenthesized forms
+			}
+			name := types.ExprString(expr)
+			pass.Reportf(expr.Pos(), "%s copies a sync/atomic value; use its methods or pass &%s", name, name)
+		})
+	}
+}
+
+// runAtomicMixProgram joins the program-wide atomic and plain access maps.
+func runAtomicMixProgram(pass *Pass) {
+	atomics := pass.Index.AtomicSites()
+	plains := pass.Index.PlainSites()
+	keys := make([]string, 0, len(atomics))
+	for k := range atomics {
+		if len(plains[k]) > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		anchor := atomics[key][0]
+		for _, site := range plains[key] {
+			if site.Local && site.Pos.IsValid() {
+				pass.Reportf(site.Pos, "plain access of %s, which is accessed via sync/atomic at %s; every access must go through sync/atomic", displayKey(key), anchor.PosStr)
+			}
+		}
+		// The converse direction: a dependency accessed the variable
+		// plainly before this package introduced the atomic use. Anchor at
+		// the local atomic site, naming the remote plain access.
+		if !hasLocalSite(plains[key]) {
+			for _, site := range atomics[key] {
+				if site.Local && site.Pos.IsValid() {
+					pass.Reportf(site.Pos, "%s is accessed via sync/atomic here but accessed plainly at %s; every access must go through sync/atomic", displayKey(key), plains[key][0].PosStr)
+					break
+				}
+			}
+		}
+	}
+}
+
+func hasLocalSite(sites []Site) bool {
+	for _, s := range sites {
+		if s.Local {
+			return true
+		}
+	}
+	return false
+}

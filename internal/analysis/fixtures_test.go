@@ -27,6 +27,18 @@ func TestWorkerAffinityFixture(t *testing.T) {
 	analysistest.Run(t, "testdata", "workeraffinity", analysis.WorkerAffinity)
 }
 
+func TestGuardedByFixture(t *testing.T) {
+	analysistest.Run(t, "testdata", "guardedby", analysis.GuardedBy)
+}
+
+func TestLockOrderFixture(t *testing.T) {
+	analysistest.Run(t, "testdata", "lockorder", analysis.LockOrder)
+}
+
+func TestAtomicMixFixture(t *testing.T) {
+	analysistest.Run(t, "testdata", "atomicmix", analysis.AtomicMix)
+}
+
 // TestAllowFixture runs no analyzer at all: malformed //rasql:allow
 // comments are diagnosed by the framework itself.
 func TestAllowFixture(t *testing.T) {
@@ -40,7 +52,7 @@ func TestEngineClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("whole-program load is not short")
 	}
-	pkgs, fset, err := analysis.LoadPackages("../..", "./internal/cluster/...", "./internal/types/...", "./internal/fixpoint/...")
+	pkgs, fset, err := analysis.LoadPackages("../..", ".", "./internal/cluster/...", "./internal/types/...", "./internal/fixpoint/...", "./internal/trace/...", "./internal/sql/...", "./internal/pregel/...")
 	if err != nil {
 		t.Fatalf("loading engine packages: %v", err)
 	}

@@ -1,0 +1,318 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// GuardedBy enforces //rasql:guardedby=<mutex-field>: every access to the
+// annotated field must happen while the named sync.Mutex/RWMutex on the
+// same struct is provably held. A lock is provably held when it is
+// acquired earlier in the same function (and not yet released — deferred
+// unlocks hold to function end), or when the enclosing method is annotated
+// //rasql:locked=<mutex-field>, which moves the proof obligation to its
+// callers. Reads are satisfied by the read lock of an RWMutex; writes —
+// assignments, map stores and deletes, ++/--, and address-taking — need
+// the write lock.
+//
+// The held-lock reconstruction is a position-ordered linear scan per
+// function, keyed by the spelled receiver expression (the `c.mu` of
+// `c.mu.Lock()` guards accesses through base `c`). Construction through
+// composite literals ({tables: m}) uses field keys, not selectors, so
+// building an unshared value needs no lock — which is exactly the
+// published/unpublished distinction the engine relies on.
+//
+// The analyzer also validates the annotations themselves in the declaring
+// package: naming a field that does not exist, or one that is not a
+// sync.Mutex/RWMutex, is a diagnostic.
+var GuardedBy = &Analyzer{
+	Name: "guardedby",
+	Code: "RL005",
+	Doc:  "fields annotated //rasql:guardedby=<mutex> are only accessed with the mutex held (read lock for reads)",
+	Run:  runGuardedBy,
+}
+
+const (
+	gbLock = iota
+	gbUnlock
+	gbAccess
+	gbLockedCall
+)
+
+// gbEvent is one lock-state-relevant occurrence inside a function,
+// replayed in source-position order.
+type gbEvent struct {
+	pos  token.Pos
+	kind int
+	// lockKey is the spelled lock identity ("c.mu") for lock ops and the
+	// required lock for accesses and locked calls.
+	lockKey string
+	// read distinguishes RLock/RUnlock and read accesses.
+	read bool
+	// field and mu name the accessed field and its guard, for messages.
+	field, mu string
+	// callee names the locked-annotated function being called.
+	callee string
+}
+
+type gbHeld struct{ w, r int }
+
+func runGuardedBy(pass *Pass) {
+	checkGuardAnnotations(pass)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncGuards(pass, fd)
+		}
+	}
+}
+
+func checkFuncGuards(pass *Pass, fd *ast.FuncDecl) {
+	events := collectGuardEvents(pass, fd.Body)
+	if len(events) == 0 {
+		return
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	held := map[string]gbHeld{}
+	// //rasql:locked=<mu> seeds the receiver's mutex as exclusively held.
+	if ann := pass.Index.DeclAnnots(FuncKey(pass.Pkg.Path(), declRecvName(fd), fd.Name.Name)); ann != nil {
+		if recv := recvIdentName(fd); recv != "" {
+			for _, mu := range ann.Locked {
+				held[recv+"."+mu] = gbHeld{w: 1}
+			}
+		}
+	}
+
+	for _, ev := range events {
+		h := held[ev.lockKey]
+		switch ev.kind {
+		case gbLock:
+			if ev.read {
+				h.r++
+			} else {
+				h.w++
+			}
+			held[ev.lockKey] = h
+		case gbUnlock:
+			if ev.read {
+				h.r--
+			} else {
+				h.w--
+			}
+			held[ev.lockKey] = h
+		case gbAccess:
+			switch {
+			case ev.read && h.w <= 0 && h.r <= 0:
+				pass.Reportf(ev.pos, "read of %s (guarded by %s) without holding %s", ev.field, ev.mu, ev.lockKey)
+			case !ev.read && h.w <= 0 && h.r > 0:
+				pass.Reportf(ev.pos, "write to %s (guarded by %s) requires the write lock, but %s is only read-locked", ev.field, ev.mu, ev.lockKey)
+			case !ev.read && h.w <= 0:
+				pass.Reportf(ev.pos, "write to %s (guarded by %s) without holding %s", ev.field, ev.mu, ev.lockKey)
+			}
+		case gbLockedCall:
+			if h.w <= 0 {
+				pass.Reportf(ev.pos, "%s requires %s held exclusively (it is //rasql:locked=%s)", ev.callee, ev.lockKey, ev.mu)
+			}
+		}
+	}
+}
+
+func collectGuardEvents(pass *Pass, body *ast.BlockStmt) []gbEvent {
+	var events []gbEvent
+	walkWithStack(body, func(stack []ast.Node, n ast.Node) {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if op, ok := asMutexOp(pass, stack, n); ok {
+				if op.deferred {
+					return // deferred unlocks hold to function end
+				}
+				kind := gbUnlock
+				if op.acquire() {
+					kind = gbLock
+				}
+				events = append(events, gbEvent{
+					pos: n.Pos(), kind: kind,
+					lockKey: types.ExprString(op.recv), read: op.read(),
+				})
+				return
+			}
+			callee := calleeFunc(pass, n)
+			ann := pass.Index.FuncAnnots(callee)
+			if ann == nil || len(ann.Locked) == 0 {
+				return
+			}
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			for _, mu := range ann.Locked {
+				events = append(events, gbEvent{
+					pos: n.Pos(), kind: gbLockedCall,
+					lockKey: types.ExprString(sel.X) + "." + mu,
+					mu:      mu, callee: callee.Name(),
+				})
+			}
+		case *ast.SelectorExpr:
+			key := fieldAccessKey(pass, n)
+			if key == "" {
+				return
+			}
+			mu := pass.Index.GuardedBy(key)
+			if mu == "" {
+				return
+			}
+			events = append(events, gbEvent{
+				pos: n.Sel.Pos(), kind: gbAccess,
+				lockKey: types.ExprString(n.X) + "." + mu,
+				read:    !isWriteAccess(stack, n),
+				field:   n.Sel.Name, mu: mu,
+			})
+		}
+	})
+	return events
+}
+
+// isWriteAccess climbs from the selector through index/paren chains to
+// decide whether the access mutates (or escapes the address of) the field.
+func isWriteAccess(stack []ast.Node, sel *ast.SelectorExpr) bool {
+	var cur ast.Expr = sel
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			cur = p
+		case *ast.IndexExpr:
+			if p.X != cur {
+				return false // the field is the index, i.e. a read
+			}
+			cur = p
+		case *ast.SelectorExpr:
+			return false // drilling further: this level is a read
+		case *ast.AssignStmt:
+			for _, lhs := range p.Lhs {
+				if lhs == cur {
+					return true
+				}
+			}
+			return false
+		case *ast.IncDecStmt:
+			return p.X == cur
+		case *ast.UnaryExpr:
+			return p.Op == token.AND && p.X == cur
+		case *ast.CallExpr:
+			if id, ok := p.Fun.(*ast.Ident); ok && id.Name == "delete" && len(p.Args) > 0 && p.Args[0] == cur {
+				return true
+			}
+			return false
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+func recvIdentName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return fd.Recv.List[0].Names[0].Name
+}
+
+// checkGuardAnnotations validates //rasql:guardedby and //rasql:locked in
+// the declaring package: the named mutex must exist on the struct and be a
+// sync.Mutex or sync.RWMutex.
+func checkGuardAnnotations(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *ast.GenDecl:
+				checkStructGuards(pass, d)
+			case *ast.FuncDecl:
+				checkLockedAnnotation(pass, d)
+			}
+		}
+	}
+}
+
+func checkStructGuards(pass *Pass, d *ast.GenDecl) {
+	if d.Tok != token.TYPE {
+		return
+	}
+	for _, spec := range d.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok || st.Fields == nil {
+			continue
+		}
+		for _, field := range st.Fields.List {
+			for _, name := range field.Names {
+				mu := pass.Index.GuardedBy(FieldKey(pass.Pkg.Path(), ts.Name.Name, name.Name))
+				if mu == "" {
+					continue
+				}
+				if msg := validateGuard(pass, st, mu); msg != "" {
+					pass.Reportf(name.Pos(), "//rasql:guardedby=%s on %s.%s: %s", mu, ts.Name.Name, name.Name, msg)
+				}
+			}
+		}
+	}
+}
+
+func checkLockedAnnotation(pass *Pass, fd *ast.FuncDecl) {
+	ann := pass.Index.DeclAnnots(FuncKey(pass.Pkg.Path(), declRecvName(fd), fd.Name.Name))
+	if ann == nil || len(ann.Locked) == 0 {
+		return
+	}
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		pass.Reportf(fd.Pos(), "//rasql:locked=%s on %s: the annotation names a receiver mutex field, but %s has no receiver", strings.Join(ann.Locked, ","), fd.Name.Name, fd.Name.Name)
+		return
+	}
+	recvType := pass.typeOf(fd.Recv.List[0].Type)
+	st := structUnder(recvType)
+	for _, mu := range ann.Locked {
+		if msg := validateGuardType(st, mu); msg != "" {
+			pass.Reportf(fd.Pos(), "//rasql:locked=%s on %s: %s", mu, fd.Name.Name, msg)
+		}
+	}
+}
+
+func validateGuard(pass *Pass, st *ast.StructType, mu string) string {
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			if name.Name != mu {
+				continue
+			}
+			if !isMutexType(pass.typeOf(field.Type)) {
+				return fmt.Sprintf("%s is not a sync.Mutex or sync.RWMutex", mu)
+			}
+			return ""
+		}
+	}
+	return fmt.Sprintf("the struct has no field named %s", mu)
+}
+
+func validateGuardType(st *types.Struct, mu string) string {
+	if st == nil {
+		return "the receiver is not a struct"
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() != mu {
+			continue
+		}
+		if !isMutexType(st.Field(i).Type()) {
+			return fmt.Sprintf("%s is not a sync.Mutex or sync.RWMutex", mu)
+		}
+		return ""
+	}
+	return fmt.Sprintf("the receiver struct has no field named %s", mu)
+}

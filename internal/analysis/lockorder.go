@@ -1,0 +1,301 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// LockOrder detects lock-ordering deadlock hazards: it builds the
+// inter-procedural acquired-while-held graph — an edge A→B means some code
+// path acquires lock B while holding lock A — and reports every cycle,
+// naming both (all) acquisition paths in the diagnostic. Two goroutines
+// traversing a cycle's edges concurrently can each hold one lock while
+// waiting for the other, forever.
+//
+// Locks are identified by class, not instance: a struct's mutex field is
+// "pkgpath.Struct.field" wherever it lives, so acquiring two instances of
+// the same class while holding one (a self-edge) is also reported — that
+// shape deadlocks as soon as two goroutines pick opposite orders.
+//
+// The graph is assembled in two layers during Prepare:
+//
+//   - direct edges: a Lock/RLock while the position-ordered scan (see
+//     locks.go) shows another lock held in the same function;
+//   - call edges: a call made while holding A, to a function whose
+//     transitive acquisition set (closed over the static call graph, and
+//     carried across packages as facts) contains B, yields A→B "via" the
+//     callee.
+//
+// Cycles are reported once per distinct lock set, anchored at a local
+// edge, after the whole program (or, under go vet, the unit plus its
+// dependencies' facts) has been indexed.
+var LockOrder = &Analyzer{
+	Name:       "lockorder",
+	Code:       "RL006",
+	Doc:        "the acquired-while-held graph across the engine must stay acyclic (deadlock freedom)",
+	Prepare:    prepareLockOrder,
+	RunProgram: runLockOrderProgram,
+}
+
+// loPending is a call made with locks held, resolved into edges once the
+// package's transitive acquisition sets are known.
+type loPending struct {
+	held   []string
+	callee string
+	short  string
+	pos    token.Pos
+}
+
+func prepareLockOrder(pass *Pass) {
+	direct := map[string][]string{}  // function key -> directly acquired classes
+	callees := map[string][]string{} // function key -> called function keys
+	var pending []loPending
+
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			key := FuncKey(pass.Pkg.Path(), declRecvName(fd), fd.Name.Name)
+			scanLockFlow(pass, fd, key, direct, callees, &pending)
+		}
+	}
+
+	// Close the acquisition sets over the call graph: package-local
+	// callees iterate to fixpoint; cross-package callees contribute their
+	// already-closed sets from the index (facts, or earlier packages of
+	// the dependency-ordered load).
+	trans := map[string]map[string]bool{}
+	for key, locks := range direct {
+		set := map[string]bool{}
+		for _, l := range locks {
+			set[l] = true
+		}
+		trans[key] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for key, calls := range callees {
+			set := trans[key]
+			if set == nil {
+				set = map[string]bool{}
+				trans[key] = set
+			}
+			for _, c := range calls {
+				var add []string
+				if t, ok := trans[c]; ok {
+					for l := range t {
+						add = append(add, l)
+					}
+				} else {
+					add = pass.Index.Acquires(c)
+				}
+				for _, l := range add {
+					if !set[l] {
+						set[l] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	for key, set := range trans {
+		locks := make([]string, 0, len(set))
+		for l := range set {
+			locks = append(locks, l)
+		}
+		sort.Strings(locks)
+		pass.Index.SetAcquires(key, locks)
+	}
+
+	for _, p := range pending {
+		acq := pass.Index.Acquires(p.callee)
+		for _, held := range p.held {
+			for _, to := range acq {
+				pass.Index.AddLockEdge(LockEdge{
+					From: held, To: to,
+					Pos: p.pos, PosStr: pass.Fset.Position(p.pos).String(),
+					Via: p.short, Local: true,
+				})
+			}
+		}
+	}
+}
+
+// scanLockFlow replays one function body in position order, recording
+// direct acquired-while-held edges, the function's direct acquisitions,
+// its callees, and calls made under locks.
+func scanLockFlow(pass *Pass, fd *ast.FuncDecl, key string, direct, callees map[string][]string, pending *[]loPending) {
+	type ev struct {
+		pos     token.Pos
+		acquire bool
+		release bool
+		class   string
+		callee  string
+		short   string
+	}
+	var events []ev
+	walkWithStack(fd.Body, func(stack []ast.Node, n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if op, ok := asMutexOp(pass, stack, call); ok {
+			if op.deferred {
+				return
+			}
+			class := lockClass(pass, op.recv)
+			if class == "" {
+				return
+			}
+			events = append(events, ev{pos: call.Pos(), acquire: op.acquire(), release: !op.acquire(), class: class})
+			return
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil {
+			return
+		}
+		events = append(events, ev{pos: call.Pos(), callee: ObjKey(fn), short: fn.Name()})
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	held := map[string]int{}
+	for _, e := range events {
+		switch {
+		case e.acquire:
+			for h, n := range held {
+				if n > 0 {
+					pass.Index.AddLockEdge(LockEdge{
+						From: h, To: e.class,
+						Pos: e.pos, PosStr: pass.Fset.Position(e.pos).String(),
+						Local: true,
+					})
+				}
+			}
+			held[e.class]++
+			direct[key] = append(direct[key], e.class)
+		case e.release:
+			held[e.class]--
+		default:
+			callees[key] = append(callees[key], e.callee)
+			var snapshot []string
+			for h, n := range held {
+				if n > 0 {
+					snapshot = append(snapshot, h)
+				}
+			}
+			if len(snapshot) > 0 {
+				sort.Strings(snapshot)
+				*pending = append(*pending, loPending{held: snapshot, callee: e.callee, short: e.short, pos: e.pos})
+			}
+		}
+	}
+}
+
+func runLockOrderProgram(pass *Pass) {
+	edges := pass.Index.LockEdges()
+	adj := map[string][]int{}
+	for i, e := range edges {
+		adj[e.From] = append(adj[e.From], i)
+	}
+	seen := map[string]bool{}
+	for i := range edges {
+		cycle := closeCycle(edges, adj, i)
+		if cycle == nil {
+			continue
+		}
+		key := canonicalCycle(edges, cycle)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		anchor := localAnchor(edges, cycle)
+		if anchor < 0 {
+			continue // every edge came from facts; the owning unit reports it
+		}
+		pass.Reportf(edges[anchor].Pos, "lock ordering cycle: %s", describeCycle(edges, cycle))
+	}
+}
+
+// closeCycle finds a shortest edge path from edges[start].To back to
+// edges[start].From (BFS), returning the full cycle's edge indices, or nil.
+func closeCycle(edges []LockEdge, adj map[string][]int, start int) []int {
+	from, to := edges[start].From, edges[start].To
+	if from == to {
+		return []int{start} // self-cycle: re-acquisition of the same class
+	}
+	prev := map[string]int{to: start}
+	queue := []string{to}
+	for len(queue) > 0 {
+		node := queue[0]
+		queue = queue[1:]
+		for _, ei := range adj[node] {
+			next := edges[ei].To
+			if _, ok := prev[next]; ok {
+				continue
+			}
+			prev[next] = ei
+			if next == from {
+				var path []int
+				for n := from; n != to; n = edges[prev[n]].From {
+					path = append(path, prev[n])
+				}
+				// path runs backwards (…→from); prepend the start edge.
+				out := []int{start}
+				for i := len(path) - 1; i >= 0; i-- {
+					out = append(out, path[i])
+				}
+				return out
+			}
+			queue = append(queue, next)
+		}
+	}
+	return nil
+}
+
+func canonicalCycle(edges []LockEdge, cycle []int) string {
+	nodes := map[string]bool{}
+	for _, ei := range cycle {
+		nodes[edges[ei].From] = true
+		nodes[edges[ei].To] = true
+	}
+	list := make([]string, 0, len(nodes))
+	for n := range nodes {
+		list = append(list, n)
+	}
+	sort.Strings(list)
+	return strings.Join(list, "\x00")
+}
+
+func localAnchor(edges []LockEdge, cycle []int) int {
+	for _, ei := range cycle {
+		if edges[ei].Local && edges[ei].Pos.IsValid() {
+			return ei
+		}
+	}
+	return -1
+}
+
+func describeCycle(edges []LockEdge, cycle []int) string {
+	if len(cycle) == 1 {
+		e := edges[cycle[0]]
+		return fmt.Sprintf("%s is acquired at %s while already held%s", e.To, e.PosStr, viaSuffix(e))
+	}
+	parts := make([]string, 0, len(cycle))
+	for _, ei := range cycle {
+		e := edges[ei]
+		parts = append(parts, fmt.Sprintf("%s is acquired while holding %s at %s%s", e.To, e.From, e.PosStr, viaSuffix(e)))
+	}
+	return strings.Join(parts, "; ")
+}
+
+func viaSuffix(e LockEdge) string {
+	if e.Via == "" {
+		return ""
+	}
+	return fmt.Sprintf(" (via call to %s)", e.Via)
+}

@@ -21,6 +21,7 @@ import (
 // string(buf) and indexing a byte out of buf produce fresh values.
 var NoRetain = &Analyzer{
 	Name: "noretain",
+	Code: "RL002",
 	Doc:  "annotated functions must not retain their parameter-derived slices",
 	Run:  runNoRetain,
 }

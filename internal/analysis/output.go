@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// RenderHuman writes diagnostics one per line in the conventional
+// file:line:col: analyzer: message form (the Diagnostic String form).
+func RenderHuman(w io.Writer, diags []Diagnostic) error {
+	for _, d := range diags {
+		if _, err := fmt.Fprintln(w, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonDiagnostic is the stable machine-readable shape of one finding.
+// Field names are part of the tool's interface: downstream consumers key
+// on code (RL000…) rather than message text.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Code     string `json:"code"`
+	Message  string `json:"message"`
+}
+
+// RenderJSON writes diagnostics as an indented JSON array (never null:
+// zero findings render as []), terminated by a newline.
+func RenderJSON(w io.Writer, diags []Diagnostic) error {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiagnostic{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Code:     d.Code,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+var outputDiags = []Diagnostic{
+	{
+		Pos:      token.Position{Filename: "cluster/shuffle.go", Line: 42, Column: 7},
+		Analyzer: "guardedby",
+		Code:     "RL005",
+		Message:  "read of n (guarded by mu) without holding c.mu",
+	},
+	{
+		Pos:      token.Position{Filename: "cluster/pool.go", Line: 9, Column: 2},
+		Analyzer: "atomicmix",
+		Code:     "RL007",
+		Message:  `plain access of "quoted", which is accessed via sync/atomic at pool.go:3:1; every access must go through sync/atomic`,
+	},
+}
+
+func TestRenderHumanGolden(t *testing.T) {
+	var b strings.Builder
+	if err := RenderHuman(&b, outputDiags); err != nil {
+		t.Fatal(err)
+	}
+	want := "cluster/shuffle.go:42:7: guardedby: read of n (guarded by mu) without holding c.mu\n" +
+		"cluster/pool.go:9:2: atomicmix: plain access of \"quoted\", which is accessed via sync/atomic at pool.go:3:1; every access must go through sync/atomic\n"
+	if got := b.String(); got != want {
+		t.Errorf("human output mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestRenderJSONGolden(t *testing.T) {
+	var b strings.Builder
+	if err := RenderJSON(&b, outputDiags); err != nil {
+		t.Fatal(err)
+	}
+	want := `[
+  {
+    "file": "cluster/shuffle.go",
+    "line": 42,
+    "col": 7,
+    "analyzer": "guardedby",
+    "code": "RL005",
+    "message": "read of n (guarded by mu) without holding c.mu"
+  },
+  {
+    "file": "cluster/pool.go",
+    "line": 9,
+    "col": 2,
+    "analyzer": "atomicmix",
+    "code": "RL007",
+    "message": "plain access of \"quoted\", which is accessed via sync/atomic at pool.go:3:1; every access must go through sync/atomic"
+  }
+]
+`
+	if got := b.String(); got != want {
+		t.Errorf("json output mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestRenderJSONEmpty pins that zero findings render as an empty array,
+// not null: consumers can always range over the result.
+func TestRenderJSONEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := RenderJSON(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != "[]\n" {
+		t.Errorf("empty json output = %q, want %q", got, "[]\n")
+	}
+}

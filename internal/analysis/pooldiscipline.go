@@ -23,6 +23,7 @@ import (
 // does not count as guaranteed.
 var PoolDiscipline = &Analyzer{
 	Name: "pooldiscipline",
+	Code: "RL003",
 	Doc:  "sync.Pool Get must pair with Put on every path, with no use after Put",
 	Run:  runPoolDiscipline,
 }

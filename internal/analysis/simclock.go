@@ -39,6 +39,7 @@ var allowedRandFuncs = map[string]bool{
 // *rand.Rand are always fine — only the process-global source is banned.
 var Simclock = &Analyzer{
 	Name: "simclock",
+	Code: "RL001",
 	Doc:  "forbid wall-clock and global math/rand calls in deterministic engine packages",
 	Run:  runSimclock,
 }

@@ -1,0 +1,61 @@
+// Package atomicmix seeds mixed atomic/plain access: fields, package
+// variables and locals touched through sync/atomic in one place and
+// plainly in another, plus copies of sync/atomic value types.
+package atomicmix
+
+import "sync/atomic"
+
+type stats struct {
+	hits   int64
+	misses int64
+}
+
+func (s *stats) hit() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+func (s *stats) snapshot() int64 {
+	return s.hits // want `plain access of .*stats\.hits, which is accessed via sync/atomic`
+}
+
+// misses is only ever accessed plainly: no diagnostic.
+func (s *stats) miss() { s.misses++ }
+
+var pkgCounter uint64
+
+func bumpPkg() { atomic.AddUint64(&pkgCounter, 1) }
+
+func resetPkg() {
+	pkgCounter = 0 // want `plain access of .*pkgCounter, which is accessed via sync/atomic`
+}
+
+func localMix() int64 {
+	var n int64
+	atomic.StoreInt64(&n, 5)
+	return n // want `plain access of .*\.n, which is accessed via sync/atomic`
+}
+
+var sink atomic.Uint64
+
+func addSink() { sink.Add(1) }
+
+func takeSinkAddr() *atomic.Uint64 { return &sink }
+
+func copySink() uint64 {
+	x := sink // want `sink copies a sync/atomic value; use its methods or pass &sink`
+	return x.Load()
+}
+
+type gauge struct {
+	level int64
+}
+
+func (g *gauge) set(v int64) { atomic.StoreInt64(&g.level, v) }
+
+func (g *gauge) allowedRead() int64 {
+	return g.level //rasql:allow atomicmix -- read during single-threaded shutdown, after all writers joined
+}
+
+func (g *gauge) malformedRead() int64 {
+	return g.level //rasql:allow atomicmix // want `plain access of .*gauge\.level` // want `needs analyzer names`
+}

@@ -1,0 +1,36 @@
+package guardedby
+
+import "sync"
+
+// Misannotations are diagnosed in the declaring package: the guard must
+// exist and must be a sync.Mutex or sync.RWMutex.
+
+type missingGuard struct {
+	//rasql:guardedby=lock
+	v int // want `the struct has no field named lock`
+}
+
+type wrongGuardType struct {
+	mu int
+	//rasql:guardedby=mu
+	v int // want `mu is not a sync\.Mutex or sync\.RWMutex`
+}
+
+//rasql:locked=absent
+func (w *wrongGuardType) helper() {} // want `the receiver struct has no field named absent`
+
+type allowedField struct {
+	mu sync.Mutex
+	//rasql:guardedby=mu
+	v int
+}
+
+func (a *allowedField) suppressed() int {
+	return a.v //rasql:allow guardedby -- read-only after construction in this fixture
+}
+
+// A malformed allow (no `-- justification`) suppresses nothing: the line
+// gets both the analyzer's diagnostic and the framework's RL000.
+func (a *allowedField) suppressedMalformed() int {
+	return a.v //rasql:allow guardedby // want `read of v` // want `needs analyzer names`
+}

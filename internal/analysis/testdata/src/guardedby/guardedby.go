@@ -1,0 +1,102 @@
+// Package guardedby seeds violations of the //rasql:guardedby contract:
+// accesses without the mutex, writes under the read lock, calls into
+// //rasql:locked helpers without the lock, and misannotations.
+package guardedby
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	//rasql:guardedby=mu
+	n int
+}
+
+func (c *counter) incLocked() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) getDeferred() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) incUnlocked() {
+	c.n++ // want `write to n \(guarded by mu\) without holding c\.mu`
+}
+
+func (c *counter) getUnlocked() int {
+	return c.n // want `read of n \(guarded by mu\) without holding c\.mu`
+}
+
+func (c *counter) escape() *int {
+	return &c.n // want `write to n \(guarded by mu\) without holding c\.mu`
+}
+
+func (c *counter) lockedTooLate() {
+	c.n = 1 // want `write to n \(guarded by mu\) without holding c\.mu`
+	c.mu.Lock()
+	c.mu.Unlock()
+}
+
+func (c *counter) releasedTooSoon() int {
+	c.mu.Lock()
+	c.mu.Unlock()
+	return c.n // want `read of n \(guarded by mu\) without holding c\.mu`
+}
+
+// bump requires the caller to hold c.mu; its own body is checked as if
+// the lock were taken on entry.
+//
+//rasql:locked=mu
+func (c *counter) bump() { c.n++ }
+
+func (c *counter) callsBumpLocked() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bump()
+}
+
+func (c *counter) callsBumpUnlocked() {
+	c.bump() // want `bump requires c\.mu held exclusively`
+}
+
+// newCounter publishes nothing before returning: composite-literal
+// construction of an unshared value is exempt by design.
+func newCounter() *counter {
+	return &counter{n: 1}
+}
+
+type registry struct {
+	mu sync.RWMutex
+	//rasql:guardedby=mu
+	entries map[string]int
+}
+
+func (r *registry) lookup(k string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.entries[k]
+}
+
+func (r *registry) store(k string, v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.entries[k] = v
+}
+
+func (r *registry) storeUnderReadLock(k string, v int) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	r.entries[k] = v // want `write to entries \(guarded by mu\) requires the write lock`
+}
+
+func (r *registry) dropUnlocked(k string) {
+	delete(r.entries, k) // want `write to entries \(guarded by mu\) without holding r\.mu`
+}
+
+func (r *registry) sizeAllowed() int {
+	return len(r.entries) //rasql:allow guardedby -- single-threaded bootstrap path, measured before publication
+}

@@ -1,0 +1,83 @@
+// Package lockorder seeds acquired-while-held cycles: a direct two-lock
+// inversion, an inter-procedural inversion through helpers, and a
+// same-class re-acquisition (self-cycle).
+package lockorder
+
+import "sync"
+
+type a struct{ mu sync.Mutex }
+type b struct{ mu sync.Mutex }
+
+func abOrder(x *a, y *b) {
+	x.mu.Lock()
+	y.mu.Lock() // want `lock ordering cycle: .*b\.mu is acquired while holding .*a\.mu`
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+func baOrder(x *a, y *b) {
+	y.mu.Lock()
+	x.mu.Lock()
+	x.mu.Unlock()
+	y.mu.Unlock()
+}
+
+type c struct{ mu sync.Mutex }
+type d struct{ mu sync.Mutex }
+
+func lockD(y *d) {
+	y.mu.Lock()
+	y.mu.Unlock()
+}
+
+func lockC(x *c) {
+	x.mu.Lock()
+	x.mu.Unlock()
+}
+
+func cThenD(x *c, y *d) {
+	x.mu.Lock()
+	lockD(y) // want `lock ordering cycle: .*d\.mu is acquired while holding .*c\.mu at .* \(via call to lockD\)`
+	x.mu.Unlock()
+}
+
+func dThenC(x *c, y *d) {
+	y.mu.Lock()
+	lockC(x)
+	y.mu.Unlock()
+}
+
+type node struct{ mu sync.Mutex }
+
+// link acquires two instances of the same lock class nested; two
+// goroutines linking opposite pairs deadlock.
+func link(n1, n2 *node) {
+	n1.mu.Lock()
+	n2.mu.Lock() // want `lock ordering cycle: .*node\.mu is acquired at .* while already held`
+	n2.mu.Unlock()
+	n1.mu.Unlock()
+}
+
+type p struct{ mu sync.Mutex }
+type q struct{ mu sync.Mutex }
+
+// The p/q inversion below is suppressed: the report anchors at the first
+// edge of the cycle, which carries the allow.
+func pqOrder(x *p, y *q) {
+	x.mu.Lock()
+	y.mu.Lock() //rasql:allow lockorder -- fixture: documented p-before-q order, inversion is in dead test code
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+func qpOrder(x *p, y *q) {
+	y.mu.Lock()
+	x.mu.Lock()
+	x.mu.Unlock()
+	y.mu.Unlock()
+}
+
+func malformedAllow(x *p) {
+	x.mu.Lock() //rasql:allow lockorder // want `needs analyzer names`
+	x.mu.Unlock()
+}

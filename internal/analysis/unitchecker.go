@@ -81,14 +81,12 @@ func RunUnit(cfgFile string, w io.Writer) int {
 		return 1
 	}
 	ix.ScanPackage(fset, cfg.ImportPath, files)
-	if err := writeFactsFile(cfg.VetxOutput, ix.ExportFacts(cfg.ImportPath)); err != nil {
-		fmt.Fprintf(w, "rasql-lint: %v\n", err)
-		return 1
-	}
-	if cfg.VetxOnly {
-		return 0
-	}
 
+	// Type-check before exporting facts: the program-scope analyzers
+	// (lockorder, atomicmix) derive their facts from type information, so
+	// their Prepare hooks must run between the typecheck and the facts
+	// write. On a tolerated typecheck failure the unit still exports its
+	// annotation facts so dependents keep working.
 	resolve := func(path string) string {
 		if mapped, ok := cfg.ImportMap[path]; ok {
 			path = mapped
@@ -99,6 +97,10 @@ func RunUnit(cfgFile string, w io.Writer) int {
 	conf := types.Config{Importer: newExportImporter(fset, resolve)}
 	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
+		if werr := writeFactsFile(cfg.VetxOutput, ix.ExportFacts(cfg.ImportPath)); werr != nil {
+			fmt.Fprintf(w, "rasql-lint: %v\n", werr)
+			return 1
+		}
 		if cfg.SucceedOnTypecheckFailure {
 			return 0
 		}
@@ -113,8 +115,18 @@ func RunUnit(cfgFile string, w io.Writer) int {
 		Pkg:        pkg,
 		Info:       info,
 	}
+	PreparePackage(fset, loaded, ix, All())
+	if err := writeFactsFile(cfg.VetxOutput, ix.ExportFacts(cfg.ImportPath)); err != nil {
+		fmt.Fprintf(w, "rasql-lint: %v\n", err)
+		return 1
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
 	diags := ix.MalformedAllows(fset)
 	diags = append(diags, RunPackage(fset, loaded, ix, All())...)
+	diags = append(diags, RunProgramAnalyzers(fset, ix, All())...)
 	sort.Slice(diags, func(i, j int) bool { return positionLess(diags[i].Pos, diags[j].Pos) })
 	for _, d := range diags {
 		fmt.Fprintln(w, d)

@@ -20,6 +20,7 @@ import (
 // unknowable here.
 var WorkerAffinity = &Analyzer{
 	Name: "workeraffinity",
+	Code: "RL004",
 	Doc:  "worker-affine functions may only be called from Task.Run bodies or other worker-affine functions",
 	Run:  runWorkerAffinity,
 }

@@ -39,9 +39,9 @@ func (r *Runner) runSystem(sys, alg string, edges *relation.Relation) (time.Dura
 			palg = pregel.Reach
 		}
 		return r.timeSim(func() (cluster.Snapshot, error) {
-			c := cluster.New(cluster.Config{Workers: r.cfg.Workers, Partitions: r.cfg.Partitions})
-			_, _, err := pregel.Run(c, edges, palg, pregel.Options{Profile: profile, Source: 1})
-			return c.Metrics.Snapshot(), err
+			q := cluster.New(cluster.Config{Workers: r.cfg.Workers, Partitions: r.cfg.Partitions}).NewQuery(nil)
+			_, _, err := pregel.Run(q, edges, palg, pregel.Options{Profile: profile, Source: 1})
+			return q.Metrics.Snapshot(), err
 		})
 	case "gap":
 		return r.timeIt(func() error {
@@ -75,7 +75,7 @@ func (r *Runner) runSystem(sys, alg string, edges *relation.Relation) (time.Dura
 }
 
 // baselineFn is one of the fixpoint SQL-loop baselines.
-type baselineFn func(*analyze.Clique, *exec.Context, *cluster.Cluster, fixpoint.DistOptions) (*fixpoint.Result, error)
+type baselineFn func(*analyze.Clique, *exec.Context, *cluster.QueryContext, fixpoint.DistOptions) (*fixpoint.Result, error)
 
 // runBaseline times a query through one of the iterative-SQL baselines;
 // name labels its convergence curve ("sql-sn", "sql-naive").
@@ -83,7 +83,7 @@ func (r *Runner) runBaseline(name string, fn baselineFn, query string, tables ..
 	var iters []rasql.TraceIteration
 	d, err := r.timeSim(func() (cluster.Snapshot, error) {
 		c := cluster.New(cluster.Config{Workers: r.cfg.Workers, Partitions: r.cfg.Partitions,
-			Policy: cluster.PolicyHybrid})
+			Policy: cluster.PolicyHybrid}).NewQuery(rasql.NewIterationsTracer())
 		cat := catalog.New()
 		for _, t := range tables {
 			if err := cat.Register(t); err != nil {
@@ -100,7 +100,7 @@ func (r *Runner) runBaseline(name string, fn baselineFn, query string, tables ..
 		}
 		ctx := exec.NewContext()
 		var opt fixpoint.DistOptions
-		tr := rasql.NewIterationsTracer()
+		tr := c.Tracer
 		opt.Tracer = tr
 		res, err := fn(prog.Clique, ctx, c, opt)
 		iters = tr.Iterations()
@@ -175,8 +175,8 @@ func (r *Runner) runPregelSpec(spec pregelSpec, graphx bool) (time.Duration, err
 		opts.Profile = pregel.ProfileGraphX
 	}
 	return r.timeSim(func() (cluster.Snapshot, error) {
-		c := cluster.New(cluster.Config{Workers: r.cfg.Workers, Partitions: r.cfg.Partitions})
-		_, _, err := pregel.Run(c, spec.edges, spec.alg, opts)
-		return c.Metrics.Snapshot(), err
+		q := cluster.New(cluster.Config{Workers: r.cfg.Workers, Partitions: r.cfg.Partitions}).NewQuery(nil)
+		_, _, err := pregel.Run(q, spec.edges, spec.alg, opts)
+		return q.Metrics.Snapshot(), err
 	})
 }

@@ -78,7 +78,7 @@ func BenchmarkAggRDDMerge(b *testing.B) {
 }
 
 func BenchmarkShuffleRoundTrip(b *testing.B) {
-	c := newTestCluster(4, 4)
+	c := newTestQuery(4, 4)
 	rows := benchClusterRows(4096)
 	targets := 4
 	out := make([][]types.Row, targets)
@@ -109,7 +109,7 @@ func BenchmarkShuffleRoundTrip(b *testing.B) {
 // nil checks) must stay at 0 allocs/op, so a production run pays nothing for
 // the fault-injection machinery being compiled in.
 func BenchmarkDisabledInjector(b *testing.B) {
-	c := New(Config{Workers: 4, Partitions: 4, StageOverheadOps: -1, SequentialStages: true})
+	c := New(Config{Workers: 4, Partitions: 4, StageOverheadOps: -1, SequentialStages: true}).NewQuery(nil)
 	tasks := make([]Task, 4)
 	for i := range tasks {
 		tasks[i] = Task{Part: i, Preferred: i, Run: func(w int) { c.ChaosPostMerge(w) }}

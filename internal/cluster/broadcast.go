@@ -18,7 +18,7 @@ type Broadcast struct {
 	// rebuild its table (re-fetching the broadcast, paid in BroadcastBytes).
 	wire       []byte
 	compressed bool
-	c          *Cluster
+	c          *QueryContext
 }
 
 // Table returns the hash table visible to the given worker. A worker whose
@@ -70,7 +70,7 @@ func buildFromWire(wire []byte, compressed bool, key []int) *RowTable {
 // builds the hash table first and ships the *hashed* relation — per-entry
 // key strings and bucket headers make it 2-3x larger on the wire, and
 // workers still pay the decode.
-func (c *Cluster) Broadcast(rows []types.Row, schema types.Schema, key []int) *Broadcast {
+func (c *QueryContext) Broadcast(rows []types.Row, schema types.Schema, key []int) *Broadcast {
 	b := &Broadcast{
 		Schema: schema,
 		Key:    append([]int(nil), key...),

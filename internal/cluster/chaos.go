@@ -98,9 +98,10 @@ type ChaosConfig struct {
 func (c ChaosConfig) Enabled() bool { return c.Rate > 0 || len(c.Schedule) > 0 }
 
 // injector holds the runtime state of an enabled chaos config. It lives on
-// the Cluster behind a single nil check, so a disabled injector costs one
-// predictable branch on the stage and fetch hot paths and nothing else
-// (pinned by BenchmarkDisabledInjector).
+// the QueryContext behind a single nil check, so a disabled injector costs
+// one predictable branch on the stage and fetch hot paths and nothing else
+// (pinned by BenchmarkDisabledInjector). Each query gets its own injector,
+// so the fault schedule depends only on the query's own stage sequence.
 type injector struct {
 	cfg       ChaosConfig
 	seed      uint64
@@ -206,9 +207,9 @@ func (inj *injector) fetchPoint(onWorker int) {
 
 // replayRows counts rows the running task re-reads on a retry attempt —
 // wasted work a fault-free run would not have paid.
-func (inj *injector) replayRows(c *Cluster, onWorker, n int) {
+func (inj *injector) replayRows(m *Metrics, onWorker, n int) {
 	if ctx := inj.taskCtx(onWorker); ctx != nil && ctx.attempt > 0 {
-		c.Metrics.RowsReplayed.Add(int64(n))
+		m.RowsReplayed.Add(int64(n))
 	}
 }
 
@@ -225,9 +226,9 @@ func (inj *injector) invalidateWorker(w int) {
 // and propagates.
 type faultPanic struct{ kind FaultKind }
 
-// ChaosEnabled reports whether the cluster runs with an active injector.
+// ChaosEnabled reports whether the query runs with an active injector.
 // Engines use it to decide whether stage tasks need checkpoints/Rollbacks.
-func (c *Cluster) ChaosEnabled() bool { return c.chaos != nil }
+func (q *QueryContext) ChaosEnabled() bool { return q.chaos != nil }
 
 // ChaosPostMerge is the fault point engines place between merging a batch
 // into cached state and deriving output from the merge. A fault here leaves
@@ -235,11 +236,11 @@ func (c *Cluster) ChaosEnabled() bool { return c.chaos != nil }
 // checkpoint before replaying — the path that proves the Section 6.1
 // "all relation is its own checkpoint" argument. No-op (one nil check) when
 // chaos is off or the caller is not a chaos-managed task.
-func (c *Cluster) ChaosPostMerge(worker int) {
-	if c.chaos == nil {
+func (q *QueryContext) ChaosPostMerge(worker int) {
+	if q.chaos == nil {
 		return
 	}
-	if ctx := c.chaos.taskCtx(worker); ctx != nil && ctx.sc.roll(ctx.part, ctx.attempt, FaultPostMerge) {
+	if ctx := q.chaos.taskCtx(worker); ctx != nil && ctx.sc.roll(ctx.part, ctx.attempt, FaultPostMerge) {
 		panic(faultPanic{kind: FaultPostMerge})
 	}
 }
@@ -248,12 +249,12 @@ func (c *Cluster) ChaosPostMerge(worker int) {
 // survives every fault point. A killed attempt rolls the task's partition
 // back (Task.Rollback, when set) and is counted as a retry; the injector's
 // attempt bound guarantees termination.
-func (c *Cluster) runTaskChaos(sc *stageChaos, t Task, w int, spans bool, name string) {
+func (q *QueryContext) runTaskChaos(sc *stageChaos, t Task, w int, spans bool, name string) {
 	for attempt := 0; ; attempt++ {
-		if c.runTaskAttempt(sc, t, w, attempt, spans, name) {
+		if q.runTaskAttempt(sc, t, w, attempt, spans, name) {
 			return
 		}
-		c.Metrics.TaskRetries.Add(1)
+		q.Metrics.TaskRetries.Add(1)
 		if t.Rollback != nil {
 			t.Rollback()
 		}
@@ -262,7 +263,7 @@ func (c *Cluster) runTaskChaos(sc *stageChaos, t Task, w int, spans bool, name s
 
 // runTaskAttempt runs one attempt, reporting whether it completed. Fault
 // panics are recovered here; anything else propagates.
-func (c *Cluster) runTaskAttempt(sc *stageChaos, t Task, w, attempt int, spans bool, name string) (ok bool) {
+func (q *QueryContext) runTaskAttempt(sc *stageChaos, t Task, w, attempt int, spans bool, name string) (ok bool) {
 	inj := sc.inj
 	inj.ctx[w] = chaosTaskCtx{sc: sc, part: t.Part, attempt: attempt}
 	defer func() {
@@ -276,14 +277,14 @@ func (c *Cluster) runTaskAttempt(sc *stageChaos, t Task, w, attempt int, spans b
 			panic(r)
 		}
 		ok = false
-		if c.Tracer.SpansEnabled() {
-			c.Tracer.Instant("fault "+fp.kind.String(), trace.TidWorker(w),
+		if q.Tracer.SpansEnabled() {
+			q.Tracer.Instant("fault "+fp.kind.String(), trace.TidWorker(w),
 				trace.Arg{Key: "part", Val: int64(t.Part)},
 				trace.Arg{Key: "attempt", Val: int64(attempt)})
 		}
 	}()
 	if spans {
-		s := c.Tracer.BeginArgs(name, trace.TidWorker(w),
+		s := q.Tracer.BeginArgs(name, trace.TidWorker(w),
 			trace.Arg{Key: "part", Val: int64(t.Part)},
 			trace.Arg{Key: "attempt", Val: int64(attempt)})
 		defer s.End()

@@ -7,15 +7,15 @@ import (
 	"github.com/rasql/rasql-go/internal/types"
 )
 
-func chaosTestCluster(chaos ChaosConfig) *Cluster {
+func chaosTestCluster(chaos ChaosConfig) *QueryContext {
 	return New(Config{Workers: 4, Partitions: 4, StageOverheadOps: -1,
-		SequentialStages: true, Chaos: chaos})
+		SequentialStages: true, Chaos: chaos}).NewQuery(nil)
 }
 
 // A disabled injector must be free: the only cost is the nil check RunStage
 // and FetchTarget already pay, and zero allocations on the stage path.
 func TestDisabledInjectorZeroAllocs(t *testing.T) {
-	c := New(Config{Workers: 4, Partitions: 4, StageOverheadOps: -1, SequentialStages: true})
+	c := New(Config{Workers: 4, Partitions: 4, StageOverheadOps: -1, SequentialStages: true}).NewQuery(nil)
 	tasks := make([]Task, 4)
 	for i := range tasks {
 		tasks[i] = Task{Part: i, Preferred: i, Run: func(int) {}}

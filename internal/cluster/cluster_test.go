@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -24,6 +25,10 @@ func newTestCluster(workers, parts int) *Cluster {
 	return New(Config{Workers: workers, Partitions: parts, StageOverheadOps: -1})
 }
 
+func newTestQuery(workers, parts int) *QueryContext {
+	return newTestCluster(workers, parts).NewQuery(nil)
+}
+
 func TestConfigDefaults(t *testing.T) {
 	c := New(Config{})
 	if c.Workers() <= 0 || c.Partitions() != c.Workers() {
@@ -35,24 +40,30 @@ func TestConfigDefaults(t *testing.T) {
 }
 
 func TestRunStageExecutesEveryTask(t *testing.T) {
-	c := newTestCluster(4, 8)
+	q := newTestQuery(4, 8)
 	var ran atomic.Int64
 	tasks := make([]Task, 8)
 	for i := range tasks {
 		tasks[i] = Task{Part: i, Preferred: -1, Run: func(w int) { ran.Add(1) }}
 	}
-	c.RunStage("t", tasks)
+	q.RunStage("t", tasks)
 	if ran.Load() != 8 {
 		t.Errorf("ran %d tasks, want 8", ran.Load())
 	}
-	snap := c.Metrics.Snapshot()
+	snap := q.Metrics.Snapshot()
 	if snap.StagesRun != 1 || snap.TasksRun != 8 {
 		t.Errorf("metrics: %v", snap)
+	}
+	// Finish folds the per-query counters into the cluster totals, once.
+	q.Finish()
+	q.Finish()
+	if total := q.Cluster().Metrics.Snapshot(); total.StagesRun != 1 || total.TasksRun != 8 {
+		t.Errorf("folded totals: %v", total)
 	}
 }
 
 func TestPartitionAwarePlacement(t *testing.T) {
-	c := newTestCluster(4, 4)
+	c := newTestQuery(4, 4)
 	got := make([]int, 4)
 	tasks := make([]Task, 4)
 	for i := range tasks {
@@ -69,7 +80,7 @@ func TestPartitionAwarePlacement(t *testing.T) {
 }
 
 func TestHybridPlacementRotates(t *testing.T) {
-	c := New(Config{Workers: 4, Partitions: 4, Policy: PolicyHybrid, StageOverheadOps: -1})
+	c := New(Config{Workers: 4, Partitions: 4, Policy: PolicyHybrid, StageOverheadOps: -1}).NewQuery(nil)
 	first := make([]int, 4)
 	second := make([]int, 4)
 	run := func(dst []int) {
@@ -135,7 +146,7 @@ func TestRoundRobinPartition(t *testing.T) {
 }
 
 func TestCollectPaysTransfer(t *testing.T) {
-	c := newTestCluster(2, 2)
+	c := newTestQuery(2, 2)
 	rel := relation.FromRows("r", pairSchema(), intRows([2]int64{1, 2}, [2]int64{3, 4}))
 	p := c.Partition(rel, []int{0})
 	before := c.Metrics.Snapshot()
@@ -150,7 +161,7 @@ func TestCollectPaysTransfer(t *testing.T) {
 }
 
 func TestFetchLocalIsFree(t *testing.T) {
-	c := newTestCluster(2, 2)
+	c := newTestQuery(2, 2)
 	rows := intRows([2]int64{1, 2})
 	before := c.Metrics.Snapshot()
 	got := c.Fetch(rows, 1, 1)
@@ -170,7 +181,7 @@ func TestFetchLocalIsFree(t *testing.T) {
 }
 
 func TestExchangeRepartitions(t *testing.T) {
-	c := newTestCluster(3, 3)
+	c := newTestQuery(3, 3)
 	rel := relation.New("r", pairSchema())
 	for i := int64(0); i < 100; i++ {
 		rel.Append(types.Row{types.Int(i), types.Int(i % 7)})
@@ -215,7 +226,7 @@ func TestMetricsSnapshotSubAndReset(t *testing.T) {
 }
 
 func TestParallelStagesExecuteAllTasks(t *testing.T) {
-	c := newTestCluster(4, 8) // default mode: parallel
+	c := newTestQuery(4, 8) // default mode: parallel
 	var ran atomic.Int64
 	tasks := make([]Task, 16)
 	for i := range tasks {
@@ -230,13 +241,45 @@ func TestParallelStagesExecuteAllTasks(t *testing.T) {
 	}
 }
 
+// Two queries sharing one cluster run concurrently without interfering:
+// stage sequencing and counters are per-query, and Finish folds both into
+// the shared totals.
+func TestConcurrentQueriesShareCluster(t *testing.T) {
+	c := newTestCluster(4, 4)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			q := c.NewQuery(nil)
+			defer q.Finish()
+			var ran atomic.Int64
+			tasks := make([]Task, 4)
+			for j := range tasks {
+				tasks[j] = Task{Part: j, Preferred: -1, Run: func(w int) { ran.Add(1) }}
+			}
+			q.RunStage("t", tasks)
+			if ran.Load() != 4 {
+				t.Errorf("ran %d tasks, want 4", ran.Load())
+			}
+			if s := q.Metrics.Snapshot(); s.StagesRun != 1 || s.TasksRun != 4 {
+				t.Errorf("per-query metrics polluted by sibling query: %v", s)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := c.Metrics.Snapshot(); s.StagesRun != 8 || s.TasksRun != 32 {
+		t.Errorf("folded totals: %v", s)
+	}
+}
+
 func TestParallelExchangeMatchesSequential(t *testing.T) {
 	rel := relation.New("r", pairSchema())
 	for i := int64(0); i < 500; i++ {
 		rel.Append(types.Row{types.Int(i), types.Int(i % 13)})
 	}
-	seq := New(Config{Workers: 4, Partitions: 8, StageOverheadOps: -1, SequentialStages: true})
-	par := newTestCluster(4, 8)
+	seq := New(Config{Workers: 4, Partitions: 8, StageOverheadOps: -1, SequentialStages: true}).NewQuery(nil)
+	par := newTestQuery(4, 8)
 	a := seq.Collect(seq.Exchange("x", seq.Partition(rel, []int{0}), []int{1}), "a")
 	b := par.Collect(par.Exchange("x", par.Partition(rel, []int{0}), []int{1}), "b")
 	if !a.EqualAsBag(b) {

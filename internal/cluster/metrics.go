@@ -95,6 +95,25 @@ func (m *Metrics) Snapshot() Snapshot {
 	}
 }
 
+// AddSnapshot folds a snapshot's counts into the metrics atomically —
+// how a finished QueryContext folds its per-query counters into the
+// cluster's lifetime totals.
+func (m *Metrics) AddSnapshot(s Snapshot) {
+	m.StagesRun.Add(s.StagesRun)
+	m.TasksRun.Add(s.TasksRun)
+	m.ShuffleRecords.Add(s.ShuffleRecords)
+	m.ShuffleBytes.Add(s.ShuffleBytes)
+	m.RemoteFetchBytes.Add(s.RemoteFetchBytes)
+	m.LocalFetchRows.Add(s.LocalFetchRows)
+	m.BroadcastBytes.Add(s.BroadcastBytes)
+	m.Iterations.Add(s.Iterations)
+	m.SimNanos.Add(s.SimNanos)
+	m.StageWallNanos.Add(s.StageWallNanos)
+	m.TaskRetries.Add(s.TaskRetries)
+	m.RowsReplayed.Add(s.RowsReplayed)
+	m.RecoveredIterations.Add(s.RecoveredIterations)
+}
+
 // Reset zeroes all counters.
 func (m *Metrics) Reset() {
 	m.StagesRun.Store(0)

@@ -67,16 +67,6 @@ func (c *Cluster) PartitionN(rel *relation.Relation, key []int, parts int) *Part
 	return p
 }
 
-// Collect gathers all partitions into a single relation on the driver,
-// paying the transfer cost for every partition (the driver is not a worker).
-func (c *Cluster) Collect(p *PartitionedRelation, name string) *relation.Relation {
-	out := relation.New(name, p.Schema)
-	for _, part := range p.Parts {
-		out.Rows = append(out.Rows, c.transfer(part)...)
-	}
-	return out
-}
-
 // Empty creates an empty partitioned relation with the given schema and key
 // using the cluster's default partition count and ownership.
 func (c *Cluster) Empty(schema types.Schema, key []int) *PartitionedRelation {

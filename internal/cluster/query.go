@@ -1,0 +1,277 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/rasql/rasql-go/internal/relation"
+	"github.com/rasql/rasql-go/internal/trace"
+	"github.com/rasql/rasql-go/internal/types"
+)
+
+// QueryContext is the per-query execution state of a cluster: the tracer,
+// the per-query counters, the stage sequencer, the task-queue scratch and
+// the chaos injector. Each query obtains its own context from NewQuery, so
+// any number of queries can share one Cluster concurrently — nothing on the
+// context is visible to another query.
+//
+// A QueryContext is driven by one driver goroutine (the query's own); tasks
+// inside a stage run concurrently on worker goroutines, and the stage
+// barrier orders their effects. It must not be shared across queries.
+type QueryContext struct {
+	c   *Cluster
+	cfg Config
+	// Tracer, when non-nil, records stage and task spans (one track per
+	// worker). The nil default costs one pointer check per stage; the
+	// per-task span is only built when span recording is on.
+	Tracer *trace.Tracer
+	// Metrics counts this query's work. Finish folds it into the cluster's
+	// lifetime totals; read it directly for a per-query snapshot.
+	Metrics *Metrics
+	// stageSeq advances per stage; the hybrid policy uses it to rotate
+	// task placement, modeling executors picking up whichever task is
+	// next when they free up.
+	stageSeq int
+	// queues is per-worker task-queue scratch reused across stages (the
+	// stage barrier guarantees no queue outlives its RunStage call).
+	queues [][]Task
+	// slowest is per-stage scratch for the critical-path sim-time of the
+	// current stage; a field (not a RunStage local) so worker goroutines
+	// don't force a heap allocation per stage capturing it.
+	slowest atomic.Int64
+	// chaos is the fault injector, nil unless Config.Chaos enables it. Each
+	// query gets a fresh injector, so the fault schedule is a pure function
+	// of the query's own stage sequence — independent of what other queries
+	// run on the cluster.
+	chaos *injector
+	// finished guards against double-folding the per-query counters.
+	finished bool
+}
+
+// NewQuery opens a per-query execution context. The tracer may be nil
+// (tracing off). Call Finish when the query completes to fold the per-query
+// counters into the cluster's lifetime totals.
+func (c *Cluster) NewQuery(tr *trace.Tracer) *QueryContext {
+	q := &QueryContext{c: c, cfg: c.cfg, Tracer: tr, Metrics: &Metrics{}}
+	if c.cfg.Chaos.Enabled() {
+		q.chaos = newInjector(c.cfg.Chaos, c.cfg.Workers)
+	}
+	return q
+}
+
+// Finish folds this query's counters into the cluster's lifetime totals.
+// Idempotent: only the first call folds, so it is safe to defer and also
+// call early.
+func (q *QueryContext) Finish() {
+	if q.finished {
+		return
+	}
+	q.finished = true
+	q.c.Metrics.AddSnapshot(q.Metrics.Snapshot())
+}
+
+// Cluster returns the cluster this query runs on.
+func (q *QueryContext) Cluster() *Cluster { return q.c }
+
+// Config returns the effective (defaulted) configuration.
+func (q *QueryContext) Config() Config { return q.cfg }
+
+// Workers returns the number of simulated workers.
+func (q *QueryContext) Workers() int { return q.cfg.Workers }
+
+// Partitions returns the default partition count.
+func (q *QueryContext) Partitions() int { return q.cfg.Partitions }
+
+// DefaultOwner returns the canonical owner worker for a partition.
+func (q *QueryContext) DefaultOwner(part int) int { return part % q.cfg.Workers }
+
+// Partition hash-partitions rel (see Cluster.Partition).
+func (q *QueryContext) Partition(rel *relation.Relation, key []int) *PartitionedRelation {
+	return q.c.Partition(rel, key)
+}
+
+// PartitionN is Partition with an explicit partition count.
+func (q *QueryContext) PartitionN(rel *relation.Relation, key []int, parts int) *PartitionedRelation {
+	return q.c.PartitionN(rel, key, parts)
+}
+
+// Empty creates an empty partitioned relation (see Cluster.Empty).
+func (q *QueryContext) Empty(schema types.Schema, key []int) *PartitionedRelation {
+	return q.c.Empty(schema, key)
+}
+
+// EmptyN is Empty with an explicit partition count.
+func (q *QueryContext) EmptyN(schema types.Schema, key []int, parts int) *PartitionedRelation {
+	return q.c.EmptyN(schema, key, parts)
+}
+
+// NewSetRDD creates a set-semantics cached state (see Cluster.NewSetRDD).
+func (q *QueryContext) NewSetRDD(schema types.Schema) *SetRDD {
+	return q.c.NewSetRDD(schema)
+}
+
+// NewSetRDDN is NewSetRDD with an explicit partition count.
+func (q *QueryContext) NewSetRDDN(schema types.Schema, parts int) *SetRDD {
+	return q.c.NewSetRDDN(schema, parts)
+}
+
+// NewAggRDD creates an aggregate cached state (see Cluster.NewAggRDD).
+func (q *QueryContext) NewAggRDD(schema types.Schema, groupBy []int, aggCol int, kind types.AggKind) *AggRDD {
+	return q.c.NewAggRDD(schema, groupBy, aggCol, kind)
+}
+
+// NewAggRDDN is NewAggRDD with an explicit partition count.
+func (q *QueryContext) NewAggRDDN(schema types.Schema, groupBy []int, aggCol int, kind types.AggKind, parts int) *AggRDD {
+	return q.c.NewAggRDDN(schema, groupBy, aggCol, kind, parts)
+}
+
+// RunStage places the tasks per the scheduling policy and executes them,
+// each simulated worker draining its queue sequentially. By default the
+// worker queues run on real goroutines; with SequentialStages they run one
+// after another on the caller. Either way the stage contributes
+// max(per-worker busy time) to the simulated clock (SimNanos) — what a real
+// cluster's stage barrier would wait for — so the simulated clock is
+// independent of how many queues actually overlap on the host. The name is
+// for debugging/tracing only.
+func (q *QueryContext) RunStage(name string, tasks []Task) {
+	q.Metrics.StagesRun.Add(1)
+	q.Metrics.TasksRun.Add(int64(len(tasks)))
+	seq := q.stageSeq
+	q.stageSeq++
+
+	if len(q.queues) != q.cfg.Workers {
+		q.queues = make([][]Task, q.cfg.Workers)
+	}
+	queues := q.queues
+	for i := range queues {
+		queues[i] = queues[i][:0]
+	}
+	for _, t := range tasks {
+		w := q.place(t, seq)
+		queues[w] = append(queues[w], t)
+	}
+
+	spans := q.Tracer.SpansEnabled()
+	var stageSpan trace.Span
+	if spans {
+		stageSpan = q.Tracer.BeginArgs("stage "+name, trace.TidDriver,
+			trace.Arg{Key: "tasks", Val: int64(len(tasks))})
+	}
+	var sc *stageChaos
+	if q.chaos != nil {
+		sc = q.chaos.beginStage(name, seq)
+	}
+	start := startStopwatch()
+	q.slowest.Store(0)
+	if q.cfg.SequentialStages {
+		for w, queue := range queues {
+			if len(queue) > 0 {
+				q.runQueue(w, queue, name, spans, sc)
+			}
+		}
+	} else {
+		var wg sync.WaitGroup
+		for w, queue := range queues {
+			if len(queue) == 0 {
+				continue
+			}
+			wg.Add(1)
+			// All loop/stage state is passed as arguments: capturing sc (or
+			// name/spans) by reference would heap-allocate them even on the
+			// sequential path, which never builds this closure.
+			go func(w int, queue []Task, name string, spans bool, sc *stageChaos) {
+				defer wg.Done()
+				q.runQueue(w, queue, name, spans, sc)
+			}(w, queue, name, spans, sc)
+		}
+		wg.Wait()
+	}
+	q.Metrics.StageWallNanos.Add(start.elapsedNanos())
+	q.Metrics.SimNanos.Add(q.slowest.Load())
+	stageSpan.End()
+}
+
+// runQueue drains one worker's task queue for the current stage. A method
+// rather than a RunStage closure so the sequential (and benchmark-pinned)
+// path stays allocation-free; only the parallel branch pays for its
+// per-worker goroutine closures.
+func (q *QueryContext) runQueue(w int, queue []Task, name string, spans bool, sc *stageChaos) {
+	t0 := startStopwatch()
+	for _, t := range queue {
+		burn(q.cfg.StageOverheadOps)
+		if sc != nil {
+			q.runTaskChaos(sc, t, w, spans, name)
+		} else if spans {
+			s := q.Tracer.BeginArgs(name, trace.TidWorker(w),
+				trace.Arg{Key: "part", Val: int64(t.Part)})
+			t.Run(w)
+			s.End()
+		} else {
+			t.Run(w)
+		}
+	}
+	d := t0.elapsedNanos()
+	for {
+		cur := q.slowest.Load()
+		if d <= cur || q.slowest.CompareAndSwap(cur, d) {
+			break
+		}
+	}
+}
+
+func (q *QueryContext) place(t Task, seq int) int {
+	switch q.cfg.Policy {
+	case PolicyPartitionAware:
+		if t.Preferred >= 0 {
+			return t.Preferred % q.cfg.Workers
+		}
+		return t.Part % q.cfg.Workers
+	default: // PolicyHybrid: rotate placement each stage.
+		return (t.Part + seq) % q.cfg.Workers
+	}
+}
+
+// transfer moves rows across a worker boundary: it pays the full
+// serialize + deserialize cost and records the bytes, exactly as a remote
+// fetch over the network would.
+func (q *QueryContext) transfer(rows []types.Row) []types.Row {
+	if len(rows) == 0 {
+		return nil
+	}
+	bp := getEncBuf()
+	*bp = types.AppendRows((*bp)[:0], rows)
+	q.Metrics.RemoteFetchBytes.Add(int64(len(*bp)))
+	out, err := types.DecodeRowsAppend(make([]types.Row, 0, len(rows)), *bp)
+	putEncBuf(bp)
+	if err != nil {
+		// The buffer was produced by AppendRows in the same process; a
+		// decode failure is a programming error, not an I/O condition.
+		panic(fmt.Sprintf("cluster: internal wire corruption: %v", err))
+	}
+	return out
+}
+
+// Fetch returns a partition's rows as seen from the given worker: free for
+// the owner, serialized round trip for anyone else. Under chaos, rows a
+// retrying task fetches again are counted as replayed (wasted) work.
+func (q *QueryContext) Fetch(rows []types.Row, owner, onWorker int) []types.Row {
+	if q.chaos != nil {
+		q.chaos.replayRows(q.Metrics, onWorker, len(rows))
+	}
+	if owner == onWorker {
+		q.Metrics.LocalFetchRows.Add(int64(len(rows)))
+		return rows
+	}
+	return q.transfer(rows)
+}
+
+// Collect gathers all partitions into a single relation on the driver,
+// paying the transfer cost for every partition (the driver is not a worker).
+func (q *QueryContext) Collect(p *PartitionedRelation, name string) *relation.Relation {
+	out := relation.New(name, p.Schema)
+	for _, part := range p.Parts {
+		out.Rows = append(out.Rows, q.transfer(part)...)
+	}
+	return out
+}

@@ -17,7 +17,7 @@ import (
 // Consequently each target may be fetched at most once, which matches the
 // one-reduce-task-per-partition execution model.
 type Shuffle struct {
-	c       *Cluster
+	c       *QueryContext
 	targets int
 	// shards[producer+1] holds the buckets written by that producer
 	// (index 0 is the driver, producer == -1).
@@ -36,7 +36,7 @@ type encBucket struct {
 }
 
 // NewShuffle creates a shuffle with the given number of target partitions.
-func (c *Cluster) NewShuffle(targets int) *Shuffle {
+func (c *QueryContext) NewShuffle(targets int) *Shuffle {
 	s := &Shuffle{c: c, targets: targets, shards: make([]shuffleShard, c.cfg.Workers+1)}
 	for i := range s.shards {
 		s.shards[i].buckets = make([][]encBucket, targets)
@@ -121,7 +121,7 @@ func (s *Shuffle) FetchTarget(t, onWorker int) []types.Row {
 		}
 	}
 	if chaos != nil {
-		chaos.replayRows(s.c, onWorker, total)
+		chaos.replayRows(s.c.Metrics, onWorker, total)
 	}
 	return out
 }
@@ -133,7 +133,7 @@ func (s *Shuffle) TargetCount() int { return s.targets }
 // by hash of the key, and a reduce stage materializes the target partitions.
 // The result's partition i is owned by the worker that ran reduce task i, so
 // a following stage scheduled partition-aware reads it locally.
-func (c *Cluster) Exchange(name string, in *PartitionedRelation, key []int) *PartitionedRelation {
+func (c *QueryContext) Exchange(name string, in *PartitionedRelation, key []int) *PartitionedRelation {
 	targets := c.cfg.Partitions
 	sh := c.NewShuffle(targets)
 

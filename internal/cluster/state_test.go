@@ -167,7 +167,7 @@ func TestBroadcastBothModes(t *testing.T) {
 	rows := intRows([2]int64{1, 10}, [2]int64{1, 11}, [2]int64{2, 20})
 	var sizes [2]int64
 	for i, compress := range []bool{false, true} {
-		c := New(Config{Workers: 3, Partitions: 3, StageOverheadOps: -1, CompressBroadcast: compress})
+		c := New(Config{Workers: 3, Partitions: 3, StageOverheadOps: -1, CompressBroadcast: compress}).NewQuery(nil)
 		b := c.Broadcast(rows, pairSchema(), []int{0})
 		for w := 0; w < 3; w++ {
 			tab := b.Table(w)

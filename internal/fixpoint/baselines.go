@@ -29,7 +29,7 @@ import (
 
 // DistributedSQLSN runs the clique as a per-iteration SQL job loop with
 // semi-naive deltas (the paper's Spark-SQL-SN baseline).
-func DistributedSQLSN(clique *analyze.Clique, ctx *exec.Context, c *cluster.Cluster, opt DistOptions) (*Result, error) {
+func DistributedSQLSN(clique *analyze.Clique, ctx *exec.Context, c *cluster.QueryContext, opt DistOptions) (*Result, error) {
 	opt.StageCombination = false
 	opt.RebuildJoinState = true
 	opt.DisableDecomposition = true
@@ -39,7 +39,7 @@ func DistributedSQLSN(clique *analyze.Clique, ctx *exec.Context, c *cluster.Clus
 // DistributedSQLNaive runs the clique as a per-iteration SQL job loop that
 // recomputes the full relation every iteration (the paper's
 // Spark-SQL-Naive baseline).
-func DistributedSQLNaive(clique *analyze.Clique, ctx *exec.Context, c *cluster.Cluster, opt DistOptions) (*Result, error) {
+func DistributedSQLNaive(clique *analyze.Clique, ctx *exec.Context, c *cluster.QueryContext, opt DistOptions) (*Result, error) {
 	plan, err := PlanDistributed(clique)
 	if err != nil {
 		return nil, err

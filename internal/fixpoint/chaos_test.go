@@ -10,11 +10,11 @@ import (
 	"github.com/rasql/rasql-go/queries"
 )
 
-func chaosCluster(chaos cluster.ChaosConfig) *cluster.Cluster {
+func chaosCluster(chaos cluster.ChaosConfig) *cluster.QueryContext {
 	return cluster.New(cluster.Config{
 		Workers: 4, Partitions: 4, StageOverheadOps: -1,
 		CompressBroadcast: true, Chaos: chaos,
-	})
+	}).NewQuery(nil)
 }
 
 // chaosRunner names one distributed evaluation mode and how to invoke it.
@@ -24,12 +24,12 @@ type chaosRunner struct {
 	// post-merge fault forces a checkpoint rollback); empty when the mode
 	// has no mutable cached state to roll back.
 	mergeStage string
-	run        func(t *testing.T, src string, cat *catalog.Catalog, c *cluster.Cluster) *Result
+	run        func(t *testing.T, src string, cat *catalog.Catalog, c *cluster.QueryContext) *Result
 }
 
 func chaosRunners() []chaosRunner {
 	return []chaosRunner{
-		{"dsn-two-stage", "fixpoint.reduce", func(t *testing.T, src string, cat *catalog.Catalog, c *cluster.Cluster) *Result {
+		{"dsn-two-stage", "fixpoint.reduce", func(t *testing.T, src string, cat *catalog.Catalog, c *cluster.QueryContext) *Result {
 			t.Helper()
 			r, err := Distributed(analyzeQ(t, src, cat).Clique, exec.NewContext(), c, DistOptions{})
 			if err != nil {
@@ -37,7 +37,7 @@ func chaosRunners() []chaosRunner {
 			}
 			return r
 		}},
-		{"dsn-combined", "fixpoint.shufflemap", func(t *testing.T, src string, cat *catalog.Catalog, c *cluster.Cluster) *Result {
+		{"dsn-combined", "fixpoint.shufflemap", func(t *testing.T, src string, cat *catalog.Catalog, c *cluster.QueryContext) *Result {
 			t.Helper()
 			r, err := Distributed(analyzeQ(t, src, cat).Clique, exec.NewContext(), c, DistOptions{StageCombination: true})
 			if err != nil {
@@ -45,7 +45,7 @@ func chaosRunners() []chaosRunner {
 			}
 			return r
 		}},
-		{"dsn-decomposed", "fixpoint.decomposed", func(t *testing.T, src string, cat *catalog.Catalog, c *cluster.Cluster) *Result {
+		{"dsn-decomposed", "fixpoint.decomposed", func(t *testing.T, src string, cat *catalog.Catalog, c *cluster.QueryContext) *Result {
 			t.Helper()
 			r, err := Distributed(analyzeQ(t, src, cat).Clique, exec.NewContext(), c, DistOptions{StageCombination: true})
 			if err != nil {
@@ -53,7 +53,7 @@ func chaosRunners() []chaosRunner {
 			}
 			return r
 		}},
-		{"sql-sn", "fixpoint.reduce", func(t *testing.T, src string, cat *catalog.Catalog, c *cluster.Cluster) *Result {
+		{"sql-sn", "fixpoint.reduce", func(t *testing.T, src string, cat *catalog.Catalog, c *cluster.QueryContext) *Result {
 			t.Helper()
 			r, err := DistributedSQLSN(analyzeQ(t, src, cat).Clique, exec.NewContext(), c, DistOptions{})
 			if err != nil {
@@ -64,7 +64,7 @@ func chaosRunners() []chaosRunner {
 		// sql-naive rebuilds its whole state from the shuffle every
 		// iteration (immutable SQL results), so recovery is plain replay:
 		// retries happen, but there is no cached partition to roll back.
-		{"sql-naive", "", func(t *testing.T, src string, cat *catalog.Catalog, c *cluster.Cluster) *Result {
+		{"sql-naive", "", func(t *testing.T, src string, cat *catalog.Catalog, c *cluster.QueryContext) *Result {
 			t.Helper()
 			r, err := DistributedSQLNaive(analyzeQ(t, src, cat).Clique, exec.NewContext(), c, DistOptions{})
 			if err != nil {

@@ -39,7 +39,7 @@ type DistOptions struct {
 // Distributed evaluates a linear single-view clique on the simulated
 // cluster with Distributed Semi-Naive evaluation. Callers should fall back
 // to Local when PlanDistributed rejects the clique.
-func Distributed(clique *analyze.Clique, ctx *exec.Context, c *cluster.Cluster, opt DistOptions) (*Result, error) {
+func Distributed(clique *analyze.Clique, ctx *exec.Context, c *cluster.QueryContext, opt DistOptions) (*Result, error) {
 	plan, err := PlanDistributed(clique)
 	if err != nil {
 		return nil, err
@@ -80,7 +80,7 @@ type viewState struct {
 	agg *cluster.AggRDD
 }
 
-func newViewState(c *cluster.Cluster, v *analyze.RecView) *viewState {
+func newViewState(c *cluster.QueryContext, v *analyze.RecView) *viewState {
 	if v.IsAgg() {
 		return &viewState{v: v, agg: c.NewAggRDD(v.Schema, v.GroupIdx, v.AggIdx, v.Agg)}
 	}
@@ -151,7 +151,7 @@ func (s *viewState) restore(cp stateCheckpoint) {
 // that restores it — the Section 6.1 recovery: the accumulated all relation
 // is its own checkpoint, and a failed attempt replays only the current
 // iteration's work on that partition.
-func recoverableTask(c *cluster.Cluster, state *viewState, t cluster.Task) cluster.Task {
+func recoverableTask(c *cluster.QueryContext, state *viewState, t cluster.Task) cluster.Task {
 	if c.ChaosEnabled() {
 		cp := state.checkpoint(t.Part)
 		t.Rollback = func() {
@@ -162,7 +162,7 @@ func recoverableTask(c *cluster.Cluster, state *viewState, t cluster.Task) clust
 	return t
 }
 
-func runDistributed(plan *Plan, ctx *exec.Context, c *cluster.Cluster, opt DistOptions) (*Result, error) {
+func runDistributed(plan *Plan, ctx *exec.Context, c *cluster.QueryContext, opt DistOptions) (*Result, error) {
 	if opt.Volcano && opt.Join == SortMerge {
 		opt.Join = ShuffleHash // sort-merge is implemented in the fused path
 	}
@@ -202,7 +202,7 @@ func runDistributed(plan *Plan, ctx *exec.Context, c *cluster.Cluster, opt DistO
 
 // makeKernels builds the per-rule kernels: cached co-partitioned hash
 // tables or sorted runs, and compressed/hashed broadcasts.
-func makeKernels(plan *Plan, ctx *exec.Context, c *cluster.Cluster, opt DistOptions) ([]*ruleKernel, error) {
+func makeKernels(plan *Plan, ctx *exec.Context, c *cluster.QueryContext, opt DistOptions) ([]*ruleKernel, error) {
 	kernels := make([]*ruleKernel, len(plan.Rules))
 	for i, rp := range plan.Rules {
 		k := &ruleKernel{rp: rp, volcano: opt.Volcano, join: opt.Join}
@@ -292,7 +292,7 @@ func (a *rowArena) next() types.Row {
 	return r
 }
 
-func (pr *projector) run(c *cluster.Cluster, kernels []*ruleKernel, delta deltaBatch, part, worker int) [][]types.Row {
+func (pr *projector) run(c *cluster.QueryContext, kernels []*ruleKernel, delta deltaBatch, part, worker int) [][]types.Row {
 	v := pr.plan.View
 	out := make([][]types.Row, pr.parts)
 	arena := rowArena{width: v.Schema.Len()}
@@ -334,7 +334,7 @@ func aggIdxOf(v *analyze.RecView) int {
 // runTwoStage is Algorithm 4/5: a Map stage (join + partial aggregate +
 // shuffle) and a Reduce stage (merge into the all relation, emit delta) per
 // iteration.
-func runTwoStage(plan *Plan, state *viewState, kernels []*ruleKernel, seed [][]types.Row, ctx *exec.Context, c *cluster.Cluster, opt DistOptions) (*Result, error) {
+func runTwoStage(plan *Plan, state *viewState, kernels []*ruleKernel, seed [][]types.Row, ctx *exec.Context, c *cluster.QueryContext, opt DistOptions) (*Result, error) {
 	parts := state.partitions()
 	pr := newProjector(plan, parts)
 	deltas := make([]deltaBatch, parts)
@@ -431,7 +431,7 @@ func runTwoStage(plan *Plan, state *viewState, kernels []*ruleKernel, seed [][]t
 // partially aggregates it, and emits the next shuffle — made possible by
 // partition-aware scheduling keeping state, base partition and shuffle
 // output on the same worker.
-func runCombined(plan *Plan, state *viewState, kernels []*ruleKernel, seed [][]types.Row, c *cluster.Cluster, opt DistOptions) (*Result, error) {
+func runCombined(plan *Plan, state *viewState, kernels []*ruleKernel, seed [][]types.Row, c *cluster.QueryContext, opt DistOptions) (*Result, error) {
 	parts := state.partitions()
 	pr := newProjector(plan, parts)
 	tr := opt.Tracer
@@ -520,7 +520,7 @@ func runCombined(plan *Plan, state *viewState, kernels []*ruleKernel, seed [][]t
 // carried by every rule head and all base relations broadcast, each
 // partition iterates to its own fixpoint with no synchronization or
 // shuffling at all — a single stage for the whole recursion.
-func runDecomposed(plan *Plan, state *viewState, kernels []*ruleKernel, seed [][]types.Row, c *cluster.Cluster, opt DistOptions) (*Result, error) {
+func runDecomposed(plan *Plan, state *viewState, kernels []*ruleKernel, seed [][]types.Row, c *cluster.QueryContext, opt DistOptions) (*Result, error) {
 	parts := state.partitions()
 	pr := newProjector(plan, parts)
 	tr := opt.Tracer
@@ -623,7 +623,7 @@ func allEmpty(ds []deltaBatch) bool {
 }
 
 // collect gathers the final state onto the driver.
-func collect(plan *Plan, state *viewState, c *cluster.Cluster, iters int) (*Result, error) {
+func collect(plan *Plan, state *viewState, c *cluster.QueryContext, iters int) (*Result, error) {
 	out := relation.New(plan.View.Name, plan.View.Schema)
 	for p := 0; p < state.partitions(); p++ {
 		out.Rows = append(out.Rows, c.Fetch(state.rows(p), state.owner(p), -1)...)

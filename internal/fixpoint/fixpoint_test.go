@@ -37,8 +37,8 @@ func analyzeQ(t *testing.T, src string, cat *catalog.Catalog) *analyze.Program {
 	return prog
 }
 
-func testCluster() *cluster.Cluster {
-	return cluster.New(cluster.Config{Workers: 4, Partitions: 4, StageOverheadOps: -1, CompressBroadcast: true})
+func testCluster() *cluster.QueryContext {
+	return cluster.New(cluster.Config{Workers: 4, Partitions: 4, StageOverheadOps: -1, CompressBroadcast: true}).NewQuery(nil)
 }
 
 func TestPlanStrategiesMatchPaper(t *testing.T) {
@@ -258,7 +258,7 @@ func TestPartitionAwareSchedulingCutsRemoteBytes(t *testing.T) {
 	edges := gen.RMATDefault(256, gen.Rng(13))
 	run := func(policy cluster.Policy) int64 {
 		c := cluster.New(cluster.Config{Workers: 4, Partitions: 4, StageOverheadOps: -1,
-			CompressBroadcast: true, Policy: policy})
+			CompressBroadcast: true, Policy: policy}).NewQuery(nil)
 		prog := analyzeQ(t, queries.SSSP, testCatalog(edges))
 		if _, err := Distributed(prog.Clique, exec.NewContext(), c, DistOptions{StageCombination: true}); err != nil {
 			t.Fatal(err)

@@ -63,7 +63,7 @@ type copartBase struct {
 // buildCopart partitions and caches a base relation on its join columns.
 // The build happens once, in parallel, and is reused by every iteration —
 // the paper's cached build side (Appendix D).
-func buildCopart(c *cluster.Cluster, rows []types.Row, buildCols []int, join JoinStrategy) *copartBase {
+func buildCopart(c *cluster.QueryContext, rows []types.Row, buildCols []int, join JoinStrategy) *copartBase {
 	parts := c.Partitions()
 	cb := &copartBase{buildCols: buildCols, owner: make([]int, parts)}
 	bucketed := make([][]types.Row, parts)
@@ -125,7 +125,7 @@ type ruleKernel struct {
 // run streams the delta through the rule's joins and filters, invoking emit
 // with a complete environment for each result. part/worker locate cached
 // state for the co-partitioned base.
-func (k *ruleKernel) run(c *cluster.Cluster, delta []types.Row, part, worker int, emit func(expr.Env)) {
+func (k *ruleKernel) run(c *cluster.QueryContext, delta []types.Row, part, worker int, emit func(expr.Env)) {
 	if k.volcano {
 		k.runVolcano(c, delta, part, worker, emit)
 		return
@@ -136,7 +136,7 @@ func (k *ruleKernel) run(c *cluster.Cluster, delta []types.Row, part, worker int
 // copartTable returns the co-partitioned base's hash table for a partition
 // as seen from the executing worker: free for the owner, a fetch-and-build
 // for anyone else (hybrid scheduling pays here).
-func (k *ruleKernel) copartTable(c *cluster.Cluster, part, worker int) *cluster.RowTable {
+func (k *ruleKernel) copartTable(c *cluster.QueryContext, part, worker int) *cluster.RowTable {
 	if k.copart.owner[part] == worker {
 		return k.copart.tables[part]
 	}
@@ -148,7 +148,7 @@ func (k *ruleKernel) copartTable(c *cluster.Cluster, part, worker int) *cluster.
 // runFused is the "code generation" execution mode: the whole pipeline is
 // collapsed into nested loops over closures, no per-row interface calls —
 // the structural analog of Spark's whole-stage codegen (Section 7.3).
-func (k *ruleKernel) runFused(c *cluster.Cluster, delta []types.Row, part, worker int, emit func(expr.Env)) {
+func (k *ruleKernel) runFused(c *cluster.QueryContext, delta []types.Row, part, worker int, emit func(expr.Env)) {
 	rp := k.rp
 	n := len(rp.Rule.Sources)
 	env := make(expr.Env, n)
@@ -338,7 +338,7 @@ func (o *filterOp) next() (expr.Env, bool) {
 	}
 }
 
-func (k *ruleKernel) runVolcano(c *cluster.Cluster, delta []types.Row, part, worker int, emit func(expr.Env)) {
+func (k *ruleKernel) runVolcano(c *cluster.QueryContext, delta []types.Row, part, worker int, emit func(expr.Env)) {
 	rp := k.rp
 	var op volcanoOp = &deltaScanOp{rows: delta, rec: rp.RecIdx, n: len(rp.Rule.Sources)}
 	if rp.Strategy == StrategyCoPartition {

@@ -14,7 +14,7 @@ import (
 // shuffle volume can be reported as a delta rather than a running total.
 type shuffleMark struct{ bytes, recs int64 }
 
-func markShuffle(c *cluster.Cluster) shuffleMark {
+func markShuffle(c *cluster.QueryContext) shuffleMark {
 	return shuffleMark{
 		bytes: c.Metrics.ShuffleBytes.Load(),
 		recs:  c.Metrics.ShuffleRecords.Load(),
@@ -25,7 +25,7 @@ func markShuffle(c *cluster.Cluster) shuffleMark {
 // event: all-relation size, per-partition skew profile, shuffle deltas.
 // Delta counts are filled in by the caller (countDeltas or task-side
 // accumulators, depending on where the evaluator sees its frontier).
-func iterEvent(mode string, state *viewState, c *cluster.Cluster, m shuffleMark) trace.IterationEvent {
+func iterEvent(mode string, state *viewState, c *cluster.QueryContext, m shuffleMark) trace.IterationEvent {
 	ev := trace.IterationEvent{Mode: mode}
 	if state != nil {
 		ev.AllRows = state.len()

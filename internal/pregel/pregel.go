@@ -122,7 +122,7 @@ func partOf(v int64, parts int) int {
 	return int(h % uint64(parts))
 }
 
-func buildGraph(c *cluster.Cluster, edges *relation.Relation) *graph {
+func buildGraph(c *cluster.QueryContext, edges *relation.Relation) *graph {
 	parts := c.Partitions()
 	g := &graph{parts: parts,
 		vids:  make([][]int64, parts),
@@ -161,7 +161,7 @@ func buildGraph(c *cluster.Cluster, edges *relation.Relation) *graph {
 // Run executes the algorithm and returns the result relation —
 // (Dst) rows for Reach, (Src, CmpId) for CC, (Dst, Cost) for SSSP — plus
 // the superstep count.
-func Run(c *cluster.Cluster, edges *relation.Relation, alg Algorithm, opt Options) (*relation.Relation, int, error) {
+func Run(c *cluster.QueryContext, edges *relation.Relation, alg Algorithm, opt Options) (*relation.Relation, int, error) {
 	g := buildGraph(c, edges)
 	m := modeOf(alg)
 	if opt.Factor == 0 {
@@ -329,7 +329,7 @@ func modeOf(alg Algorithm) mode {
 
 // superstepGiraph produces messages in one stage with a per-partition
 // combiner: one min-message per destination vertex.
-func superstepGiraph(c *cluster.Cluster, g *graph, pend [][]float64, active [][]bool, edgeVal func(float64, edge) float64, m mode) [][]types.Row {
+func superstepGiraph(c *cluster.QueryContext, g *graph, pend [][]float64, active [][]bool, edgeVal func(float64, edge) float64, m mode) [][]types.Row {
 	out := make([][]types.Row, g.parts)
 	tasks := make([]cluster.Task, g.parts)
 	for i := range tasks {
@@ -373,7 +373,7 @@ func superstepGiraph(c *cluster.Cluster, g *graph, pend [][]float64, active [][]
 // (3) run sendMsg over the triplets, (4) reduce messages — each a separate
 // stage with materialized intermediates and per-task scheduling cost, and
 // no cross-operator fusion.
-func superstepGraphX(c *cluster.Cluster, g *graph, vals [][]float64, active [][]bool, edgeVal func(float64, edge) float64, m mode) [][]types.Row {
+func superstepGraphX(c *cluster.QueryContext, g *graph, vals [][]float64, active [][]bool, edgeVal func(float64, edge) float64, m mode) [][]types.Row {
 	parts := g.parts
 	// Stage 1: materialize the active vertex view.
 	activeView := make([][][2]float64, parts) // (localIdx, value) pairs

@@ -10,8 +10,8 @@ import (
 	"github.com/rasql/rasql-go/internal/types"
 )
 
-func testCluster() *cluster.Cluster {
-	return cluster.New(cluster.Config{Workers: 4, Partitions: 4, StageOverheadOps: -1})
+func testCluster() *cluster.QueryContext {
+	return cluster.New(cluster.Config{Workers: 4, Partitions: 4, StageOverheadOps: -1}).NewQuery(nil)
 }
 
 func weighted(pairs ...[3]float64) *relation.Relation {

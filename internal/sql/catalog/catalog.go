@@ -1,11 +1,18 @@
 // Package catalog tracks the base tables and named (non-recursive) views
 // visible to query analysis, keyed case-insensitively.
+//
+// A Catalog is safe for concurrent use: an RWMutex guards the two maps
+// (machine-checked by the guardedby analyzer), and concurrent queries take
+// snapshot-isolated reads via Clone — each query analyzes against its own
+// frozen copy while CREATE VIEW commits mutate the shared session catalog
+// under the write lock.
 package catalog
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"github.com/rasql/rasql-go/internal/relation"
 	"github.com/rasql/rasql-go/internal/sql/ast"
@@ -20,8 +27,14 @@ type ViewDef struct {
 
 // Catalog maps names to base tables and view definitions.
 type Catalog struct {
+	// mu guards the name maps; reads take the read lock, registrations the
+	// write lock. Lock ordering: mu nests inside nothing — no catalog
+	// method calls out while holding it.
+	mu sync.RWMutex
+	//rasql:guardedby=mu
 	tables map[string]*relation.Relation
-	views  map[string]*ViewDef
+	//rasql:guardedby=mu
+	views map[string]*ViewDef
 }
 
 // New creates an empty catalog.
@@ -36,17 +49,20 @@ func key(name string) string { return strings.ToLower(name) }
 
 // Clone returns an independent catalog holding the same tables and view
 // definitions. Registrations on the clone do not affect the original —
-// used by tooling (vet, explain) that must analyze scripts without
-// mutating the session catalog.
+// used by tooling (vet, explain) and by concurrent query execution, which
+// analyzes against a snapshot-isolated copy of the session catalog.
 func (c *Catalog) Clone() *Catalog {
-	out := New()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	tables := make(map[string]*relation.Relation, len(c.tables))
 	for k, t := range c.tables {
-		out.tables[k] = t
+		tables[k] = t
 	}
+	views := make(map[string]*ViewDef, len(c.views))
 	for k, v := range c.views {
-		out.views[k] = v
+		views[k] = v
 	}
-	return out
+	return &Catalog{tables: tables, views: views}
 }
 
 // Register adds or replaces a base table.
@@ -54,6 +70,8 @@ func (c *Catalog) Register(rel *relation.Relation) error {
 	if rel.Name == "" {
 		return fmt.Errorf("catalog: relation must be named")
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, ok := c.views[key(rel.Name)]; ok {
 		return fmt.Errorf("catalog: %q already defined as a view", rel.Name)
 	}
@@ -61,8 +79,10 @@ func (c *Catalog) Register(rel *relation.Relation) error {
 	return nil
 }
 
-// RegisterView adds a view definition.
+// RegisterView adds a view definition, erroring if the name is taken.
 func (c *Catalog) RegisterView(v *ViewDef) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, ok := c.tables[key(v.Name)]; ok {
 		return fmt.Errorf("catalog: %q already defined as a table", v.Name)
 	}
@@ -73,23 +93,47 @@ func (c *Catalog) RegisterView(v *ViewDef) error {
 	return nil
 }
 
+// PutView adds or replaces a view definition, erroring only if the name
+// collides with a base table. Sessions committing CREATE VIEW use it so
+// re-running a script — or running it concurrently from several goroutines —
+// stays idempotent instead of failing on the duplicate.
+func (c *Catalog) PutView(v *ViewDef) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[key(v.Name)]; ok {
+		return fmt.Errorf("catalog: %q already defined as a table", v.Name)
+	}
+	c.views[key(v.Name)] = v
+	return nil
+}
+
 // Table looks up a base table.
 func (c *Catalog) Table(name string) (*relation.Relation, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	t, ok := c.tables[key(name)]
 	return t, ok
 }
 
 // View looks up a view definition.
 func (c *Catalog) View(name string) (*ViewDef, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	v, ok := c.views[key(name)]
 	return v, ok
 }
 
 // DropView removes a view (used by sessions re-running scripts).
-func (c *Catalog) DropView(name string) { delete(c.views, key(name)) }
+func (c *Catalog) DropView(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.views, key(name))
+}
 
 // Names lists all registered table and view names, sorted.
 func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make([]string, 0, len(c.tables)+len(c.views))
 	for _, t := range c.tables {
 		out = append(out, t.Name)

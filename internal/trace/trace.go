@@ -119,9 +119,13 @@ type Tracer struct {
 	level Level
 	start startRef
 
-	mu     sync.Mutex
+	// mu guards the event logs; every append and read locks it (checked by
+	// the guardedby analyzer).
+	mu sync.Mutex
+	//rasql:guardedby=mu
 	events []Event
-	iters  []IterationEvent
+	//rasql:guardedby=mu
+	iters []IterationEvent
 }
 
 // New creates a full tracer: spans and iteration events.

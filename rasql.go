@@ -22,6 +22,7 @@ package rasql
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"github.com/rasql/rasql-go/internal/cluster"
 	"github.com/rasql/rasql-go/internal/fixpoint"
@@ -59,13 +60,22 @@ type Config struct {
 }
 
 // Engine is a RaSQL session: a catalog of base tables plus a configured
-// execution environment. An Engine is safe for sequential use; concurrent
-// queries need separate engines.
+// execution environment. An Engine is safe for concurrent use: each query
+// runs under its own per-query cluster context (tracer, counters, chaos
+// injector) and analyzes against a snapshot-isolated clone of the session
+// catalog, so any number of goroutines may call Exec/Query/Run on one
+// Engine at the same time. Catalog registrations commit under the catalog's
+// own lock.
 type Engine struct {
 	cfg     Config
 	cat     *catalog.Catalog
 	cluster *cluster.Cluster
-	tracer  *trace.Tracer
+
+	// mu guards the engine-attached tracer; queries snapshot it when they
+	// start, so SetTracer mid-query affects only later queries.
+	mu sync.RWMutex
+	//rasql:guardedby=mu
+	tracer *trace.Tracer
 }
 
 // New creates an engine. Unless cfg.RawOptimizations is set, the paper's
@@ -105,44 +115,64 @@ func (e *Engine) ResetMetrics() { e.cluster.Metrics.Reset() }
 // SetTracer attaches a tracer to the engine; subsequent queries record
 // driver-phase, stage and task spans plus per-iteration fixpoint telemetry
 // into it. Passing nil detaches tracing (the default, near-zero-cost
-// state).
+// state). Queries already in flight keep the tracer they started with.
 func (e *Engine) SetTracer(t *trace.Tracer) {
+	e.mu.Lock()
 	e.tracer = t
-	e.cluster.Tracer = t
+	e.mu.Unlock()
 }
 
 // Tracer returns the currently attached tracer (nil when tracing is off).
-func (e *Engine) Tracer() *trace.Tracer { return e.tracer }
+func (e *Engine) Tracer() *trace.Tracer {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.tracer
+}
 
 // Exec runs a script: CREATE VIEW statements register views; each SELECT or
 // WITH statement executes. The result of the last query statement is
 // returned (nil if the script only defines views).
 func (e *Engine) Exec(src string) (*relation.Relation, error) {
-	sp := e.tracer.Begin("parse", trace.TidDriver)
+	qc := e.cluster.NewQuery(e.Tracer())
+	defer qc.Finish()
+	return e.exec(qc, src)
+}
+
+// exec runs a script under one per-query cluster context. Analysis reads a
+// snapshot-isolated clone of the session catalog; CREATE VIEW registers
+// into the snapshot (visible to later statements of the same script) and
+// commits to the session with replace semantics, so re-running a script —
+// sequentially or from concurrent goroutines — stays idempotent.
+func (e *Engine) exec(qc *cluster.QueryContext, src string) (*relation.Relation, error) {
+	tr := qc.Tracer
+	sp := tr.Begin("parse", trace.TidDriver)
 	stmts, err := parser.Parse(src)
 	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	cat := e.cat.Clone()
 	var last *relation.Relation
 	for _, s := range stmts {
 		if cv, ok := s.(*ast.CreateView); ok {
-			if err := e.cat.RegisterView(&catalog.ViewDef{
-				Name: cv.Name, Columns: cv.Columns, Query: cv.Query,
-			}); err != nil {
+			v := &catalog.ViewDef{Name: cv.Name, Columns: cv.Columns, Query: cv.Query}
+			if err := cat.PutView(v); err != nil {
+				return nil, err
+			}
+			if err := e.cat.PutView(v); err != nil {
 				return nil, err
 			}
 			continue
 		}
-		sp = e.tracer.Begin("analyze", trace.TidDriver)
-		prog, err := analyze.Statement(s, e.cat)
+		sp = tr.Begin("analyze", trace.TidDriver)
+		prog, err := analyze.Statement(s, cat)
 		if err != nil {
 			sp.End()
 			return nil, err
 		}
 		opt := optimize.Program(prog)
 		sp.End()
-		last, err = e.Run(opt)
+		last, err = e.run(qc, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -169,7 +199,7 @@ func (e *Engine) Query(src string) (*relation.Relation, error) {
 // throwaway copy of the catalog, so vetting never mutates the session. The
 // merged report covers every query statement in the script.
 func (e *Engine) Vet(src string) (*vet.Report, error) {
-	sp := e.tracer.Begin("vet", trace.TidDriver)
+	sp := e.Tracer().Begin("vet", trace.TidDriver)
 	defer sp.End()
 	stmts, err := parser.Parse(src)
 	if err != nil {
@@ -198,17 +228,23 @@ func (e *Engine) Vet(src string) (*vet.Report, error) {
 // Run executes an analyzed program: the fixpoint for its recursive clique
 // (if any), then the final query over the results.
 func (e *Engine) Run(prog *analyze.Program) (*relation.Relation, error) {
+	qc := e.cluster.NewQuery(e.Tracer())
+	defer qc.Finish()
+	return e.run(qc, prog)
+}
+
+func (e *Engine) run(qc *cluster.QueryContext, prog *analyze.Program) (*relation.Relation, error) {
 	ctx := exec.NewContext()
 	if prog.Clique != nil && len(prog.Clique.Views) > 0 {
-		sp := e.tracer.Begin("fixpoint", trace.TidDriver)
-		res, err := e.runClique(prog.Clique, ctx)
+		sp := qc.Tracer.Begin("fixpoint", trace.TidDriver)
+		res, err := e.runClique(qc, prog.Clique, ctx)
 		sp.End()
 		if err != nil {
 			return nil, err
 		}
 		res.Bind(ctx)
 	}
-	sp := e.tracer.Begin("final", trace.TidDriver)
+	sp := qc.Tracer.Begin("final", trace.TidDriver)
 	rel, err := exec.Query(prog.Final, ctx)
 	sp.End()
 	return rel, err
@@ -220,18 +256,20 @@ func (e *Engine) RunClique(prog *analyze.Program) (*fixpoint.Result, error) {
 	if prog.Clique == nil || len(prog.Clique.Views) == 0 {
 		return nil, fmt.Errorf("rasql: statement has no recursive clique")
 	}
-	return e.runClique(prog.Clique, exec.NewContext())
+	qc := e.cluster.NewQuery(e.Tracer())
+	defer qc.Finish()
+	return e.runClique(qc, prog.Clique, exec.NewContext())
 }
 
-func (e *Engine) runClique(clique *analyze.Clique, ctx *exec.Context) (*fixpoint.Result, error) {
+func (e *Engine) runClique(qc *cluster.QueryContext, clique *analyze.Clique, ctx *exec.Context) (*fixpoint.Result, error) {
 	opt := e.cfg.Fixpoint
-	if e.tracer != nil {
-		opt.Tracer = e.tracer
+	if qc.Tracer != nil {
+		opt.Tracer = qc.Tracer
 	}
 	if e.cfg.ForceLocal {
 		return fixpoint.Local(clique, ctx, opt.Options)
 	}
-	res, err := fixpoint.Distributed(clique, ctx, e.cluster, opt)
+	res, err := fixpoint.Distributed(clique, ctx, qc, opt)
 	if err == nil {
 		return res, nil
 	}
