@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race race-concurrent fuzz lint rasql-lint golangci ci
+.PHONY: build test vet race race-concurrent ssp-differential fuzz lint rasql-lint golangci ci
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,12 @@ race:
 # engine, many goroutines, results must match a sequential oracle.
 race-concurrent:
 	$(GO) test -race -shuffle=on -run TestConcurrent .
+
+# Differential proof of the barrier-relaxed modes (DESIGN.md §11): every
+# example query under ssp:1/ssp:4/async must match the BSP oracle, with
+# and without chaos, under the race detector.
+ssp-differential:
+	$(GO) test -race -shuffle=on -run TestRelaxed . ./internal/fixpoint/ ./internal/cluster/
 
 # Short smoke of every fuzz target (wire format, row keys, SQL parser);
 # crashers land in testdata/fuzz/ — check them in as regression seeds.
@@ -40,4 +46,4 @@ golangci:
 
 lint: rasql-lint
 
-ci: build vet test race race-concurrent rasql-lint
+ci: build vet test race race-concurrent ssp-differential rasql-lint

@@ -103,6 +103,9 @@ func main() {
 			TaskRetries:         m.TaskRetries,
 			RowsReplayed:        m.RowsReplayed,
 			RecoveredIterations: m.RecoveredIterations,
+			StaleReads:          m.StaleReads,
+			SupersededRows:      m.SupersededRows,
+			BarrierWaitNanos:    m.BarrierWaitNanos,
 			Curves:              r.TakeCurves(),
 		})
 		if *md {

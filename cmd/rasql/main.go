@@ -32,6 +32,11 @@
 //	-local                    force the single-threaded reference engine
 //	-naive                    naive (non-semi-naive) evaluation
 //	-workers / -partitions    simulated cluster size
+//	-mode m                   fixpoint evaluation mode: bsp (default),
+//	                          ssp:k (bounded staleness k) or async; relaxed
+//	                          modes apply only to cliques vet certifies
+//	                          PreM (or set semantics) and silently fall
+//	                          back to bsp otherwise
 //	-metrics                  print the execution-counter delta per query
 //	-chaos seed=N,rate=P      deterministic fault injection (recovery is
 //	                          transparent; results are unchanged — see
@@ -78,6 +83,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "simulated workers (default GOMAXPROCS)")
 		partitions = flag.Int("partitions", 0, "partitions (default = workers)")
 		metrics    = flag.Bool("metrics", false, "print the execution-counter delta per query")
+		mode       = flag.String("mode", "bsp", "fixpoint evaluation mode: bsp, ssp:k or async")
 		chaosSpec  = flag.String("chaos", "", "fault injection: seed=N,rate=P[,attempts=K]")
 		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON file (load in Perfetto)")
 		maxRows    = flag.Int("max-rows", 50, "max rows to print")
@@ -89,11 +95,18 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	eng := rasql.New(rasql.Config{
+	evalMode, staleness, err := rasql.ParseEvalMode(*mode)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := rasql.Config{
 		Cluster:    rasql.ClusterConfig{Workers: *workers, Partitions: *partitions, Chaos: chaos},
 		ForceLocal: *local,
 		Naive:      *naive,
-	})
+	}
+	cfg.Fixpoint.Mode = evalMode
+	cfg.Fixpoint.Staleness = staleness
+	eng := rasql.New(cfg)
 	if err := cli.LoadTables(eng, tables); err != nil {
 		fatal(err)
 	}

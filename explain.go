@@ -167,15 +167,22 @@ func writeIterationTable(b *strings.Builder, iters []trace.IterationEvent) {
 		return
 	}
 	fmt.Fprintf(b, "Fixpoint iterations (%s): %d recorded\n", iters[0].Mode, len(iters))
-	b.WriteString("  iter     delta       all       new  improved  shuffleB  shuffleRec  skew  time\n")
+	b.WriteString("  iter     delta       all       new  improved  shuffleB  shuffleRec     stale  superseded  skew  time\n")
 	for _, it := range iters {
 		skew := "-"
 		if len(it.PartRows) > 0 {
 			skew = fmt.Sprintf("%.2f", it.Skew())
 		}
-		fmt.Fprintf(b, "  %4d  %8d  %8d  %8d  %8d  %8d  %10d  %4s  %s\n",
+		// Staleness telemetry only means something without a barrier; BSP
+		// rows render the columns as absent.
+		stale, superseded := "-", "-"
+		if it.Relaxed {
+			stale = fmt.Sprintf("%d", it.StaleRows)
+			superseded = fmt.Sprintf("%d", it.SupersededRows)
+		}
+		fmt.Fprintf(b, "  %4d  %8d  %8d  %8d  %8d  %8d  %10d  %8s  %10s  %4s  %s\n",
 			it.Iter, it.DeltaRows, it.AllRows, it.NewKeys, it.Improved,
-			it.ShuffleBytes, it.ShuffleRecords, skew, fmtNanos(it.EndNS-it.StartNS))
+			it.ShuffleBytes, it.ShuffleRecords, stale, superseded, skew, fmtNanos(it.EndNS-it.StartNS))
 	}
 }
 

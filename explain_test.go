@@ -46,12 +46,12 @@ Stages:
   copart.build           ×1    T (4 task(s), task time T)
   fixpoint.shufflemap    ×5    T (20 task(s), task time T)
 Fixpoint iterations (dsn-combined): 5 recorded
-  iter     delta       all       new  improved  shuffleB  shuffleRec  skew  time
-     0         1         1         1         0        25           2  4.00  T
-     1         2         3         2         0        38           3  2.67  T
-     2         3         5         2         1        39           3  2.40  T
-     3         1         5         0         1        13           1  2.40  T
-     4         0         5         0         0         0           0  2.40  T
+  iter     delta       all       new  improved  shuffleB  shuffleRec     stale  superseded  skew  time
+     0         1         1         1         0        25           2         -           -  4.00  T
+     1         2         3         2         0        38           3         -           -  2.67  T
+     2         3         5         2         1        39           3         -           -  2.40  T
+     3         1         5         0         1        13           1         -           -  2.40  T
+     4         0         5         0         0         0           0         -           -  2.40  T
 Cluster delta: REDACTED
 `
 	if got := redactAnalyze(out); got != want {
@@ -126,5 +126,46 @@ func TestTraceExport(t *testing.T) {
 		if !strings.Contains(buf.String(), want) {
 			t.Errorf("trace missing %s", want)
 		}
+	}
+}
+
+// TestExplainAnalyzeRelaxedGolden pins the convergence table for the same
+// SSSP query under SSP(1): the staleness columns carry numbers instead of
+// "-", and the mode label names the bound. The sequential scheduler makes
+// the relaxed round telemetry deterministic.
+func TestExplainAnalyzeRelaxedGolden(t *testing.T) {
+	cfg := rasql.Config{Cluster: rasql.ClusterConfig{Workers: 4, Partitions: 4, SequentialStages: true}}
+	cfg.Fixpoint.Mode = rasql.ModeSSP
+	cfg.Fixpoint.Staleness = 1
+	eng := rasql.New(cfg)
+	eng.MustRegister(weightedEdges())
+	out, err := eng.ExplainAnalyze(queries.SSSP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `Fixpoint[path] partitionKey=[0] decomposed=false
+  aggregate: min() AS Cost, implicit group by [0]
+  rule 0: strategy=co-partition copartBase=edge on [0]
+  view path(Dst int, Cost double): 1 base rule(s), 1 recursive rule(s)
+Final: 1 source(s), 0 conjunct(s), grouped=false, schema (Dst int, Cost double)
+-- analyze --
+Result: 5 row(s)
+Phases:
+  parse                  ×1    T
+  analyze                ×1    T
+  fixpoint               ×1    T
+  final                  ×1    T
+Stages:
+  copart.build           ×1    T (4 task(s), task time T)
+  fixpoint.relaxed       ×1    T (6 task(s), task time T)
+Fixpoint iterations (dsn-ssp(1)): 3 recorded
+  iter     delta       all       new  improved  shuffleB  shuffleRec     stale  superseded  skew  time
+     0         5         4         4         1         0           0         0           0     -  T
+     1         2         5         1         1         0           0         0           1     -  T
+     2         0         5         0         0         0           0         1           1  2.40  T
+Cluster delta: REDACTED
+`
+	if got := redactAnalyze(out); got != want {
+		t.Errorf("EXPLAIN ANALYZE shape drifted.\n--- got ---\n%s\n--- want ---\n%s", got, want)
 	}
 }

@@ -178,6 +178,54 @@ func TestConvergenceCurves(t *testing.T) {
 	}
 }
 
+// TestRelaxedStragglerCells runs the straggler arms of the barrier-relaxation
+// comparison and checks the structural claim behind them: with a rotating
+// straggler slowing one partition per iteration, SSP(2) spends no more
+// simulated time than BSP, and the staleness counters attribute the
+// difference (BSP idles at barriers, the relaxed run reads stale deltas).
+func TestRelaxedStragglerCells(t *testing.T) {
+	r := quickRunner()
+	exps := r.Experiments()
+	tbl, err := exps["relaxed-bsp-straggler"]()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1 workload", len(tbl.Rows))
+	}
+	bsp := r.TakeTotals()
+	r.TakeCurves()
+	if _, err := exps["relaxed-ssp2-straggler"](); err != nil {
+		t.Fatal(err)
+	}
+	ssp := r.TakeTotals()
+	if ssp.SimNanos > bsp.SimNanos {
+		t.Errorf("ssp:2 sim time %d > bsp %d under the straggler schedule", ssp.SimNanos, bsp.SimNanos)
+	}
+	if bsp.BarrierWaitNanos == 0 {
+		t.Error("bsp arm recorded no barrier wait")
+	}
+	if bsp.StaleReads != 0 || bsp.SupersededRows != 0 {
+		t.Errorf("bsp arm recorded staleness telemetry: stale=%d superseded=%d",
+			bsp.StaleReads, bsp.SupersededRows)
+	}
+	if ssp.StaleReads == 0 && ssp.SupersededRows == 0 {
+		t.Error("relaxed arm recorded no staleness telemetry")
+	}
+	curves := r.TakeCurves()
+	if len(curves) == 0 {
+		t.Fatal("no convergence curves recorded")
+	}
+	for _, c := range curves {
+		if c.Mode != "dsn-ssp(2)" {
+			t.Errorf("curve %s mode = %q, want dsn-ssp(2)", c.Label, c.Mode)
+		}
+		if !strings.HasPrefix(c.Label, "relaxed-ssp2:") {
+			t.Errorf("curve label %q missing experiment prefix", c.Label)
+		}
+	}
+}
+
 func TestRecViewName(t *testing.T) {
 	cases := map[string]string{
 		"WITH recursive path (Dst, min() AS Cost) AS ...": "path",

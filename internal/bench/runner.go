@@ -228,10 +228,17 @@ type Record struct {
 	Allocs         uint64 `json:"allocs"`
 	// Recovery counters: zero on fault-free runs, nonzero when the run was
 	// benchmarked under -chaos (the recovery-overhead experiment).
-	TaskRetries         int64   `json:"task_retries"`
-	RowsReplayed        int64   `json:"rows_replayed"`
-	RecoveredIterations int64   `json:"recovered_iterations"`
-	Curves              []Curve `json:"curves,omitempty"`
+	TaskRetries         int64 `json:"task_retries"`
+	RowsReplayed        int64 `json:"rows_replayed"`
+	RecoveredIterations int64 `json:"recovered_iterations"`
+	// Staleness counters: zero under BSP, nonzero when a relaxed-* run
+	// consumed deltas past the barrier point, discarded rows an earlier
+	// merge had already improved on, or (for BSP arms of the comparison)
+	// idled at the stage barrier.
+	StaleReads       int64   `json:"stale_reads"`
+	SupersededRows   int64   `json:"superseded_rows"`
+	BarrierWaitNanos int64   `json:"barrier_wait_nanos"`
+	Curves           []Curve `json:"curves,omitempty"`
 }
 
 // CurvePoint is one fixpoint iteration of a convergence curve.

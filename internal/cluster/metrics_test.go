@@ -32,6 +32,46 @@ func TestSnapshotAddSubRoundtrip(t *testing.T) {
 	if got := a.Add(Snapshot{}); got != a {
 		t.Errorf("a + 0 = %+v, want %+v", got, a)
 	}
+	// Field-by-field: Add/Sub must actually touch every counter, so a
+	// future counter can't be silently dropped from the fold again. The
+	// per-field deltas of sampleSnapshot are distinct, making a skipped
+	// field detectable.
+	av, bv := reflect.ValueOf(a), reflect.ValueOf(b)
+	sum := reflect.ValueOf(a.Add(b))
+	diff := reflect.ValueOf(a.Sub(b))
+	for i := 0; i < av.NumField(); i++ {
+		name := av.Type().Field(i).Name
+		if got, want := sum.Field(i).Int(), av.Field(i).Int()+bv.Field(i).Int(); got != want {
+			t.Errorf("Add dropped %s: got %d, want %d", name, got, want)
+		}
+		if got, want := diff.Field(i).Int(), av.Field(i).Int()-bv.Field(i).Int(); got != want {
+			t.Errorf("Sub dropped %s: got %d, want %d", name, got, want)
+		}
+	}
+}
+
+// TestMetricsSnapshotFieldParity pins the Metrics/Snapshot field mirror the
+// reflection plumbing depends on: same names, same order, atomic.Int64
+// against int64. (The package would already panic at init on divergence;
+// this surfaces it as a readable test failure.)
+func TestMetricsSnapshotFieldParity(t *testing.T) {
+	mt := reflect.TypeOf(Metrics{})
+	st := reflect.TypeOf(Snapshot{})
+	if mt.NumField() != st.NumField() {
+		t.Fatalf("Metrics has %d fields, Snapshot %d", mt.NumField(), st.NumField())
+	}
+	for i := 0; i < mt.NumField(); i++ {
+		if mt.Field(i).Name != st.Field(i).Name {
+			t.Errorf("field %d: Metrics.%s vs Snapshot.%s", i, mt.Field(i).Name, st.Field(i).Name)
+		}
+	}
+	// AddSnapshot/Snapshot roundtrip across every field.
+	var m Metrics
+	s := sampleSnapshot(41)
+	m.AddSnapshot(s)
+	if got := m.Snapshot(); got != s {
+		t.Errorf("AddSnapshot/Snapshot roundtrip: got %+v, want %+v", got, s)
+	}
 }
 
 // TestSnapshotStringCoversAllCounters walks the struct by reflection so a
@@ -77,6 +117,9 @@ func TestMetricsConcurrentUpdates(t *testing.T) {
 				m.TaskRetries.Add(11)
 				m.RowsReplayed.Add(12)
 				m.RecoveredIterations.Add(13)
+				m.StaleReads.Add(14)
+				m.SupersededRows.Add(15)
+				m.BarrierWaitNanos.Add(16)
 				_ = m.Snapshot() // concurrent reads race-check the loads
 			}
 		}()
@@ -89,6 +132,7 @@ func TestMetricsConcurrentUpdates(t *testing.T) {
 		RemoteFetchBytes: 5 * n, LocalFetchRows: 6 * n, BroadcastBytes: 7 * n,
 		Iterations: 8 * n, SimNanos: 9 * n, StageWallNanos: 10 * n,
 		TaskRetries: 11 * n, RowsReplayed: 12 * n, RecoveredIterations: 13 * n,
+		StaleReads: 14 * n, SupersededRows: 15 * n, BarrierWaitNanos: 16 * n,
 	}
 	if got != want {
 		t.Errorf("lost updates: got %+v, want %+v", got, want)

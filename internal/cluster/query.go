@@ -40,6 +40,10 @@ type QueryContext struct {
 	// current stage; a field (not a RunStage local) so worker goroutines
 	// don't force a heap allocation per stage capturing it.
 	slowest atomic.Int64
+	// busyTotal is per-stage scratch accumulating the sum of per-worker
+	// busy times; with slowest it yields the stage's barrier wait
+	// (Σ over active workers of slowest − busy).
+	busyTotal atomic.Int64
 	// chaos is the fault injector, nil unless Config.Chaos enables it. Each
 	// query gets a fresh injector, so the fault schedule is a pure function
 	// of the query's own stage sequence — independent of what other queries
@@ -162,8 +166,15 @@ func (q *QueryContext) RunStage(name string, tasks []Task) {
 	if q.chaos != nil {
 		sc = q.chaos.beginStage(name, seq)
 	}
+	active := 0
+	for _, queue := range queues {
+		if len(queue) > 0 {
+			active++
+		}
+	}
 	start := startStopwatch()
 	q.slowest.Store(0)
+	q.busyTotal.Store(0)
 	if q.cfg.SequentialStages {
 		for w, queue := range queues {
 			if len(queue) > 0 {
@@ -188,7 +199,14 @@ func (q *QueryContext) RunStage(name string, tasks []Task) {
 		wg.Wait()
 	}
 	q.Metrics.StageWallNanos.Add(start.elapsedNanos())
-	q.Metrics.SimNanos.Add(q.slowest.Load())
+	slowest := q.slowest.Load()
+	q.Metrics.SimNanos.Add(slowest)
+	// Barrier wait: every active worker idles until the slowest finishes,
+	// so the stage's synchronization cost is Σ(slowest − busy) — what
+	// barrier relaxation removes.
+	if active > 0 {
+		q.Metrics.BarrierWaitNanos.Add(slowest*int64(active) - q.busyTotal.Load())
+	}
 	stageSpan.End()
 }
 
@@ -212,6 +230,7 @@ func (q *QueryContext) runQueue(w int, queue []Task, name string, spans bool, sc
 		}
 	}
 	d := t0.elapsedNanos()
+	q.busyTotal.Add(d)
 	for {
 		cur := q.slowest.Load()
 		if d <= cur || q.slowest.CompareAndSwap(cur, d) {

@@ -11,6 +11,7 @@ import (
 	"github.com/rasql/rasql-go/internal/sql/ast"
 	"github.com/rasql/rasql-go/internal/sql/exec"
 	"github.com/rasql/rasql-go/internal/sql/expr"
+	"github.com/rasql/rasql-go/internal/trace"
 	"github.com/rasql/rasql-go/internal/types"
 )
 
@@ -34,6 +35,15 @@ type DistOptions struct {
 	// iterative-SQL loop that cannot cache across statements (the
 	// Spark-SQL-SN baseline of Section 8.2).
 	RebuildJoinState bool
+	// Mode selects the synchronization discipline: the default ModeBSP
+	// barrier loop, SSP(k) bounded staleness, or fully asynchronous
+	// execution. Relaxed modes require the clique to be confluent — a set
+	// view, or an aggregate view vet certifies PreM — and transparently
+	// fall back to BSP otherwise (Result.FallbackReason records why).
+	Mode EvalMode
+	// Staleness is the SSP bound k (ModeSSP only): a partition may run at
+	// most k rounds ahead of the slowest partition that still has work.
+	Staleness int
 }
 
 // Distributed evaluates a linear single-view clique on the simulated
@@ -47,7 +57,26 @@ func Distributed(clique *analyze.Clique, ctx *exec.Context, c *cluster.QueryCont
 	if opt.DisableDecomposition && plan.Decomposed {
 		plan = replanShuffled(clique)
 	}
-	return runDistributed(plan, ctx, c, opt)
+	// Barrier relaxation is sound only for confluent cliques; anything else
+	// silently losing the barrier could observe non-final aggregates, so a
+	// failed certification downgrades to BSP and says why.
+	var fallback string
+	if opt.Mode != ModeBSP {
+		if reason := relaxedIneligible(clique, plan); reason != "" {
+			fallback = reason
+			if opt.Tracer.SpansEnabled() {
+				opt.Tracer.Instant("bsp fallback: "+reason, trace.TidDriver)
+			}
+			opt.Mode = ModeBSP
+		}
+	}
+	res, err := runDistributed(plan, ctx, c, opt)
+	if err != nil {
+		return nil, err
+	}
+	res.Mode = opt.modeLabel()
+	res.FallbackReason = fallback
+	return res, nil
 }
 
 // replanShuffled rebuilds the plan with decomposition disabled; the rules
@@ -191,6 +220,11 @@ func runDistributed(plan *Plan, ctx *exec.Context, c *cluster.QueryContext, opt 
 		seed[p] = append(seed[p], r)
 	}
 
+	if opt.Mode != ModeBSP {
+		// Every plan shape shares the one relaxed delta-routing kernel; the
+		// plan still decides partitioning and join strategy.
+		return runRelaxed(plan, state, kernels, seed, c, opt)
+	}
 	if plan.Decomposed {
 		return runDecomposed(plan, state, kernels, seed, c, opt)
 	}

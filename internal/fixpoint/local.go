@@ -54,6 +54,13 @@ type Result struct {
 	Relations map[string]*relation.Relation
 	// Iterations is the number of fixpoint iterations executed.
 	Iterations int
+	// Mode names the evaluation mode the distributed engine actually ran
+	// ("bsp", "ssp(k)", "async"); empty for the local engine.
+	Mode string
+	// FallbackReason, when non-empty, explains why a requested barrier-
+	// relaxed mode was downgraded to BSP (the clique failed PreM
+	// certification).
+	FallbackReason string
 }
 
 // Bind registers the result relations on an execution context so the final

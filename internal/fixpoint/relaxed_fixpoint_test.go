@@ -1,0 +1,156 @@
+package fixpoint
+
+import (
+	"testing"
+
+	"github.com/rasql/rasql-go/internal/gen"
+	"github.com/rasql/rasql-go/internal/relation"
+	"github.com/rasql/rasql-go/internal/sql/exec"
+	"github.com/rasql/rasql-go/internal/types"
+	"github.com/rasql/rasql-go/queries"
+)
+
+func TestParseEvalMode(t *testing.T) {
+	cases := []struct {
+		in      string
+		mode    EvalMode
+		k       int
+		wantErr bool
+	}{
+		{"", ModeBSP, 0, false},
+		{"bsp", ModeBSP, 0, false},
+		{"ssp", ModeSSP, 1, false},
+		{"ssp:0", ModeSSP, 0, false},
+		{"ssp:4", ModeSSP, 4, false},
+		{"async", ModeAsync, 0, false},
+		{"ssp:-1", ModeBSP, 0, true},
+		{"ssp:x", ModeBSP, 0, true},
+		{"turbo", ModeBSP, 0, true},
+	}
+	for _, c := range cases {
+		mode, k, err := ParseEvalMode(c.in)
+		if (err != nil) != c.wantErr || mode != c.mode || k != c.k {
+			t.Errorf("ParseEvalMode(%q) = (%v, %d, %v), want (%v, %d, err=%v)",
+				c.in, mode, k, err, c.mode, c.k, c.wantErr)
+		}
+	}
+}
+
+func TestModeLabels(t *testing.T) {
+	if got := (DistOptions{}).modeLabel(); got != "bsp" {
+		t.Errorf("bsp label = %q", got)
+	}
+	if got := (DistOptions{Mode: ModeSSP, Staleness: 3}).modeLabel(); got != "ssp(3)" {
+		t.Errorf("ssp label = %q", got)
+	}
+	if got := (DistOptions{Mode: ModeSSP, Staleness: -7}).modeLabel(); got != "ssp(0)" {
+		t.Errorf("negative staleness must clamp: %q", got)
+	}
+	if got := (DistOptions{Mode: ModeAsync}).modeLabel(); got != "async" {
+		t.Errorf("async label = %q", got)
+	}
+}
+
+// TestRelaxedMatchesBSPPerPlanShape runs the relaxed evaluator against the
+// BSP oracle for each distributed plan shape — co-partitioned aggregate,
+// decomposed set, decomposed aggregate, broadcast, and the shuffled replan
+// — confirming the single delta-routing kernel covers them all.
+func TestRelaxedMatchesBSPPerPlanShape(t *testing.T) {
+	edges := gen.RMATDefault(128, gen.Rng(21))
+	rel := relation.New("rel", types.NewSchema(
+		types.Col("Parent", types.KindInt), types.Col("Child", types.KindInt)))
+	rel.Rows = append(rel.Rows,
+		types.Row{types.Int(1), types.Int(2)}, types.Row{types.Int(1), types.Int(3)},
+		types.Row{types.Int(2), types.Int(4)}, types.Row{types.Int(3), types.Int(5)})
+
+	cases := []struct {
+		name, src, view string
+		rels            []*relation.Relation
+		noDecompose     bool
+	}{
+		{"copart-agg", queries.SSSP, "path", []*relation.Relation{edges}, false},
+		{"decomposed-set", queries.TC, "tc", []*relation.Relation{gen.Unweighted(edges)}, false},
+		{"decomposed-agg", queries.APSP, "path", []*relation.Relation{edges}, false},
+		{"broadcast", queries.SG, "sg", []*relation.Relation{rel}, false},
+		{"shuffled-replan", queries.TC, "tc", []*relation.Relation{gen.Unweighted(edges)}, true},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			cat := testCatalog(c.rels...)
+			run := func(opt DistOptions) *Result {
+				opt.DisableDecomposition = c.noDecompose
+				prog := analyzeQ(t, c.src, cat)
+				res, err := Distributed(prog.Clique, exec.NewContext(), testCluster(), opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			want := run(DistOptions{})
+			if want.Mode != "bsp" {
+				t.Errorf("BSP result mode = %q", want.Mode)
+			}
+			for _, opt := range []DistOptions{
+				{Mode: ModeSSP, Staleness: 1},
+				{Mode: ModeSSP, Staleness: 4},
+				{Mode: ModeAsync},
+			} {
+				got := run(opt)
+				if !got.Relations[c.view].EqualAsSet(want.Relations[c.view]) {
+					t.Errorf("%s diverged from BSP", opt.modeLabel())
+				}
+				if got.Mode != opt.modeLabel() {
+					t.Errorf("result mode = %q, want %q", got.Mode, opt.modeLabel())
+				}
+				if got.FallbackReason != "" {
+					t.Errorf("unexpected fallback: %s", got.FallbackReason)
+				}
+			}
+		})
+	}
+}
+
+// TestRelaxedFallbackRecordsReason: an uncertifiable aggregate clique
+// requested relaxed must run BSP and say why.
+func TestRelaxedFallbackRecordsReason(t *testing.T) {
+	// The anti-monotone filter refutes PreM but still terminates.
+	const refuted = `
+WITH recursive path (Dst, min() AS Cost) AS
+    (SELECT 1, 0) UNION
+    (SELECT edge.Dst, path.Cost + edge.Cost
+     FROM path, edge
+     WHERE path.Dst = edge.Src AND path.Cost >= 5)
+SELECT Dst, Cost FROM path`
+	edges := gen.RMATDefault(64, gen.Rng(7))
+	prog := analyzeQ(t, refuted, testCatalog(edges))
+	res, err := Distributed(prog.Clique, exec.NewContext(), testCluster(),
+		DistOptions{Mode: ModeAsync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != "bsp" {
+		t.Errorf("mode = %q, want bsp fallback", res.Mode)
+	}
+	if res.FallbackReason == "" {
+		t.Error("fallback reason not recorded")
+	}
+}
+
+// TestRelaxedNonTerminationGuard: the iteration guard must also fire
+// without barriers (the failed flag drains the region instead of hanging).
+func TestRelaxedNonTerminationGuard(t *testing.T) {
+	// SSSP over a negative-cost cycle never converges.
+	edges := relation.New("edge", gen.EdgeSchema())
+	add := func(s, d int64, c float64) {
+		edges.Rows = append(edges.Rows, types.Row{types.Int(s), types.Int(d), types.Float(c)})
+	}
+	add(1, 2, -1)
+	add(2, 1, -1)
+	prog := analyzeQ(t, queries.SSSP, testCatalog(edges))
+	_, err := Distributed(prog.Clique, exec.NewContext(), testCluster(),
+		DistOptions{Options: Options{MaxIterations: 50}, Mode: ModeAsync})
+	if _, ok := err.(*ErrNonTermination); !ok {
+		t.Fatalf("err = %v, want ErrNonTermination", err)
+	}
+}

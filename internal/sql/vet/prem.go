@@ -280,6 +280,20 @@ func judgeCondition(c expr.Expr, rec, aggIdx int, grows bool) (condOutcome, stri
 	return condRefuted, fmt.Sprintf("filter %s is anti-monotone: the running aggregate only %s, so derivations admitted from intermediate values are rejected by the completed aggregate — γ(T(R)) ≠ γ(T(γ(R)))", c, dir)
 }
 
+// CertifyClique folds the static PreM verdicts of every view in a clique,
+// without building a full program report — the hook the distributed engine
+// uses to gate barrier-relaxed (SSP/async) execution. The fold follows
+// Report.Verdict precedence: Refuted dominates, then Inconclusive, then
+// Certified; a clique with no aggregate views is NotApplicable (set
+// semantics — idempotent monotone union, trivially order-insensitive).
+func CertifyClique(clique *analyze.Clique) Verdict {
+	r := &Report{}
+	for _, v := range clique.Views {
+		r.Views = append(r.Views, ViewVerdict{View: v.Name, Verdict: certifyPreM(r, clique, v)})
+	}
+	return r.Verdict()
+}
+
 // certifyPreM produces the static PreM verdict for one clique view,
 // appending RV001/RV002/RV003 diagnostics to the report.
 func certifyPreM(r *Report, clique *analyze.Clique, v *analyze.RecView) Verdict {

@@ -89,6 +89,17 @@ type IterationEvent struct {
 	// PartRows holds the per-partition all-relation row counts after the
 	// merge — the skew profile.
 	PartRows []int
+	// Relaxed marks events from barrier-relaxed (SSP/async) execution,
+	// where the staleness telemetry below is meaningful; BSP events leave
+	// it false and render those columns as absent.
+	Relaxed bool
+	// StaleRows counts rows consumed from delta batches older than the
+	// BSP-fresh stamp during this round (relaxed modes only).
+	StaleRows int
+	// SupersededRows counts incoming rows the merge discarded because a
+	// fresher derivation already covered them — the wasted work barrier
+	// relaxation trades for the removed barrier (relaxed modes only).
+	SupersededRows int
 	// StartNS/EndNS bound the iteration on the trace clock.
 	StartNS, EndNS int64
 }
@@ -207,22 +218,49 @@ func (s IterSpan) End(ev IterationEvent) {
 	if s.t == nil {
 		return
 	}
-	now := s.t.sinceStart()
 	ev.Iter = s.iter
-	ev.StartNS, ev.EndNS = s.t0, now
-	name := "iteration " + itoa(s.iter)
-	s.t.mu.Lock()
-	s.t.iters = append(s.t.iters, ev)
-	if s.t.level >= LevelSpans {
-		s.t.events = append(s.t.events,
-			Event{Name: name, Phase: 'B', Tid: TidIterations, TS: s.t0},
-			Event{Name: name, Phase: 'E', Tid: TidIterations, TS: now},
-			Event{Name: "delta rows", Phase: 'C', Tid: TidIterations, TS: now, Args: []Arg{{"rows", int64(ev.DeltaRows)}}},
-			Event{Name: "all rows", Phase: 'C', Tid: TidIterations, TS: now, Args: []Arg{{"rows", int64(ev.AllRows)}}},
-			Event{Name: "shuffle bytes/iter", Phase: 'C', Tid: TidIterations, TS: now, Args: []Arg{{"bytes", ev.ShuffleBytes}}},
+	ev.StartNS, ev.EndNS = s.t0, s.t.sinceStart()
+	s.t.recordIteration(ev)
+}
+
+// Now returns nanoseconds since the tracer started — the timestamp base
+// every event uses. Barrier-relaxed evaluators stamp per-round telemetry
+// with it as rounds complete and emit the events later via EmitIteration
+// (rounds of different partitions interleave, so no span brackets them).
+// Zero on a disabled tracer.
+func (t *Tracer) Now() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.sinceStart()
+}
+
+// EmitIteration records a fully built iteration event whose Iter, StartNS
+// and EndNS the caller has already stamped (see Now). A no-op on a disabled
+// tracer.
+func (t *Tracer) EmitIteration(ev IterationEvent) {
+	if t == nil {
+		return
+	}
+	t.recordIteration(ev)
+}
+
+// recordIteration appends the telemetry row plus, on the iteration track,
+// a B/E span pair and counter samples for the convergence curves.
+func (t *Tracer) recordIteration(ev IterationEvent) {
+	name := "iteration " + itoa(ev.Iter)
+	t.mu.Lock()
+	t.iters = append(t.iters, ev)
+	if t.level >= LevelSpans {
+		t.events = append(t.events,
+			Event{Name: name, Phase: 'B', Tid: TidIterations, TS: ev.StartNS},
+			Event{Name: name, Phase: 'E', Tid: TidIterations, TS: ev.EndNS},
+			Event{Name: "delta rows", Phase: 'C', Tid: TidIterations, TS: ev.EndNS, Args: []Arg{{"rows", int64(ev.DeltaRows)}}},
+			Event{Name: "all rows", Phase: 'C', Tid: TidIterations, TS: ev.EndNS, Args: []Arg{{"rows", int64(ev.AllRows)}}},
+			Event{Name: "shuffle bytes/iter", Phase: 'C', Tid: TidIterations, TS: ev.EndNS, Args: []Arg{{"bytes", ev.ShuffleBytes}}},
 		)
 	}
-	s.t.mu.Unlock()
+	t.mu.Unlock()
 }
 
 // EndAt is End with the iteration number resolved late — for evaluators

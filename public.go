@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"github.com/rasql/rasql-go/internal/cluster"
+	"github.com/rasql/rasql-go/internal/fixpoint"
 	"github.com/rasql/rasql-go/internal/relation"
 	"github.com/rasql/rasql-go/internal/sql/vet"
 	"github.com/rasql/rasql-go/internal/trace"
@@ -42,6 +43,31 @@ const (
 
 // ClusterConfig configures the simulated cluster (see Config.Cluster).
 type ClusterConfig = cluster.Config
+
+// FixpointOptions configures the fixpoint operator (see Config.Fixpoint).
+type FixpointOptions = fixpoint.DistOptions
+
+// FixpointResult is the evaluated fixpoint of a recursive clique, as
+// returned by Engine.RunClique: per-view relations, the iteration count,
+// and the evaluation mode that actually ran (with the fallback reason when
+// a relaxed request was downgraded to BSP).
+type FixpointResult = fixpoint.Result
+
+// EvalMode selects the fixpoint synchronization discipline
+// (Config.Fixpoint.Mode): bulk-synchronous barriers, SSP(k) bounded
+// staleness, or fully asynchronous delta routing.
+type EvalMode = fixpoint.EvalMode
+
+// The evaluation modes.
+const (
+	ModeBSP   = fixpoint.ModeBSP
+	ModeSSP   = fixpoint.ModeSSP
+	ModeAsync = fixpoint.ModeAsync
+)
+
+// ParseEvalMode parses the -mode flag syntax: "bsp", "ssp", "ssp:k" or
+// "async". It returns the mode and the SSP staleness bound.
+func ParseEvalMode(s string) (EvalMode, int, error) { return fixpoint.ParseEvalMode(s) }
 
 // MetricsSnapshot is a copy of the cluster's execution counters.
 type MetricsSnapshot = cluster.Snapshot

@@ -1,0 +1,199 @@
+package rasql_test
+
+import (
+	"strings"
+	"testing"
+
+	rasql "github.com/rasql/rasql-go"
+)
+
+// The barrier-relaxation differential harness.
+//
+// SSP(k) and async execution reorder delta delivery arbitrarily (within the
+// staleness bound), so they are only sound for confluent fixpoints — set
+// semantics, or aggregates vet certifies PreM. For those, every schedule
+// must reach the same fixpoint: the BSP run is a perfect oracle for every
+// example query, under every staleness bound, under any fault schedule.
+
+// relaxedModes are the barrier-relaxed configurations under differential
+// test, as -mode flag strings (exercising the public ParseEvalMode path).
+var relaxedModes = []string{"ssp:1", "ssp:4", "async"}
+
+func relaxedConfig(t *testing.T, mode string) rasql.Config {
+	t.Helper()
+	m, k, err := rasql.ParseEvalMode(mode)
+	if err != nil {
+		t.Fatalf("ParseEvalMode(%q): %v", mode, err)
+	}
+	cfg := rasql.Config{}
+	cfg.Fixpoint.Mode = m
+	cfg.Fixpoint.Staleness = k
+	return cfg
+}
+
+// stragglerSchedule rotates a straggler fault across partitions round by
+// round — the skewed-executor scenario SSP exists to absorb.
+func stragglerSchedule(parts, rounds int) []rasql.ChaosEvent {
+	var sched []rasql.ChaosEvent
+	for o := 0; o < rounds; o++ {
+		sched = append(sched, rasql.ChaosEvent{
+			Stage: "", Occurrence: o, Part: o % parts, Attempt: 0, Kind: rasql.FaultStraggler,
+		})
+	}
+	return sched
+}
+
+// TestRelaxedDifferentialAllQueries: all 17 example queries, each relaxed
+// mode, fault-free — results must be set-identical to the BSP oracle.
+func TestRelaxedDifferentialAllQueries(t *testing.T) {
+	for _, mode := range relaxedModes {
+		mode := mode
+		t.Run(mode, func(t *testing.T) {
+			for _, tc := range exampleCases() {
+				want, _ := runWithChaos(t, tc, rasql.Config{})
+				got, _ := runWithChaos(t, tc, relaxedConfig(t, mode))
+				if !got.EqualAsSet(want) {
+					t.Errorf("%s: relaxed result diverged from BSP\n got: %v\nwant: %v",
+						tc.name, got.Sort(), want.Sort())
+				}
+			}
+		})
+	}
+}
+
+// TestRelaxedDifferentialUnderChaos re-runs the differential under three
+// seeded fault schedules and a rotating straggler schedule: recovery and
+// barrier relaxation must compose.
+func TestRelaxedDifferentialUnderChaos(t *testing.T) {
+	for _, mode := range relaxedModes {
+		mode := mode
+		t.Run(mode, func(t *testing.T) {
+			var total rasql.MetricsSnapshot
+			for _, tc := range exampleCases() {
+				want, _ := runWithChaos(t, tc, rasql.Config{})
+				for _, seed := range []int64{1, 2, 3} {
+					cfg := relaxedConfig(t, mode)
+					cfg.Cluster.Chaos = rasql.ChaosConfig{Seed: seed, Rate: 0.05}
+					got, metrics := runWithChaos(t, tc, cfg)
+					if !got.EqualAsSet(want) {
+						t.Errorf("%s seed %d: diverged from BSP oracle\n got: %v\nwant: %v",
+							tc.name, seed, got.Sort(), want.Sort())
+					}
+					total = total.Add(metrics)
+				}
+				cfg := relaxedConfig(t, mode)
+				cfg.Cluster.Chaos = rasql.ChaosConfig{Schedule: stragglerSchedule(4, 16)}
+				got, metrics := runWithChaos(t, tc, cfg)
+				if !got.EqualAsSet(want) {
+					t.Errorf("%s straggler schedule: diverged from BSP oracle\n got: %v\nwant: %v",
+						tc.name, got.Sort(), want.Sort())
+				}
+				total = total.Add(metrics)
+			}
+			if total.TaskRetries == 0 {
+				t.Errorf("no injected fault fired across any query/seed: %s", total)
+			}
+		})
+	}
+}
+
+// TestRelaxedStalenessTelemetry: certified queries requested relaxed must
+// actually run relaxed — per-iteration events flagged Relaxed with the mode
+// label — and the staleness counters must round-trip through the snapshot
+// string so tooling (rasql -metrics, the bench harness) can read them.
+func TestRelaxedStalenessTelemetry(t *testing.T) {
+	var total rasql.MetricsSnapshot
+	relaxedRan := 0
+	for _, tc := range exampleCases() {
+		cfg := relaxedConfig(t, "ssp:2")
+		cfg.Cluster.Workers = 4
+		cfg.Cluster.Partitions = 4
+		eng := rasql.New(cfg)
+		for _, tab := range tc.tables() {
+			eng.MustRegister(tab.Clone())
+		}
+		tr := rasql.NewIterationsTracer()
+		eng.SetTracer(tr)
+		if _, err := eng.Query(tc.query); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		for _, ev := range tr.Iterations() {
+			if ev.Relaxed {
+				if ev.Mode != "dsn-ssp(2)" {
+					t.Errorf("%s: relaxed event mode = %q, want dsn-ssp(2)", tc.name, ev.Mode)
+				}
+				relaxedRan++
+			}
+		}
+		total = total.Add(eng.Metrics())
+	}
+	// Most example queries are certified (or set-semantics) and must have
+	// gone down the relaxed path; fallback may only claim the uncertified
+	// minority.
+	if relaxedRan == 0 {
+		t.Fatalf("no query produced relaxed iteration events: %s", total)
+	}
+	for _, name := range []string{"staleReads", "supersededRows", "barrierWaitNanos"} {
+		if !strings.Contains(total.String(), name+"=") {
+			t.Errorf("snapshot string misses %s: %s", name, total)
+		}
+	}
+}
+
+// TestRelaxedFallbackUncertified: a query vet cannot certify must
+// transparently downgrade to BSP, record why on the trace, and still return
+// the BSP answer — with vet's own verdict unchanged by the mode request.
+func TestRelaxedFallbackUncertified(t *testing.T) {
+	// The anti-monotone filter (path.Cost >= 5) refutes PreM certification
+	// (RV002) but the min fixpoint itself still terminates, so the query
+	// runs fine under BSP.
+	const q = `
+		WITH recursive path (Dst, min() AS Cost) AS
+		    (SELECT 1, 0) UNION
+		    (SELECT edge.Dst, path.Cost + edge.Cost
+		     FROM path, edge
+		     WHERE path.Dst = edge.Src AND path.Cost >= 5)
+		SELECT Dst, Cost FROM path`
+
+	mkEngine := func(cfg rasql.Config) *rasql.Engine {
+		cfg.Cluster.Workers = 4
+		cfg.Cluster.Partitions = 4
+		eng := rasql.New(cfg)
+		eng.MustRegister(weightedEdges())
+		return eng
+	}
+
+	// Precondition: vet really does reject this clique.
+	rep, err := mkEngine(rasql.Config{}).Vet(q)
+	if err != nil {
+		t.Fatalf("vet: %v", err)
+	}
+	if rep.Verdict() != rasql.VetRefuted {
+		t.Fatalf("precondition: vet verdict = %v, want refuted", rep.Verdict())
+	}
+
+	want, err := mkEngine(rasql.Config{}).Query(q)
+	if err != nil {
+		t.Fatalf("bsp: %v", err)
+	}
+	eng := mkEngine(relaxedConfig(t, "async"))
+	tr := rasql.NewTracer()
+	eng.SetTracer(tr)
+	got, err := eng.Query(q)
+	if err != nil {
+		t.Fatalf("async: %v", err)
+	}
+	if !got.EqualAsSet(want) {
+		t.Errorf("fallback result diverged\n got: %v\nwant: %v", got.Sort(), want.Sort())
+	}
+	found := false
+	for _, ev := range tr.Events() {
+		if strings.HasPrefix(ev.Name, "bsp fallback:") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Errorf("no traced fallback reason for an uncertified clique")
+	}
+}
