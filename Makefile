@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race race-concurrent ssp-differential fuzz lint rasql-lint golangci ci
+.PHONY: build test vet race race-concurrent ssp-differential fuzz lint rasql-lint allocs golangci ci
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,15 @@ rasql-lint:
 	./bin/rasql-lint ./...
 	$(GO) vet -vettool=$$PWD/bin/rasql-lint ./...
 
+# Allocation-contract drift check (DESIGN.md §12): every //rasql:noalloc
+# annotation must be dynamically pinned by an //rasql:allocpin comment on
+# the AllocsPerRun test or -benchmem benchmark that exercises it (and no
+# pin may outlive its annotation), then the zero-alloc pins themselves run.
+allocs:
+	$(GO) build -o bin/rasql-lint ./cmd/rasql-lint
+	./bin/rasql-lint -allocdrift ./...
+	$(GO) test -run ZeroAllocs ./internal/types/ ./internal/cluster/ ./internal/trace/
+
 # Requires golangci-lint (https://golangci-lint.run); CI installs it via
 # the golangci-lint-action.
 golangci:
@@ -46,4 +55,4 @@ golangci:
 
 lint: rasql-lint
 
-ci: build vet test race race-concurrent ssp-differential rasql-lint
+ci: build vet test race race-concurrent ssp-differential rasql-lint allocs

@@ -28,9 +28,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"github.com/rasql/rasql-go/internal/analysis"
+	"github.com/rasql/rasql-go/internal/sql/vet"
 )
 
 // version is the tool identity reported to cmd/go's -V=full handshake.
@@ -56,10 +58,12 @@ func main() {
 	}
 
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	codes := flag.Bool("codes", false, "list every registered diagnostic code (RL and RV series) and exit")
+	allocdrift := flag.Bool("allocdrift", false, "cross-check //rasql:noalloc annotations against //rasql:allocpin test pins instead of running the analyzers")
 	dir := flag.String("C", ".", "change to `dir` before loading packages")
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: rasql-lint [-C dir] [-json] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: rasql-lint [-C dir] [-json] [-allocdrift] [packages]\n\n")
 		fmt.Fprintf(flag.CommandLine.Output(), "Checks rasql engine-source invariants. With no packages, checks ./...\n")
 		flag.PrintDefaults()
 	}
@@ -71,17 +75,32 @@ func main() {
 		}
 		return
 	}
+	if *codes {
+		printCodes()
+		return
+	}
 
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	pkgs, fset, err := analysis.LoadPackages(*dir, patterns...)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "rasql-lint: %v\n", err)
-		os.Exit(1)
+	var diags []analysis.Diagnostic
+	if *allocdrift {
+		var err error
+		diags, err = analysis.AllocDrift(*dir, patterns...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rasql-lint: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		pkgs, fset, err := analysis.LoadPackages(*dir, patterns...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rasql-lint: %v\n", err)
+			os.Exit(1)
+		}
+		diags = analysis.Run(fset, pkgs, analysis.All())
 	}
-	diags := analysis.Run(fset, pkgs, analysis.All())
+	var err error
 	if *jsonOut {
 		err = analysis.RenderJSON(os.Stdout, diags)
 	} else {
@@ -93,5 +112,21 @@ func main() {
 	}
 	if len(diags) > 0 {
 		os.Exit(2)
+	}
+}
+
+// printCodes lists every stable diagnostic code the toolchain can emit:
+// the RL series (engine-source invariants, this tool) and the RV series
+// (`rasql vet` query-plan lints), each with its owning check and doc line.
+func printCodes() {
+	fmt.Printf("%-6s %-16s %s\n", "RL000", "rasql-lint", "malformed //rasql:allow or //rasql:detach annotation (framework check, always on)")
+	byCode := analysis.All()
+	sort.Slice(byCode, func(i, j int) bool { return byCode[i].Code < byCode[j].Code })
+	for _, a := range byCode {
+		fmt.Printf("%-6s %-16s %s\n", a.Code, a.Name, a.Doc)
+	}
+	fmt.Printf("%-6s %-16s %s\n", "RL010", "allocdrift", "//rasql:noalloc annotation without an //rasql:allocpin bench pin, or a stale pin (run with -allocdrift)")
+	for _, cd := range vet.Codes() {
+		fmt.Printf("%-6s %-16s %s\n", cd.Code, "rasql vet", cd.Doc)
 	}
 }

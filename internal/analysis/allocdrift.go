@@ -1,0 +1,199 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Alloc-contract drift check (`rasql-lint -allocdrift`, code RL010).
+//
+// The noalloc analyzer proves the static side of the allocation contract:
+// an annotated function reaches no allocation site the classifier can see.
+// The dynamic side is an AllocsPerRun test or -benchmem benchmark that
+// actually runs the function and observes zero (or pinned) allocs/op. The
+// two drift apart silently: an annotation added without a bench is an
+// unverified claim, and a bench pin left behind after an annotation is
+// removed measures a contract nobody states anymore.
+//
+// The drift check cross-references the two. Every function annotated
+// //rasql:noalloc in a non-test file must be named by at least one
+// //rasql:allocpin comment in a test file — placed on the AllocsPerRun
+// test or benchmark that dynamically exercises it (transitively: a bench
+// of DecodeRowsAppend pins decodeRowInto too) — and every pinned name must
+// resolve to an annotated function. Names are package-qualified with the
+// bare receiver type: types.AppendKey, cluster.keyIndex.getOrInsert.
+//
+// This is a comment-level pass (parse only, no type checking): pin names
+// are strings by design, so a pin can name an unexported function of the
+// package under test from an external _test package.
+
+// listedTestPackage is the subset of `go list -json` output the drift
+// check reads; unlike the analysis loader it wants test files and does not
+// need export data or dependencies.
+type listedTestPackage struct {
+	Dir          string
+	ImportPath   string
+	Standard     bool
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Error        *struct{ Err string }
+}
+
+// AllocDrift loads the matched packages' sources and test files and
+// returns one RL010 diagnostic per drift: an annotated-but-unpinned
+// function (anchored at its declaration) or a pinned-but-unannotated name
+// (anchored at the pin).
+func AllocDrift(dir string, patterns ...string) ([]Diagnostic, error) {
+	listed, err := goListTests(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	annotated := map[string]token.Position{}
+	pinned := map[string][]token.Position{}
+	for _, p := range listed {
+		if p.Standard {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		files, err := parseFiles(fset, p.Dir, p.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range files {
+			collectNoAllocDecls(fset, f, annotated)
+		}
+		testFiles, err := parseFiles(fset, p.Dir, append(append([]string{}, p.TestGoFiles...), p.XTestGoFiles...))
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range testFiles {
+			collectAllocPins(fset, f, pinned)
+		}
+	}
+
+	var diags []Diagnostic
+	for name, pos := range annotated {
+		if len(pinned[name]) == 0 {
+			diags = append(diags, Diagnostic{
+				Pos:      pos,
+				Analyzer: "allocdrift",
+				Code:     "RL010",
+				Message: fmt.Sprintf("%s is annotated //rasql:noalloc but no //rasql:allocpin in a test file names it; pin it on the AllocsPerRun test or benchmark that exercises it", name),
+			})
+		}
+	}
+	for name, positions := range pinned {
+		if _, ok := annotated[name]; ok {
+			continue
+		}
+		for _, pos := range positions {
+			diags = append(diags, Diagnostic{
+				Pos:      pos,
+				Analyzer: "allocdrift",
+				Code:     "RL010",
+				Message:  fmt.Sprintf("//rasql:allocpin names %s, which is not annotated //rasql:noalloc (stale pin, or a misspelled name)", name),
+			})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags, nil
+}
+
+// goListTests enumerates the matched packages with their test files (no
+// -deps, no export data: the drift check only parses comments).
+func goListTests(dir string, patterns ...string) ([]*listedTestPackage, error) {
+	args := append([]string{
+		"list",
+		"-json=Dir,ImportPath,Standard,GoFiles,TestGoFiles,XTestGoFiles,Error",
+	}, patterns...)
+	out, err := runGoList(dir, args)
+	if err != nil {
+		return nil, err
+	}
+	return decodeListStream[listedTestPackage](out)
+}
+
+// collectNoAllocDecls records every //rasql:noalloc-annotated function
+// declared in the file under its pin name.
+func collectNoAllocDecls(fset *token.FileSet, f *ast.File, out map[string]token.Position) {
+	pkg := f.Name.Name
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Doc == nil {
+			continue
+		}
+		for _, c := range fd.Doc.List {
+			if annotationName(c.Text) == "noalloc" {
+				out[pinName(pkg, fd)] = fset.Position(fd.Name.Pos())
+				break
+			}
+		}
+	}
+}
+
+// collectAllocPins records every name listed by a //rasql:allocpin comment
+// anywhere in the file.
+func collectAllocPins(fset *token.FileSet, f *ast.File, out map[string][]token.Position) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(strings.TrimSpace(c.Text), "//rasql:allocpin")
+			if !ok {
+				continue
+			}
+			for _, name := range strings.Fields(rest) {
+				out[name] = append(out[name], fset.Position(c.Pos()))
+			}
+		}
+	}
+}
+
+// annotationName returns the //rasql:<name> annotation a comment line
+// carries ("" when it is not an annotation).
+func annotationName(text string) string {
+	rest, ok := strings.CutPrefix(strings.TrimSpace(text), "//rasql:")
+	if !ok {
+		return ""
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return ""
+	}
+	return fields[0]
+}
+
+// pinName is the package-qualified name an allocpin must use for the
+// declaration: pkg.Func, or pkg.Recv.Method with the bare receiver type.
+func pinName(pkg string, fd *ast.FuncDecl) string {
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		t := fd.Recv.List[0].Type
+		if se, ok := t.(*ast.StarExpr); ok {
+			t = se.X
+		}
+		switch x := t.(type) {
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			return pkg + "." + id.Name + "." + fd.Name.Name
+		}
+	}
+	return pkg + "." + fd.Name.Name
+}

@@ -25,7 +25,14 @@
 //     orders and deadlock;
 //   - atomicmix: a variable or field touched through sync/atomic anywhere
 //     in the program is never read or written plainly elsewhere, and values
-//     of sync/atomic struct types are never copied.
+//     of sync/atomic struct types are never copied;
+//   - noalloc: functions annotated //rasql:noalloc (the data plane's hot
+//     path) reach no heap-allocation site, transitively through in-module
+//     calls, on a shared whole-program call graph with a conservative
+//     escape classifier;
+//   - golifecycle: every `go` statement in engine packages is
+//     join-accounted — WaitGroup.Add before the spawn, Done deferred on
+//     every exit path — or carries a //rasql:detach justification.
 //
 // The framework mirrors the shape of golang.org/x/tools/go/analysis
 // (Analyzer, Pass, Reportf) but is built on the standard library alone:
@@ -117,5 +124,5 @@ func (d Diagnostic) String() string {
 
 // All returns the full analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{Simclock, NoRetain, PoolDiscipline, WorkerAffinity, GuardedBy, LockOrder, AtomicMix}
+	return []*Analyzer{Simclock, NoRetain, PoolDiscipline, WorkerAffinity, GuardedBy, LockOrder, AtomicMix, NoAlloc, GoLifecycle}
 }

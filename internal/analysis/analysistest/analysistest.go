@@ -12,10 +12,13 @@ package analysistest
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 	"regexp"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -26,7 +29,7 @@ import (
 // fixtureDeps are the standard-library packages fixtures may import; their
 // export data (and that of their transitive dependencies) is listed once
 // per test binary.
-var fixtureDeps = []string{"sync", "sync/atomic", "time", "math/rand"}
+var fixtureDeps = []string{"sync", "sync/atomic", "time", "math/rand", "fmt"}
 
 var (
 	exportsOnce sync.Once
@@ -79,6 +82,102 @@ func Run(t *testing.T, testdata, pkg string, analyzers ...*analysis.Analyzer) {
 		if !w.matched {
 			t.Errorf("%s:%d: no diagnostic matched want `%s`", w.file, w.line, w.pattern)
 		}
+	}
+}
+
+// vetDiagRE splits one unitchecker output line into position and payload;
+// the payload keeps the analyzer prefix, which unanchored want patterns
+// simply skip over.
+var vetDiagRE = regexp.MustCompile(`^(.+?):(\d+):\d+: (.+)$`)
+
+// RunVet re-runs a fixture package through the `go vet -vettool` driver
+// path: it synthesizes the vet.cfg JSON cmd/go would write for the unit and
+// feeds it to RunUnit, so the unitchecker plumbing (config parse, facts
+// write, full-suite run, diagnostic printing) is exercised end to end. The
+// full analyzer suite runs — unitchecker mode has no per-analyzer
+// selection — so fixtures must be clean for every analyzer except where a
+// want says otherwise, pinning that both driver modes agree.
+func RunVet(t *testing.T, testdata, pkg string) {
+	t.Helper()
+	es, err := exports()
+	if err != nil {
+		t.Fatalf("listing fixture dependency exports: %v", err)
+	}
+	dir, err := filepath.Abs(filepath.Join(testdata, "src", pkg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var goFiles []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			goFiles = append(goFiles, filepath.Join(dir, e.Name()))
+		}
+	}
+	tmp := t.TempDir()
+	cfg := analysis.VetConfig{
+		ID:          "rasql.fixture/" + pkg,
+		Compiler:    "gc",
+		Dir:         dir,
+		ImportPath:  "rasql.fixture/" + pkg,
+		GoFiles:     goFiles,
+		ImportMap:   map[string]string{},
+		PackageFile: es.Files(),
+		ModulePath:  "rasql.fixture",
+		VetxOutput:  filepath.Join(tmp, "fixture.vetx"),
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgFile := filepath.Join(tmp, "vet.cfg")
+	if err := os.WriteFile(cfgFile, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	code := analysis.RunUnit(cfgFile, &out)
+	if code == 1 {
+		t.Fatalf("RunUnit operational failure:\n%s", out.String())
+	}
+	wants, err := collectWants(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawDiag := false
+	for _, line := range strings.Split(out.String(), "\n") {
+		if line == "" {
+			continue
+		}
+		m := vetDiagRE.FindStringSubmatch(line)
+		if m == nil {
+			t.Errorf("unparseable unitchecker output line: %q", line)
+			continue
+		}
+		sawDiag = true
+		lineNo, err := strconv.Atoi(m[2])
+		if err != nil {
+			t.Fatalf("bad line number in %q: %v", line, err)
+		}
+		if !claim(wants, m[1], lineNo, m[3]) {
+			t.Errorf("unexpected unitchecker diagnostic: %s", line)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no unitchecker diagnostic matched want `%s`", w.file, w.line, w.pattern)
+		}
+	}
+	if sawDiag != (code == 2) {
+		t.Errorf("exit code %d inconsistent with %v diagnostics printed", code, sawDiag)
+	}
+	if fi, err := os.Stat(cfg.VetxOutput); err != nil {
+		t.Errorf("unit facts file was not written: %v", err)
+	} else if fi.Size() == 0 {
+		t.Errorf("unit facts file is empty")
 	}
 }
 

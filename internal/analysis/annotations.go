@@ -33,6 +33,22 @@ import (
 //	                                  receiver exclusively; the body is
 //	                                  checked as if the lock were taken on
 //	                                  entry
+//	//rasql:noalloc                 — on a func: neither the body nor any
+//	                                  transitively-called in-module function
+//	                                  may reach a heap-allocation site
+//	//rasql:lifecycle               — anywhere in a file: the whole package
+//	                                  opts into the golifecycle goroutine
+//	                                  accounting (engine packages are in by
+//	                                  default)
+//	//rasql:detach -- <why>         — on or above a `go` statement: the
+//	                                  goroutine intentionally outlives its
+//	                                  spawner (no WaitGroup join), with
+//	                                  justification
+//	//rasql:allocpin <names>        — in a test file: the enclosing
+//	                                  AllocsPerRun test/benchmark dynamically
+//	                                  pins the named //rasql:noalloc
+//	                                  functions (checked by `rasql-lint
+//	                                  -allocdrift`)
 //	//rasql:allow <names> -- <why>  — on or above a line: suppress the named
 //	                                  analyzers there, with justification
 //
@@ -66,10 +82,13 @@ type FuncAnnots struct {
 	// callers must hold them exclusively and the body is checked with
 	// them held.
 	Locked []string
+	// NoAlloc marks //rasql:noalloc: the function (and every in-module
+	// function it transitively calls) must reach no allocation site.
+	NoAlloc bool
 }
 
 func (a *FuncAnnots) empty() bool {
-	return a == nil || (!a.HasNoRetain && !a.WorkerAffinity && !a.PoolGet && !a.PoolPut && len(a.Locked) == 0)
+	return a == nil || (!a.HasNoRetain && !a.WorkerAffinity && !a.PoolGet && !a.PoolPut && len(a.Locked) == 0 && !a.NoAlloc)
 }
 
 // NoRetainCovers reports whether the annotation covers the parameter name.
@@ -110,6 +129,14 @@ type Index struct {
 	allows map[string]map[int][]string
 	// malformed collects allow comments missing their justification.
 	malformed []allowSite
+	// detaches maps filename -> line -> true for //rasql:detach comments
+	// (the golifecycle escape hatch; covers the comment line and the next).
+	detaches map[string]map[int]bool
+	// malformedDetach collects detach comments missing their justification.
+	malformedDetach []token.Pos
+	// lifecycle holds packages opted into golifecycle via //rasql:lifecycle
+	// (engine packages are scoped by LifecyclePrefixes instead).
+	lifecycle map[string]bool
 
 	// The program-scope evidence below is recorded by analyzer Prepare
 	// hooks (local entries carry a usable token.Pos) and merged from
@@ -125,6 +152,22 @@ type Index struct {
 	// was accessed through sync/atomic and where it was accessed plainly.
 	atomicSites map[string][]Site
 	plainSites  map[string][]Site
+	// allocSites maps a function key to the potential heap allocations in
+	// its own body; callEdges maps it to its static in-module call sites.
+	// Together they form the call graph the noalloc analyzer walks.
+	allocSites map[string][]AllocSite
+	callEdges  map[string][]CallSite
+	// wgDone summarizes, per function key, the WaitGroup classes the
+	// function calls Done on — the one-hop evidence golifecycle uses to
+	// account `go worker(&wg)`-shaped spawns.
+	wgDone map[string]*WgSummary
+	// localNoAlloc lists the //rasql:noalloc functions declared by locally
+	// scanned syntax (never merged from facts), so program-scope checking
+	// anchors each function's diagnostics in exactly one unit.
+	localNoAlloc []string
+	// preparedCG guards the shared call-graph Prepare, which both noalloc
+	// and golifecycle declare: once per package, not once per analyzer.
+	preparedCG map[string]bool
 
 	siteSeen map[string]bool
 }
@@ -147,6 +190,34 @@ type LockEdge struct {
 	Local    bool
 }
 
+// AllocSite is one potential heap allocation recorded by the call-graph
+// Prepare pass, keyed under its enclosing function. What describes the
+// construct conservatively classified as allocating.
+type AllocSite struct {
+	What   string
+	PosStr string
+	Pos    token.Pos
+	Local  bool
+}
+
+// CallSite is one static call to an in-module function, the edge the
+// noalloc analyzer follows transitively.
+type CallSite struct {
+	// Callee is the target's FuncKey.
+	Callee string
+	PosStr string
+	Pos    token.Pos
+	Local  bool
+}
+
+// WgSummary records the sync.WaitGroup classes a function calls Done on
+// directly in its own body — deferred Dones run on every exit path
+// including panics, plain Dones only on normal fallthrough.
+type WgSummary struct {
+	DeferredDone []string `json:"deferredDone,omitempty"`
+	PlainDone    []string `json:"plainDone,omitempty"`
+}
+
 // NewIndex returns an empty index.
 func NewIndex() *Index {
 	return &Index{
@@ -154,9 +225,15 @@ func NewIndex() *Index {
 		deterministic: map[string]bool{},
 		fields:        map[string]string{},
 		allows:        map[string]map[int][]string{},
+		detaches:      map[string]map[int]bool{},
+		lifecycle:     map[string]bool{},
 		acquires:      map[string][]string{},
 		atomicSites:   map[string][]Site{},
 		plainSites:    map[string][]Site{},
+		allocSites:    map[string][]AllocSite{},
+		callEdges:     map[string][]CallSite{},
+		wgDone:        map[string]*WgSummary{},
+		preparedCG:    map[string]bool{},
 		siteSeen:      map[string]bool{},
 	}
 }
@@ -254,6 +331,85 @@ func (ix *Index) addSite(m map[string][]Site, kind, key string, s Site) {
 func (ix *Index) AtomicSites() map[string][]Site { return ix.atomicSites }
 func (ix *Index) PlainSites() map[string][]Site  { return ix.plainSites }
 
+// AddAllocSite records one potential allocation inside the keyed function,
+// deduplicated by position and description (facts are cumulative, so the
+// same site can arrive through several dependency paths).
+func (ix *Index) AddAllocSite(funcKey string, s AllocSite) {
+	k := "alloc\x00" + funcKey + "\x00" + s.PosStr + "\x00" + s.What
+	if ix.siteSeen[k] {
+		return
+	}
+	ix.siteSeen[k] = true
+	ix.allocSites[funcKey] = append(ix.allocSites[funcKey], s)
+}
+
+// AllocSites returns the allocation sites recorded for a function key.
+func (ix *Index) AllocSites(funcKey string) []AllocSite { return ix.allocSites[funcKey] }
+
+// AddCallEdge records one static in-module call, deduplicated by caller,
+// callee and position.
+func (ix *Index) AddCallEdge(funcKey string, c CallSite) {
+	k := "cedge\x00" + funcKey + "\x00" + c.Callee + "\x00" + c.PosStr
+	if ix.siteSeen[k] {
+		return
+	}
+	ix.siteSeen[k] = true
+	ix.callEdges[funcKey] = append(ix.callEdges[funcKey], c)
+}
+
+// CallEdges returns the static in-module call sites recorded for a
+// function key.
+func (ix *Index) CallEdges(funcKey string) []CallSite { return ix.callEdges[funcKey] }
+
+// SetWgSummary records a function's WaitGroup.Done summary (first writer
+// wins; merged facts never overwrite local evidence recorded earlier).
+func (ix *Index) SetWgSummary(funcKey string, s *WgSummary) {
+	if _, ok := ix.wgDone[funcKey]; !ok && s != nil {
+		ix.wgDone[funcKey] = s
+	}
+}
+
+// WgSummary returns a function's WaitGroup.Done summary, nil when it has
+// none (or is unknown).
+func (ix *Index) WgSummary(funcKey string) *WgSummary { return ix.wgDone[funcKey] }
+
+// addLocalNoAlloc registers a locally-declared //rasql:noalloc function for
+// program-scope checking. Never exported as a fact: each unit checks (and
+// anchors diagnostics for) its own declarations only.
+func (ix *Index) addLocalNoAlloc(funcKey string) {
+	k := "lna\x00" + funcKey
+	if ix.siteSeen[k] {
+		return
+	}
+	ix.siteSeen[k] = true
+	ix.localNoAlloc = append(ix.localNoAlloc, funcKey)
+}
+
+// LocalNoAlloc lists the //rasql:noalloc functions declared by locally
+// scanned syntax, in scan order.
+func (ix *Index) LocalNoAlloc() []string { return ix.localNoAlloc }
+
+// callGraphPrepare reports whether the shared call-graph Prepare still
+// needs to run for the package, marking it done. Both analyzers built on
+// the graph declare the same Prepare hook; the first call wins.
+func (ix *Index) callGraphPrepare(pkgPath string) bool {
+	if ix.preparedCG[pkgPath] {
+		return false
+	}
+	ix.preparedCG[pkgPath] = true
+	return true
+}
+
+// Detached reports whether a `go` statement at the position carries (or
+// follows) a //rasql:detach justification.
+func (ix *Index) Detached(pos token.Position) bool {
+	return ix.detaches[pos.Filename][pos.Line]
+}
+
+// Lifecycle reports whether the package opted into golifecycle checking
+// via a //rasql:lifecycle file comment.
+func (ix *Index) Lifecycle(pkgPath string) bool { return ix.lifecycle[pkgPath] }
+
 // ScanPackage records every //rasql: annotation in the files of one
 // package: function annotations, package determinism opt-ins, and
 // per-line allow suppressions.
@@ -274,7 +430,11 @@ func (ix *Index) scanFile(fset *token.FileSet, pkgPath string, f *ast.File) {
 			if ann.empty() {
 				continue
 			}
-			ix.funcs[FuncKey(pkgPath, declRecvName(d), d.Name.Name)] = ann
+			key := FuncKey(pkgPath, declRecvName(d), d.Name.Name)
+			ix.funcs[key] = ann
+			if ann.NoAlloc {
+				ix.addLocalNoAlloc(key)
+			}
 		case *ast.GenDecl:
 			ix.scanTypeDecl(pkgPath, d)
 		}
@@ -285,8 +445,12 @@ func (ix *Index) scanFile(fset *token.FileSet, pkgPath string, f *ast.File) {
 			switch {
 			case line == "//rasql:deterministic":
 				ix.deterministic[pkgPath] = true
+			case line == "//rasql:lifecycle":
+				ix.lifecycle[pkgPath] = true
 			case strings.HasPrefix(line, "//rasql:allow"):
 				ix.recordAllow(fset, c)
+			case strings.HasPrefix(line, "//rasql:detach"):
+				ix.recordDetach(fset, c)
 			}
 		}
 	}
@@ -379,6 +543,8 @@ func parseFuncAnnots(doc *ast.CommentGroup) *FuncAnnots {
 			ann.PoolGet = true
 		case "pool-put":
 			ann.PoolPut = true
+		case "noalloc":
+			ann.NoAlloc = true
 		default:
 			if mu, ok := strings.CutPrefix(fields[0], "locked="); ok && mu != "" {
 				ann.Locked = append(ann.Locked, mu)
@@ -409,6 +575,26 @@ func (ix *Index) recordAllow(fset *token.FileSet, c *ast.Comment) {
 	lines[p.Line+1] = append(lines[p.Line+1], site.analyzers...)
 }
 
+// recordDetach parses one //rasql:detach comment. Like allow, it covers
+// its own line (end-of-line form) and the following line (standalone
+// form), and the `-- justification` is mandatory.
+func (ix *Index) recordDetach(fset *token.FileSet, c *ast.Comment) {
+	body := strings.TrimPrefix(strings.TrimSpace(c.Text), "//rasql:detach")
+	_, reason, found := strings.Cut(body, "--")
+	if !found || strings.TrimSpace(reason) == "" {
+		ix.malformedDetach = append(ix.malformedDetach, c.Pos())
+		return
+	}
+	p := fset.Position(c.Pos())
+	lines := ix.detaches[p.Filename]
+	if lines == nil {
+		lines = map[int]bool{}
+		ix.detaches[p.Filename] = lines
+	}
+	lines[p.Line] = true
+	lines[p.Line+1] = true
+}
+
 // Allowed reports whether a diagnostic of the named analyzer at the given
 // position is suppressed by an allow comment.
 func (ix *Index) Allowed(analyzer string, pos token.Position) bool {
@@ -426,13 +612,28 @@ func (ix *Index) Allowed(analyzer string, pos token.Position) bool {
 // dependencies' facts alongside its own, so evidence reaches indirect
 // dependents no matter how cmd/go wires the vetx graph.
 type Facts struct {
-	Funcs         map[string]*FuncAnnots `json:"funcs,omitempty"`
-	Deterministic []string               `json:"deterministic,omitempty"`
-	Fields        map[string]string      `json:"fields,omitempty"`
-	Acquires      map[string][]string    `json:"acquires,omitempty"`
-	LockEdges     []LockEdgeFact         `json:"lockEdges,omitempty"`
-	AtomicSites   map[string][]string    `json:"atomicSites,omitempty"`
-	PlainSites    map[string][]string    `json:"plainSites,omitempty"`
+	Funcs         map[string]*FuncAnnots      `json:"funcs,omitempty"`
+	Deterministic []string                    `json:"deterministic,omitempty"`
+	Fields        map[string]string           `json:"fields,omitempty"`
+	Acquires      map[string][]string         `json:"acquires,omitempty"`
+	LockEdges     []LockEdgeFact              `json:"lockEdges,omitempty"`
+	AtomicSites   map[string][]string         `json:"atomicSites,omitempty"`
+	PlainSites    map[string][]string         `json:"plainSites,omitempty"`
+	AllocSites    map[string][]AllocSiteFact  `json:"allocSites,omitempty"`
+	CallEdges     map[string][]CallSiteFact   `json:"callEdges,omitempty"`
+	WgDone        map[string]*WgSummary       `json:"wgDone,omitempty"`
+}
+
+// AllocSiteFact and CallSiteFact are the serialized forms of AllocSite and
+// CallSite (positions survive only as strings across the facts boundary).
+type AllocSiteFact struct {
+	What string `json:"what"`
+	Pos  string `json:"pos"`
+}
+
+type CallSiteFact struct {
+	Callee string `json:"callee"`
+	Pos    string `json:"pos"`
 }
 
 // LockEdgeFact is the serialized form of a LockEdge (positions survive
@@ -472,6 +673,19 @@ func (ix *Index) ExportFacts(pkgPath string) Facts {
 			f.PlainSites[k] = append(f.PlainSites[k], s.PosStr)
 		}
 	}
+	f.AllocSites = map[string][]AllocSiteFact{}
+	for k, sites := range ix.allocSites {
+		for _, s := range sites {
+			f.AllocSites[k] = append(f.AllocSites[k], AllocSiteFact{What: s.What, Pos: s.PosStr})
+		}
+	}
+	f.CallEdges = map[string][]CallSiteFact{}
+	for k, edges := range ix.callEdges {
+		for _, c := range edges {
+			f.CallEdges[k] = append(f.CallEdges[k], CallSiteFact{Callee: c.Callee, Pos: c.PosStr})
+		}
+	}
+	f.WgDone = ix.wgDone
 	return f
 }
 
@@ -504,10 +718,23 @@ func (ix *Index) MergeFacts(f Facts) {
 			ix.AddPlainSite(k, Site{PosStr: pos})
 		}
 	}
+	for k, sites := range f.AllocSites {
+		for _, s := range sites {
+			ix.AddAllocSite(k, AllocSite{What: s.What, PosStr: s.Pos})
+		}
+	}
+	for k, edges := range f.CallEdges {
+		for _, c := range edges {
+			ix.AddCallEdge(k, CallSite{Callee: c.Callee, PosStr: c.Pos})
+		}
+	}
+	for k, s := range f.WgDone {
+		ix.SetWgSummary(k, s)
+	}
 }
 
-// MalformedAllows returns diagnostics for allow comments missing their
-// `-- justification`, sorted by position.
+// MalformedAllows returns diagnostics for allow and detach comments
+// missing their `-- justification`, sorted by position.
 func (ix *Index) MalformedAllows(fset *token.FileSet) []Diagnostic {
 	var out []Diagnostic
 	for _, m := range ix.malformed {
@@ -516,6 +743,14 @@ func (ix *Index) MalformedAllows(fset *token.FileSet) []Diagnostic {
 			Analyzer: "rasql-lint",
 			Code:     "RL000",
 			Message:  "//rasql:allow needs analyzer names and a `-- justification`",
+		})
+	}
+	for _, pos := range ix.malformedDetach {
+		out = append(out, Diagnostic{
+			Pos:      fset.Position(pos),
+			Analyzer: "rasql-lint",
+			Code:     "RL000",
+			Message:  "//rasql:detach needs a `-- justification`",
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return positionLess(out[i].Pos, out[j].Pos) })

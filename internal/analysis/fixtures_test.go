@@ -39,6 +39,26 @@ func TestAtomicMixFixture(t *testing.T) {
 	analysistest.Run(t, "testdata", "atomicmix", analysis.AtomicMix)
 }
 
+func TestNoAllocFixture(t *testing.T) {
+	analysistest.Run(t, "testdata", "noalloc", analysis.NoAlloc)
+}
+
+func TestGoLifecycleFixture(t *testing.T) {
+	analysistest.Run(t, "testdata", "golifecycle", analysis.GoLifecycle)
+}
+
+// The vet-driver twins re-run the call-graph fixtures through the
+// unitchecker plumbing (vet.cfg parse, facts write, full-suite run), so the
+// two driver modes are pinned to agree on every diagnostic variant.
+
+func TestNoAllocFixtureVet(t *testing.T) {
+	analysistest.RunVet(t, "testdata", "noalloc")
+}
+
+func TestGoLifecycleFixtureVet(t *testing.T) {
+	analysistest.RunVet(t, "testdata", "golifecycle")
+}
+
 // TestAllowFixture runs no analyzer at all: malformed //rasql:allow
 // comments are diagnosed by the framework itself.
 func TestAllowFixture(t *testing.T) {
@@ -52,7 +72,7 @@ func TestEngineClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("whole-program load is not short")
 	}
-	pkgs, fset, err := analysis.LoadPackages("../..", ".", "./internal/cluster/...", "./internal/types/...", "./internal/fixpoint/...", "./internal/trace/...", "./internal/sql/...", "./internal/pregel/...")
+	pkgs, fset, err := analysis.LoadPackages("../..", ".", "./internal/cluster/...", "./internal/types/...", "./internal/fixpoint/...", "./internal/trace/...", "./internal/sql/...", "./internal/pregel/...", "./internal/gap/...")
 	if err != nil {
 		t.Fatalf("loading engine packages: %v", err)
 	}

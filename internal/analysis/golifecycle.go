@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// LifecyclePrefixes lists the import-path prefixes of the engine packages
+// whose goroutines must be join-accounted: every `go` statement either
+// participates in a WaitGroup join (Add before the spawn, Done deferred on
+// every exit path) or carries an explicit //rasql:detach justification.
+// Out-of-tree packages opt in with a //rasql:lifecycle file comment.
+var LifecyclePrefixes = []string{
+	"github.com/rasql/rasql-go/internal/cluster",
+	"github.com/rasql/rasql-go/internal/fixpoint",
+	"github.com/rasql/rasql-go/internal/gap",
+	"github.com/rasql/rasql-go/internal/pregel",
+}
+
+// GoLifecycle checks the join accounting of every `go` statement in scoped
+// packages. The spawned frame's WaitGroup evidence comes from the spawned
+// closure's own body, or — for `go worker(&wg)` spawns — from the callee's
+// WgSummary on the shared call graph, so one-hop indirection through a
+// named worker function still counts.
+//
+// Diagnosed shapes:
+//   - no Done anywhere on the spawned frame and no //rasql:detach;
+//   - Add inside the spawned goroutine while the spawner joins the same
+//     WaitGroup (Wait can run before the goroutine's Add — a lost-signal
+//     race);
+//   - Add positioned after the go statement (same race, spelled
+//     differently);
+//   - Done not deferred (a panic in the goroutine skips it and the
+//     spawner's Wait blocks forever).
+var GoLifecycle = &Analyzer{
+	Name:    "golifecycle",
+	Code:    "RL009",
+	Doc:     "every go statement in engine packages is join-accounted (Add before spawn, deferred Done) or an annotated detach",
+	Prepare: prepareCallGraph,
+	Run:     runGoLifecycle,
+}
+
+func lifecycleScoped(pass *Pass) bool {
+	path := pass.Pkg.Path()
+	for _, p := range LifecyclePrefixes {
+		if strings.HasPrefix(path, p) {
+			return true
+		}
+	}
+	return pass.Index.Lifecycle(path)
+}
+
+func runGoLifecycle(pass *Pass) {
+	if !lifecycleScoped(pass) {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			outer := collectWgOps(pass, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					checkOneGo(pass, g, outer)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// spawnDone is one Done the spawned frame is known to execute.
+type spawnDone struct {
+	class    string
+	deferred bool
+	pos      token.Pos
+}
+
+func checkOneGo(pass *Pass, g *ast.GoStmt, outer []wgRecord) {
+	if pass.Index.Detached(pass.Fset.Position(g.Pos())) {
+		return
+	}
+	var done []spawnDone
+	var insideAdds []wgRecord
+
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		for _, op := range collectWgOps(pass, lit.Body) {
+			switch op.name {
+			case "Done":
+				done = append(done, spawnDone{class: op.class, deferred: op.deferred, pos: op.pos})
+			case "Add":
+				insideAdds = append(insideAdds, op)
+			}
+		}
+		// One hop deeper: a static in-module call in the goroutine body
+		// contributes its callee's Done summary (go func() { worker(&wg) }).
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			done = appendSummaryDones(pass, done, call)
+			return true
+		})
+	} else {
+		// go worker(&wg): the callee's own summary is the evidence.
+		done = appendSummaryDones(pass, done, g.Call)
+	}
+
+	for _, a := range insideAdds {
+		if classJoined(outer, a.class) {
+			pass.Reportf(a.pos, "WaitGroup.Add inside the spawned goroutine races with the spawner's Wait; Add before the go statement")
+		}
+	}
+
+	if len(done) == 0 {
+		pass.Reportf(g.Pos(), "goroutine is not join-accounted: no WaitGroup.Done on its exit paths and no //rasql:detach justification")
+		return
+	}
+
+	checked := map[string]bool{}
+	for _, d := range done {
+		if checked[d.class] {
+			continue
+		}
+		checked[d.class] = true
+		before, after := matchAdd(outer, d.class, g.Pos())
+		switch {
+		case before:
+		case after:
+			pass.Reportf(g.Pos(), "WaitGroup.Add for the goroutine's Done happens after the spawn; Add must precede the go statement")
+		default:
+			pass.Reportf(g.Pos(), "goroutine calls Done on a WaitGroup the spawning function never Adds to before the spawn")
+		}
+		if !classDeferred(done, d.class) {
+			pass.Reportf(d.pos, "WaitGroup.Done is not deferred: a panic in the goroutine skips it and leaks the spawner's Wait")
+		}
+	}
+}
+
+// appendSummaryDones folds the Done summary of a static in-module callee
+// into the spawned frame's evidence.
+func appendSummaryDones(pass *Pass, done []spawnDone, call *ast.CallExpr) []spawnDone {
+	fn := calleeFunc(pass, call)
+	if fn == nil || !sameModule(pass.Pkg.Path(), fn.Pkg()) {
+		return done
+	}
+	s := pass.Index.WgSummary(ObjKey(fn))
+	if s == nil {
+		return done
+	}
+	for _, c := range s.DeferredDone {
+		done = append(done, spawnDone{class: c, deferred: true, pos: call.Pos()})
+	}
+	for _, c := range s.PlainDone {
+		done = append(done, spawnDone{class: c, deferred: false, pos: call.Pos()})
+	}
+	return done
+}
+
+// matchAdd finds the spawner's Add calls for a Done class, split by
+// whether they precede the go statement. Exact class matches win; when the
+// Done class is a local or parameter waitgroup with no exact match
+// (`go worker(&wg)` renames the class to the callee's parameter), any
+// local-class Add in the spawner is accepted.
+func matchAdd(outer []wgRecord, class string, spawn token.Pos) (before, after bool) {
+	exact := false
+	for _, o := range outer {
+		if o.name == "Add" && o.class == class {
+			exact = true
+			if o.pos < spawn {
+				before = true
+			} else {
+				after = true
+			}
+		}
+	}
+	if exact || !looseClass(class) {
+		return
+	}
+	for _, o := range outer {
+		if o.name == "Add" && looseClass(o.class) {
+			if o.pos < spawn {
+				before = true
+			} else {
+				after = true
+			}
+		}
+	}
+	return
+}
+
+func looseClass(class string) bool {
+	return class == "" || strings.HasPrefix(class, "local@")
+}
+
+// classJoined reports whether the spawning function itself participates in
+// the class's join (any Add or Wait on it outside the goroutine).
+func classJoined(outer []wgRecord, class string) bool {
+	for _, o := range outer {
+		if o.class == class || (looseClass(class) && looseClass(o.class)) {
+			return true
+		}
+	}
+	return false
+}
+
+// classDeferred reports whether any Done recorded for the class is
+// deferred (one deferred Done covers the panic path; extra plain Dones on
+// early returns are then fine).
+func classDeferred(done []spawnDone, class string) bool {
+	for _, d := range done {
+		if d.class == class && d.deferred {
+			return true
+		}
+	}
+	return false
+}

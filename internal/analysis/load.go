@@ -13,6 +13,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 )
 
 // The loader enumerates packages with `go list -deps -export -json` and
@@ -45,6 +46,11 @@ type ExportSet struct {
 	files map[string]string
 }
 
+// Files exposes the import-path → export-data-file map, the shape a
+// unitchecker VetConfig's PackageFile field wants (the analysistest vet
+// harness synthesizes configs from it).
+func (es *ExportSet) Files() map[string]string { return es.files }
+
 // goList runs `go list -deps -export -json` for the patterns and decodes
 // the package stream (dependencies come before dependents).
 func goList(dir string, patterns ...string) ([]*listedPackage, error) {
@@ -52,18 +58,32 @@ func goList(dir string, patterns ...string) ([]*listedPackage, error) {
 		"list", "-deps", "-export",
 		"-json=Dir,ImportPath,Standard,Export,GoFiles,Error",
 	}, patterns...)
+	out, err := runGoList(dir, args)
+	if err != nil {
+		return nil, err
+	}
+	return decodeListStream[listedPackage](out)
+}
+
+// runGoList executes one go list invocation and returns its stdout.
+func runGoList(dir string, args []string) ([]byte, error) {
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	var stderr bytes.Buffer
 	cmd.Stderr = &stderr
 	out, err := cmd.Output()
 	if err != nil {
-		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+		return nil, fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
 	}
-	var pkgs []*listedPackage
+	return out, nil
+}
+
+// decodeListStream decodes go list's concatenated-JSON package stream.
+func decodeListStream[T any](out []byte) ([]*T, error) {
+	var pkgs []*T
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
-		var p listedPackage
+		var p T
 		if err := dec.Decode(&p); err == io.EOF {
 			break
 		} else if err != nil {

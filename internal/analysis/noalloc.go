@@ -1,0 +1,97 @@
+package analysis
+
+import "strings"
+
+// NoAlloc checks functions annotated //rasql:noalloc: neither the body nor
+// any transitively-called in-module function may reach an allocation site
+// recorded by the shared call-graph Prepare. Callees that are themselves
+// annotated //rasql:noalloc become modular proof obligations — the walk
+// stops at them, and they are checked (once) at their own declaration.
+//
+// Direct sites anchor the diagnostic at the allocating construct;
+// transitive sites anchor at the first-hop call in the annotated function,
+// with the remote site's position and call chain in the message. Justified
+// exceptions use //rasql:allow noalloc -- <why> on the site itself, which
+// suppresses it for every caller.
+var NoAlloc = &Analyzer{
+	Name:       "noalloc",
+	Code:       "RL008",
+	Doc:        "functions annotated //rasql:noalloc must reach no allocation site, transitively through in-module calls",
+	Prepare:    prepareCallGraph,
+	RunProgram: runNoAllocProgram,
+}
+
+func runNoAllocProgram(pass *Pass) {
+	ix := pass.Index
+	for _, key := range ix.LocalNoAlloc() {
+		for _, s := range ix.AllocSites(key) {
+			if s.Local {
+				pass.Reportf(s.Pos, "%s is annotated //rasql:noalloc but %s", displayFunc(key), s.What)
+			}
+		}
+		reported := map[string]bool{}
+		for _, edge := range ix.CallEdges(key) {
+			if !edge.Local || reported[edge.Callee] {
+				continue
+			}
+			if ann := ix.DeclAnnots(edge.Callee); ann != nil && ann.NoAlloc {
+				continue // the callee carries its own proof obligation
+			}
+			site, chain := ix.findAllocPath(edge.Callee)
+			if site == nil {
+				continue
+			}
+			reported[edge.Callee] = true
+			via := ""
+			if len(chain) > 1 {
+				short := make([]string, len(chain))
+				for i, c := range chain {
+					short[i] = displayFunc(c)
+				}
+				via = ", via " + strings.Join(short, " -> ")
+			}
+			pass.Reportf(edge.Pos, "%s is annotated //rasql:noalloc but calls %s, which reaches an allocation: %s (at %s%s)",
+				displayFunc(key), displayFunc(edge.Callee), site.What, site.PosStr, via)
+		}
+	}
+}
+
+// findAllocPath breadth-first-walks the call graph from start, skipping
+// callees annotated //rasql:noalloc, and returns the first reachable
+// allocation site plus the call chain (start first) leading to it.
+func (ix *Index) findAllocPath(start string) (*AllocSite, []string) {
+	type node struct {
+		key   string
+		chain []string
+	}
+	seen := map[string]bool{start: true}
+	queue := []node{{key: start, chain: []string{start}}}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if sites := ix.allocSites[n.key]; len(sites) > 0 {
+			return &sites[0], n.chain
+		}
+		for _, e := range ix.callEdges[n.key] {
+			if seen[e.Callee] {
+				continue
+			}
+			seen[e.Callee] = true
+			if ann := ix.funcs[e.Callee]; ann != nil && ann.NoAlloc {
+				continue
+			}
+			chain := append(append([]string(nil), n.chain...), e.Callee)
+			queue = append(queue, node{key: e.Callee, chain: chain})
+		}
+	}
+	return nil, nil
+}
+
+// displayFunc shortens a function key to its package base for messages:
+// github.com/rasql/rasql-go/internal/types.AppendKey -> types.AppendKey.
+func displayFunc(key string) string {
+	if i := strings.LastIndex(key, "/"); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}

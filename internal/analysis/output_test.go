@@ -19,6 +19,18 @@ var outputDiags = []Diagnostic{
 		Code:     "RL007",
 		Message:  `plain access of "quoted", which is accessed via sync/atomic at pool.go:3:1; every access must go through sync/atomic`,
 	},
+	{
+		Pos:      token.Position{Filename: "types/encode.go", Line: 151, Column: 9},
+		Analyzer: "noalloc",
+		Code:     "RL008",
+		Message:  "types.DecodeRowsAppend is annotated //rasql:noalloc but calls fmt.Sprintf, not known to be allocation-free",
+	},
+	{
+		Pos:      token.Position{Filename: "cluster/relaxed.go", Line: 270, Column: 3},
+		Analyzer: "golifecycle",
+		Code:     "RL009",
+		Message:  "goroutine is not join-accounted: no WaitGroup.Done on its exit paths and no //rasql:detach justification",
+	},
 }
 
 func TestRenderHumanGolden(t *testing.T) {
@@ -27,7 +39,9 @@ func TestRenderHumanGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := "cluster/shuffle.go:42:7: guardedby: read of n (guarded by mu) without holding c.mu\n" +
-		"cluster/pool.go:9:2: atomicmix: plain access of \"quoted\", which is accessed via sync/atomic at pool.go:3:1; every access must go through sync/atomic\n"
+		"cluster/pool.go:9:2: atomicmix: plain access of \"quoted\", which is accessed via sync/atomic at pool.go:3:1; every access must go through sync/atomic\n" +
+		"types/encode.go:151:9: noalloc: types.DecodeRowsAppend is annotated //rasql:noalloc but calls fmt.Sprintf, not known to be allocation-free\n" +
+		"cluster/relaxed.go:270:3: golifecycle: goroutine is not join-accounted: no WaitGroup.Done on its exit paths and no //rasql:detach justification\n"
 	if got := b.String(); got != want {
 		t.Errorf("human output mismatch:\ngot:\n%s\nwant:\n%s", got, want)
 	}
@@ -54,6 +68,22 @@ func TestRenderJSONGolden(t *testing.T) {
     "analyzer": "atomicmix",
     "code": "RL007",
     "message": "plain access of \"quoted\", which is accessed via sync/atomic at pool.go:3:1; every access must go through sync/atomic"
+  },
+  {
+    "file": "types/encode.go",
+    "line": 151,
+    "col": 9,
+    "analyzer": "noalloc",
+    "code": "RL008",
+    "message": "types.DecodeRowsAppend is annotated //rasql:noalloc but calls fmt.Sprintf, not known to be allocation-free"
+  },
+  {
+    "file": "cluster/relaxed.go",
+    "line": 270,
+    "col": 3,
+    "analyzer": "golifecycle",
+    "code": "RL009",
+    "message": "goroutine is not join-accounted: no WaitGroup.Done on its exit paths and no //rasql:detach justification"
   }
 ]
 `

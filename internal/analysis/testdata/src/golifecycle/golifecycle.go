@@ -1,0 +1,145 @@
+// Package golifecycle seeds join-accounting violations of the engine's
+// goroutine discipline (plus the clean shapes) and pins the diagnostics
+// with // want comments. The package opts into lifecycle checking with the
+// //rasql:lifecycle comment below — fixtures live outside the engine's
+// import-path prefixes.
+//
+//rasql:lifecycle
+package golifecycle
+
+import "sync"
+
+func work() {}
+
+// wellFormed is the canonical clean shape: Add before the spawn, Done
+// deferred as the goroutine's first action.
+func wellFormed(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// deferredIIFE is also clean: Done inside a directly-deferred closure runs
+// on every exit path like a direct defer.
+func deferredIIFE() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer func() {
+			wg.Done()
+		}()
+		work()
+	}()
+	wg.Wait()
+}
+
+// unaccounted spawns with no join evidence and no detach justification.
+func unaccounted() {
+	go work() // want `goroutine is not join-accounted`
+}
+
+// detached carries the written rationale the analyzer demands.
+func detached() {
+	//rasql:detach -- fixture: fire-and-forget, lifetime bounded by the test process
+	go work()
+}
+
+// malformedDetach lacks the justification, so the detach does not register
+// and the spawn is still unaccounted.
+func malformedDetach() {
+	//rasql:detach // want `needs a`
+	go work() // want `not join-accounted`
+}
+
+// addInside puts the Add on the wrong side of the spawn: Wait can run
+// before the goroutine's Add, a lost-signal race.
+func addInside() {
+	var wg sync.WaitGroup
+	go func() { // want `never Adds to before the spawn`
+		wg.Add(1) // want `WaitGroup.Add inside the spawned goroutine races with the spawner's Wait`
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// addAfter spells the same race differently: the Add textually follows the
+// go statement.
+func addAfter() {
+	var wg sync.WaitGroup
+	go func() { // want `Add for the goroutine's Done happens after the spawn`
+		defer wg.Done()
+		work()
+	}()
+	wg.Add(1)
+	wg.Wait()
+}
+
+// plainDone skips the Done when the goroutine panics, leaking the
+// spawner's Wait.
+func plainDone() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		work()
+		wg.Done() // want `Done is not deferred: a panic in the goroutine skips it`
+	}()
+	wg.Wait()
+}
+
+// neverAdds joins a WaitGroup the spawner never Adds to.
+func neverAdds() {
+	var wg sync.WaitGroup
+	go func() { // want `never Adds to before the spawn`
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// worker carries its own deferred-Done summary on the call graph.
+func worker(wg *sync.WaitGroup) {
+	defer wg.Done()
+	work()
+}
+
+// spawnsWorker is the clean one-hop shape: `go worker(&wg)` is accounted
+// through the callee's WaitGroup summary.
+func spawnsWorker(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go worker(&wg)
+	}
+	wg.Wait()
+}
+
+// workerPlain's Done is not deferred, and the summary says so.
+func workerPlain(wg *sync.WaitGroup) {
+	work()
+	wg.Done()
+}
+
+func spawnsWorkerPlain() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go workerPlain(&wg) // want `Done is not deferred`
+	wg.Wait()
+}
+
+// wrappedWorker is the clean two-hop shape: the goroutine body calls the
+// worker, whose summary contributes the deferred Done.
+func wrappedWorker() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		worker(&wg)
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,198 @@
+// Package noalloc seeds known violations of the //rasql:noalloc contract
+// (plus the idiomatic clean shapes) and pins the exact diagnostics with
+// // want comments. Every classifier rule has a row here: direct builtins,
+// transitive callee allocations, interface boxing in its three positions,
+// conversions, closure captures, map writes, variadic argument slices,
+// dynamic calls, and the allow/annotation escape hatches.
+package noalloc
+
+import "fmt"
+
+// helperAllocates is an unannotated helper whose allocation propagates to
+// every annotated caller through the call graph.
+func helperAllocates() []int {
+	return make([]int, 8)
+}
+
+// helperAllowed carries a justified allow on its site, so the allocation is
+// suppressed at record time and must NOT propagate to annotated callers.
+func helperAllowed() []int {
+	//rasql:allow noalloc -- fixture: amortized allocation, justified at the site
+	return make([]int, 8)
+}
+
+// mid adds a hop so the transitive diagnostic carries a call chain.
+func mid() []int {
+	return helperAllocates()
+}
+
+//rasql:noalloc
+func directMake() []int {
+	return make([]int, 4) // want `annotated //rasql:noalloc but make allocates`
+}
+
+//rasql:noalloc
+func directNew() *int {
+	return new(int) // want `new allocates`
+}
+
+//rasql:noalloc
+func transitive() []int {
+	return helperAllocates() // want `calls noalloc.helperAllocates, which reaches an allocation: make allocates`
+}
+
+//rasql:noalloc
+func deepTransitive() []int {
+	return mid() // want `calls noalloc.mid, which reaches an allocation: make allocates .*via noalloc.mid -> noalloc.helperAllocates`
+}
+
+//rasql:noalloc
+func suppressedTransitive() []int {
+	return helperAllowed() // clean: the callee's site carries a justified allow
+}
+
+// annotatedLeaf is its own modular proof obligation; callers stop here.
+//
+//rasql:noalloc
+func annotatedLeaf(buf []byte, b byte) []byte {
+	return append(buf, b) // clean: destination derives from a parameter
+}
+
+//rasql:noalloc
+func callsAnnotated(buf []byte) []byte {
+	return annotatedLeaf(buf, 1) // clean: the callee carries its own proof
+}
+
+//rasql:noalloc
+func appendFresh() []int {
+	var s []int
+	s = append(s, 1) // want `append to a slice not derived from a parameter or receiver`
+	return s
+}
+
+//rasql:noalloc
+func sliceLit() []int {
+	return []int{1, 2} // want `slice literal allocates`
+}
+
+type pair struct{ a, b int }
+
+//rasql:noalloc
+func addrLit() *pair {
+	return &pair{1, 2} // want `&-literal escapes to the heap`
+}
+
+//rasql:noalloc
+func valueLit() pair {
+	return pair{1, 2} // clean: a plain struct literal stays on the stack
+}
+
+//rasql:noalloc
+func mapWrite(m map[int]int) {
+	m[1] = 2 // want `map write may grow the map`
+}
+
+//rasql:noalloc
+func conv(b []byte) string {
+	return string(b) // want `\[\]byte-to-string conversion copies`
+}
+
+//rasql:noalloc
+func convBack(s string) []byte {
+	return []byte(s) // want `string-to-\[\]byte conversion copies`
+}
+
+//rasql:noalloc
+func mapIndexConv(m map[string]int, b []byte) int {
+	return m[string(b)] // clean: the compiler elides the map-index copy
+}
+
+//rasql:noalloc
+func concat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+func sink(v any) { _ = v }
+
+//rasql:noalloc
+func argBox(x int) {
+	sink(x) // want `argument boxed into interface parameter allocates`
+}
+
+//rasql:noalloc
+func argNoBox(p *pair) {
+	sink(p) // clean: pointers fit the interface data word
+}
+
+//rasql:noalloc
+func returnBox(x int) any {
+	return x // want `return boxes the value into an interface`
+}
+
+//rasql:noalloc
+func assignBox(x int) {
+	var v any
+	v = x // want `assignment boxes the value into an interface`
+	_ = v
+}
+
+func variadicSink(vs ...int) { _ = vs }
+
+//rasql:noalloc
+func variadic() {
+	variadicSink(1, 2) // want `variadic call builds an implicit argument slice`
+}
+
+//rasql:noalloc
+func variadicSpread(vs []int) {
+	variadicSink(vs...) // clean: the slice is passed through, not built
+}
+
+//rasql:noalloc
+func dynamic(f func() int) int {
+	return f() // want `dynamic call through a func value`
+}
+
+type iface interface{ M() }
+
+//rasql:noalloc
+func ifaceCall(v iface) {
+	v.M() // want `dynamic call through interface method M`
+}
+
+//rasql:noalloc
+func coldError(err error) error {
+	return fmt.Errorf("wrap: %w", err) // want `calls fmt.Errorf, not known to be allocation-free`
+}
+
+//rasql:noalloc
+func capture() func() int {
+	x := 0
+	f := func() int { return x } // want `closure captures x by reference and allocates its environment`
+	return f
+}
+
+//rasql:noalloc
+func iife() int {
+	x := 1
+	return func() int { return x }() // clean: immediately-invoked, frame stays on the stack
+}
+
+//rasql:noalloc
+func spawns() {
+	go helperNop() // want `spawns a goroutine`
+}
+
+func helperNop() {}
+
+//rasql:noalloc
+func allowedSite() []int {
+	//rasql:allow noalloc -- fixture: cold path, justified at the site
+	return make([]int, 4)
+}
+
+//rasql:noalloc
+func malformedAllow() []int {
+	//rasql:allow noalloc // want `needs analyzer names and a`
+	return make([]int, 4) // want `make allocates`
+}

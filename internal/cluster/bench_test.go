@@ -50,6 +50,7 @@ func BenchmarkSetRDDInsert(b *testing.B) {
 	}
 }
 
+//rasql:allocpin cluster.keyIndex.encRowKey cluster.keyIndex.get cluster.keyIndex.getOrInsert
 func BenchmarkSetRDDDedup(b *testing.B) {
 	c := newTestCluster(1, 1)
 	rows := benchClusterRows(4096)
@@ -64,6 +65,7 @@ func BenchmarkSetRDDDedup(b *testing.B) {
 	}
 }
 
+//rasql:allocpin cluster.keyIndex.encKey
 func BenchmarkAggRDDMerge(b *testing.B) {
 	c := newTestCluster(1, 1)
 	// Contributions: many rows folding into few groups keyed on (B, L).
@@ -77,6 +79,7 @@ func BenchmarkAggRDDMerge(b *testing.B) {
 	}
 }
 
+//rasql:allocpin cluster.Shuffle.Add cluster.getEncBuf cluster.putEncBuf
 func BenchmarkShuffleRoundTrip(b *testing.B) {
 	c := newTestQuery(4, 4)
 	rows := benchClusterRows(4096)
@@ -108,6 +111,8 @@ func BenchmarkShuffleRoundTrip(b *testing.B) {
 // off: the whole stage path (placement, dispatch, fetch-point and post-merge
 // nil checks) must stay at 0 allocs/op, so a production run pays nothing for
 // the fault-injection machinery being compiled in.
+//
+//rasql:allocpin cluster.QueryContext.runQueue cluster.QueryContext.place cluster.startStopwatch cluster.stopwatch.elapsedNanos
 func BenchmarkDisabledInjector(b *testing.B) {
 	c := New(Config{Workers: 4, Partitions: 4, StageOverheadOps: -1, SequentialStages: true}).NewQuery(nil)
 	tasks := make([]Task, 4)

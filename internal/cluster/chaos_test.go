@@ -14,6 +14,8 @@ func chaosTestCluster(chaos ChaosConfig) *QueryContext {
 
 // A disabled injector must be free: the only cost is the nil check RunStage
 // and FetchTarget already pay, and zero allocations on the stage path.
+//
+//rasql:allocpin cluster.QueryContext.ChaosEnabled cluster.QueryContext.ChaosPostMerge
 func TestDisabledInjectorZeroAllocs(t *testing.T) {
 	c := New(Config{Workers: 4, Partitions: 4, StageOverheadOps: -1, SequentialStages: true}).NewQuery(nil)
 	tasks := make([]Task, 4)
@@ -29,6 +31,34 @@ func TestDisabledInjectorZeroAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("disabled injector allocates %.1f per stage, want 0", allocs)
+	}
+}
+
+// An enabled injector whose schedule never fires must also stay off the
+// allocator on the per-task decision path: rolling the fault dice, looking
+// up the worker's chaos context, and passing a fetch point are the costs
+// every chaos-covered task pays per attempt, fault or no fault.
+//
+//rasql:allocpin cluster.stageChaos.roll cluster.injector.taskCtx cluster.injector.fetchPoint
+func TestEnabledInjectorNoFaultZeroAllocs(t *testing.T) {
+	c := chaosTestCluster(ChaosConfig{Schedule: []ChaosEvent{
+		{Stage: "unreached", Occurrence: 0, Part: 0, Attempt: 0, Kind: FaultTaskStart},
+	}})
+	if !c.ChaosEnabled() {
+		t.Fatal("scheduled config must enable the injector")
+	}
+	sc := c.chaos.beginStage("steady", 0)
+	allocs := testing.AllocsPerRun(100, func() {
+		if sc.roll(0, 0, FaultTaskStart) {
+			t.Fatal("unscheduled fault fired")
+		}
+		if c.chaos.taskCtx(-1) != nil {
+			t.Fatal("driver-side worker has a chaos task context")
+		}
+		c.chaos.fetchPoint(-1)
+	})
+	if allocs != 0 {
+		t.Errorf("enabled-injector decision path allocates %.1f per run, want 0", allocs)
 	}
 }
 

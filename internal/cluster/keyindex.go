@@ -57,6 +57,8 @@ func (x *keyIndex) key(i int) []byte {
 
 // encKey encodes r's values at the key columns into the scratch buffer and
 // returns the bytes with their hash. Valid until the next enc* call.
+//
+//rasql:noalloc
 func (x *keyIndex) encKey(r types.Row, cols []int) ([]byte, uint64) {
 	b := types.AppendKey(x.scratch[:0], r, cols)
 	x.scratch = b
@@ -64,6 +66,8 @@ func (x *keyIndex) encKey(r types.Row, cols []int) ([]byte, uint64) {
 }
 
 // encRowKey is encKey over every column (set semantics).
+//
+//rasql:noalloc
 func (x *keyIndex) encRowKey(r types.Row) ([]byte, uint64) {
 	b := types.AppendRowKey(x.scratch[:0], r)
 	x.scratch = b
@@ -71,6 +75,8 @@ func (x *keyIndex) encRowKey(r types.Row) ([]byte, uint64) {
 }
 
 // get returns the id of key, if present.
+//
+//rasql:noalloc
 func (x *keyIndex) get(key []byte, h uint64) (int, bool) {
 	if len(x.slots) == 0 {
 		return 0, false
@@ -91,10 +97,15 @@ func (x *keyIndex) get(key []byte, h uint64) (int, bool) {
 
 // getOrInsert returns the id of key, inserting it (copying the bytes into
 // the arena) if absent. inserted reports whether the key was new; new keys
-// get id == len()-1.
+// get id == len()-1. Steady-state probes and inserts touch no allocator;
+// arena/ends/hashes appends amortize into the capacity the caller's reuse
+// already paid for, and table doubling is the one justified exception.
+//
+//rasql:noalloc
 func (x *keyIndex) getOrInsert(key []byte, h uint64) (id int, inserted bool) {
 	// Grow at 3/4 load so probe chains stay short.
 	if 4*(len(x.ends)+1) > 3*len(x.slots) {
+		//rasql:allow noalloc -- amortized: table doubling at 3/4 load, O(log n) times total
 		x.grow()
 	}
 	for s := h & x.mask; ; s = (s + 1) & x.mask {

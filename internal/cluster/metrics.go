@@ -68,11 +68,13 @@ type Metrics struct {
 // audit trail.
 type stopwatch struct{ t0 time.Time }
 
+//rasql:noalloc
 func startStopwatch() stopwatch {
 	//rasql:allow simclock -- metrics-only instrumentation; readings feed SimNanos/StageWallNanos, never results or placement
 	return stopwatch{t0: time.Now()}
 }
 
+//rasql:noalloc
 func (s stopwatch) elapsedNanos() int64 {
 	//rasql:allow simclock -- metrics-only instrumentation; see startStopwatch
 	return int64(time.Since(s.t0))

@@ -22,13 +22,19 @@ var encBufPool = sync.Pool{
 // putEncBuf, which the pooldiscipline analyzer enforces at call sites.
 //
 //rasql:pool-get
-func getEncBuf() *[]byte { return encBufPool.Get().(*[]byte) }
+//rasql:noalloc
+func getEncBuf() *[]byte {
+	//rasql:allow noalloc -- steady state reuses a warm buffer; only a pool miss falls through to New
+	return encBufPool.Get().(*[]byte)
+}
 
 // putEncBuf returns a buffer to the pool, truncated so the next user
 // cannot observe stale bytes.
 //
 //rasql:pool-put
+//rasql:noalloc
 func putEncBuf(b *[]byte) {
 	*b = (*b)[:0]
+	//rasql:allow noalloc -- Pool.Put may grow a per-P shard once; amortized across recycles
 	encBufPool.Put(b)
 }

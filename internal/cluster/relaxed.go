@@ -193,8 +193,10 @@ func (q *QueryContext) RunRelaxed(opt RelaxedOptions, seed [][]types.Row) Relaxe
 // staying on its producer's worker is handed over in memory.
 //
 //rasql:locked=mu
+//rasql:noalloc
 func (rt *relaxedRouter) enqueueLocked(t int, rows []types.Row, stamp int64, producerWorker int) {
 	b := relaxedBatch{n: len(rows), stamp: stamp}
+	//rasql:allow noalloc -- Owner is a caller-supplied pure index→worker mapping; the engine passes closure-free routing functions
 	if producerWorker >= 0 && rt.opt.Owner(t) == producerWorker {
 		b.rows = rows
 	} else {
@@ -218,6 +220,7 @@ func (rt *relaxedRouter) enqueueLocked(t int, rows []types.Row, stamp int64, pro
 // held back only by the gate — the relaxed analog of barrier wait.
 //
 //rasql:locked=mu
+//rasql:noalloc
 func (rt *relaxedRouter) pickLocked(w int) (part int, ok, gated bool) {
 	// The gate compares against the slowest partition that still has work
 	// (pending or in-flight): finished partitions keep frozen clocks and
@@ -234,6 +237,7 @@ func (rt *relaxedRouter) pickLocked(w int) (part int, ok, gated bool) {
 	}
 	part = -1
 	for p := range rt.inbox {
+		//rasql:allow noalloc -- Owner is a caller-supplied pure index→worker mapping; the engine passes closure-free routing functions
 		if len(rt.inbox[p]) == 0 || rt.opt.Owner(p) != w {
 			continue
 		}
@@ -365,6 +369,7 @@ func (rt *relaxedRouter) claimSequential() (batches []relaxedBatch, part int, ro
 // the partition is marked in-flight so its clock keeps holding the gate.
 //
 //rasql:locked=mu
+//rasql:noalloc
 func (rt *relaxedRouter) takeLocked(part int) ([]relaxedBatch, int64, int) {
 	batches := rt.inbox[part]
 	rt.inbox[part] = nil
@@ -388,6 +393,7 @@ func (rt *relaxedRouter) takeLocked(part int) ([]relaxedBatch, int64, int) {
 // by enqueueLocked, so outstanding can only reach zero at true quiescence.
 //
 //rasql:locked=mu
+//rasql:noalloc
 func (rt *relaxedRouter) completeLocked(part int, round, taken int64) {
 	rt.clock[part] = round + 1
 	rt.inflight[part] = false

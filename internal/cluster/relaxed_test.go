@@ -194,3 +194,39 @@ func TestStageBarrierWaitCounter(t *testing.T) {
 		t.Errorf("BarrierWaitNanos %d exceeds stage critical path %d", wait, sim)
 	}
 }
+
+// BenchmarkRelaxedTokenChain drives the relaxed router's locked hot path —
+// enqueue, gate-checked pick, take, complete — through a multi-round token
+// chain. Run with -benchmem: the routing state machine itself should
+// contribute (near) nothing on top of the per-batch slices the Process
+// callback builds.
+//
+//rasql:allocpin cluster.relaxedRouter.enqueueLocked cluster.relaxedRouter.pickLocked cluster.relaxedRouter.takeLocked cluster.relaxedRouter.completeLocked
+func BenchmarkRelaxedTokenChain(b *testing.B) {
+	const parts, hops = 4, 64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q := relaxedTestQuery(4, parts, true)
+		seed := make([][]types.Row, parts)
+		seed[0] = []types.Row{{types.Int(int64(hops))}}
+		stats := q.RunRelaxed(RelaxedOptions{
+			Name:      "bench.chain",
+			Parts:     parts,
+			Owner:     func(p int) int { return p % q.Workers() },
+			Staleness: 1,
+			Process: func(part, worker int, rows []types.Row, round int64, stale int) [][]types.Row {
+				out := make([][]types.Row, parts)
+				for _, r := range rows {
+					if v := r[0].I; v > 0 {
+						out[(part+1)%parts] = append(out[(part+1)%parts], types.Row{types.Int(v - 1)})
+					}
+				}
+				return out
+			},
+		}, seed)
+		if stats.Batches == 0 {
+			b.Fatal("chain routed no batches")
+		}
+		q.Finish()
+	}
+}

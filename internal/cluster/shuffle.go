@@ -51,8 +51,11 @@ func (c *QueryContext) NewShuffle(targets int) *Shuffle {
 // concurrent map tasks because each producer owns its shard exclusively —
 // which is exactly why Add is worker-affine: it must run on the goroutine
 // that owns the producer's shard (a Task.Run body), never a fresh one.
+// Add is also the map-side hot loop: encoding reuses pooled buffers and
+// bucket appends amortize, so per-bucket work touches no allocator.
 //
 //rasql:affinity=worker
+//rasql:noalloc
 func (s *Shuffle) Add(out [][]types.Row, producer int) {
 	sh := &s.shards[producer+1]
 	records, bytes := 0, 0

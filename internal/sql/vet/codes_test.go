@@ -1,0 +1,55 @@
+package vet
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var codeLitRE = regexp.MustCompile(`Code:\s*"(RV\d+)"`)
+
+// TestCodesRegistryComplete greps the package source for RV-code literals
+// and pins that the Codes() registry matches them exactly — a new
+// diagnostic code cannot ship without a -codes doc line, and a retired one
+// cannot linger in the registry.
+func TestCodesRegistryComplete(t *testing.T) {
+	emitted := map[string]bool{}
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") ||
+			strings.HasSuffix(e.Name(), "_test.go") || e.Name() == "codes.go" {
+			continue
+		}
+		src, err := os.ReadFile(e.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range codeLitRE.FindAllStringSubmatch(string(src), -1) {
+			emitted[m[1]] = true
+		}
+	}
+	registered := map[string]bool{}
+	prev := ""
+	for _, cd := range Codes() {
+		if cd.Code <= prev {
+			t.Errorf("Codes() out of order: %s after %s", cd.Code, prev)
+		}
+		prev = cd.Code
+		registered[cd.Code] = true
+		if cd.Doc == "" {
+			t.Errorf("%s has no doc line", cd.Code)
+		}
+		if !emitted[cd.Code] {
+			t.Errorf("Codes() registers %s but no vet pass emits it", cd.Code)
+		}
+	}
+	for code := range emitted {
+		if !registered[code] {
+			t.Errorf("vet emits %s but Codes() does not register it", code)
+		}
+	}
+}

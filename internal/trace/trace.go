@@ -152,10 +152,14 @@ func NewIterationsOnly() *Tracer {
 }
 
 // Enabled reports whether the tracer records anything (nil = disabled).
+//
+//rasql:noalloc
 func (t *Tracer) Enabled() bool { return t != nil }
 
 // SpansEnabled reports whether span events are recorded. Callers that
 // would allocate to build span data must check this first.
+//
+//rasql:noalloc
 func (t *Tracer) SpansEnabled() bool { return t != nil && t.level >= LevelSpans }
 
 // Span is an in-flight span returned by Begin; its End records the event.
@@ -170,6 +174,8 @@ type Span struct {
 
 // Begin opens a span on the given track. On a disabled tracer it returns
 // the zero Span without reading the clock or allocating.
+//
+//rasql:noalloc
 func (t *Tracer) Begin(name string, tid int) Span {
 	if !t.SpansEnabled() {
 		return Span{}
@@ -177,7 +183,11 @@ func (t *Tracer) Begin(name string, tid int) Span {
 	return Span{t: t, name: name, tid: tid, t0: t.sinceStart()}
 }
 
-// BeginArgs is Begin with annotations attached to the completed span.
+// BeginArgs is Begin with annotations attached to the completed span. The
+// body allocates nothing; the implicit args slice is built (and paid for)
+// at call sites, which gate on SpansEnabled first.
+//
+//rasql:noalloc
 func (t *Tracer) BeginArgs(name string, tid int, args ...Arg) Span {
 	if !t.SpansEnabled() {
 		return Span{}
@@ -186,6 +196,8 @@ func (t *Tracer) BeginArgs(name string, tid int, args ...Arg) Span {
 }
 
 // End completes the span and records it as an 'X' event.
+//
+//rasql:noalloc
 func (s Span) End() {
 	if s.t == nil {
 		return
@@ -204,6 +216,8 @@ type IterSpan struct {
 
 // BeginIteration opens iteration telemetry. Unlike Begin it works at every
 // level — iteration events are the tracer's reason to exist.
+//
+//rasql:noalloc
 func (t *Tracer) BeginIteration(iter int) IterSpan {
 	if t == nil {
 		return IterSpan{}
@@ -214,12 +228,15 @@ func (t *Tracer) BeginIteration(iter int) IterSpan {
 // End records the iteration event: the telemetry row plus, on the
 // iteration track, a B/E span pair and counter samples for the convergence
 // curves. ev.Iter, StartNS and EndNS are filled from the span.
+//
+//rasql:noalloc
 func (s IterSpan) End(ev IterationEvent) {
 	if s.t == nil {
 		return
 	}
 	ev.Iter = s.iter
 	ev.StartNS, ev.EndNS = s.t0, s.t.sinceStart()
+	//rasql:allow noalloc -- once per fixpoint iteration: the telemetry row amortizes over the iteration's work
 	s.t.recordIteration(ev)
 }
 
@@ -228,6 +245,8 @@ func (s IterSpan) End(ev IterationEvent) {
 // with it as rounds complete and emit the events later via EmitIteration
 // (rounds of different partitions interleave, so no span brackets them).
 // Zero on a disabled tracer.
+//
+//rasql:noalloc
 func (t *Tracer) Now() int64 {
 	if t == nil {
 		return 0

@@ -6,15 +6,20 @@ import (
 	"testing"
 )
 
+//rasql:allocpin trace.Tracer.Enabled trace.Tracer.SpansEnabled trace.Tracer.Begin trace.Tracer.BeginArgs trace.Span.End trace.Tracer.BeginIteration trace.IterSpan.End trace.Tracer.Now
 func TestDisabledTracerZeroAllocs(t *testing.T) {
 	var tr *Tracer
 	allocs := testing.AllocsPerRun(1000, func() {
 		s := tr.Begin("task", 3)
 		s.End()
+		tr.BeginArgs("task", 3).End()
 		is := tr.BeginIteration(1)
 		is.End(IterationEvent{DeltaRows: 7})
 		if tr.Enabled() || tr.SpansEnabled() {
 			t.Fatal("nil tracer reports enabled")
+		}
+		if tr.Now() != 0 {
+			t.Fatal("nil tracer reports a nonzero clock")
 		}
 	})
 	if allocs != 0 {

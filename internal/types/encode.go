@@ -20,6 +20,8 @@ import (
 //	  null   → nothing
 
 // AppendRow appends the wire encoding of r to buf and returns it.
+//
+//rasql:noalloc
 func AppendRow(buf []byte, r Row) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(r)))
 	for _, v := range r {
@@ -104,6 +106,8 @@ func EncodedSize(rows []Row) int {
 // AppendRows appends the batch encoding of rows to buf and returns it.
 // Callers that reuse buffers (the shuffle's encode pool) pass a recycled
 // buf; one-shot callers should size it with EncodedSize.
+//
+//rasql:noalloc
 func AppendRows(buf []byte, rows []Row) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(rows)))
 	for _, r := range rows {
@@ -127,33 +131,42 @@ func DecodeRows(buf []byte) ([]Row, error) {
 // slabs, so decoding allocates per chunk rather than per row; the input
 // buffer is not retained (string payloads are copied), so callers may
 // recycle it immediately — the noretain analyzer enforces that contract on
-// this function's body.
+// this function's body. The noalloc annotation pins the steady state —
+// per row, decoding touches no allocator; the justified exceptions below
+// are the amortized slab refills, the nil-dst convenience path, and the
+// corrupt-wire error paths.
 //
 //rasql:noretain buf
+//rasql:noalloc
 func DecodeRowsAppend(dst []Row, buf []byte) ([]Row, error) {
 	n, sz := binary.Uvarint(buf)
 	if sz <= 0 {
+		//rasql:allow noalloc -- cold path: corrupt wire data aborts the decode
 		return nil, fmt.Errorf("types: truncated batch header")
 	}
 	// Every row costs at least one byte (its width header), so a count the
 	// remaining buffer can't hold is corruption; rejecting it here keeps the
 	// capacity hint below safe against attacker-sized allocations.
 	if n > uint64(len(buf)-sz) {
+		//rasql:allow noalloc -- cold path: corrupt wire data aborts the decode
 		return nil, fmt.Errorf("types: batch count %d exceeds buffer", n)
 	}
 	pos := sz
 	if dst == nil {
+		//rasql:allow noalloc -- one-time: only the nil-dst convenience path sizes a fresh slice
 		dst = make([]Row, 0, n)
 	}
 	var slab []Value
 	for i := uint64(0); i < n; i++ {
 		width, wsz := binary.Uvarint(buf[pos:])
 		if wsz <= 0 {
+			//rasql:allow noalloc -- cold path: corrupt wire data aborts the decode
 			return nil, fmt.Errorf("types: row %d: truncated row header", i)
 		}
 		pos += wsz
 		// Same argument per value: at least a kind byte each.
 		if width > uint64(len(buf)-pos) {
+			//rasql:allow noalloc -- cold path: corrupt wire data aborts the decode
 			return nil, fmt.Errorf("types: row %d: width %d exceeds buffer", i, width)
 		}
 		w := int(width)
@@ -169,12 +182,14 @@ func DecodeRowsAppend(dst []Row, buf []byte) ([]Row, error) {
 			if c < w {
 				c = w
 			}
+			//rasql:allow noalloc -- amortized: one slab refill per 512 values, not per row
 			slab = make([]Value, c)
 		}
 		r := Row(slab[:w:w])
 		slab = slab[w:]
 		used, err := decodeRowInto(r, buf[pos:])
 		if err != nil {
+			//rasql:allow noalloc -- cold path: corrupt wire data aborts the decode
 			return nil, fmt.Errorf("types: row %d: %w", i, err)
 		}
 		pos += used
@@ -185,13 +200,16 @@ func DecodeRowsAppend(dst []Row, buf []byte) ([]Row, error) {
 
 // decodeRowInto decodes len(r) values (the body of a row whose width header
 // is already consumed) from buf into r, returning the bytes consumed. Like
-// DecodeRowsAppend it must not retain buf: every string payload is copied.
+// DecodeRowsAppend it must not retain buf: every string payload is copied —
+// that copy is the one justified allocation on the non-error path.
 //
 //rasql:noretain buf
+//rasql:noalloc
 func decodeRowInto(r Row, buf []byte) (int, error) {
 	pos := 0
 	for i := range r {
 		if pos >= len(buf) {
+			//rasql:allow noalloc -- cold path: corrupt wire data aborts the decode
 			return 0, fmt.Errorf("types: truncated value kind")
 		}
 		k := Kind(buf[pos])
@@ -202,12 +220,14 @@ func decodeRowInto(r Row, buf []byte) (int, error) {
 		case KindInt:
 			x, s := binary.Varint(buf[pos:])
 			if s <= 0 {
+				//rasql:allow noalloc -- cold path: corrupt wire data aborts the decode
 				return 0, fmt.Errorf("types: truncated int")
 			}
 			pos += s
 			r[i] = Int(x)
 		case KindFloat:
 			if pos+8 > len(buf) {
+				//rasql:allow noalloc -- cold path: corrupt wire data aborts the decode
 				return 0, fmt.Errorf("types: truncated double")
 			}
 			r[i] = Float(math.Float64frombits(binary.LittleEndian.Uint64(buf[pos:])))
@@ -218,18 +238,22 @@ func decodeRowInto(r Row, buf []byte) (int, error) {
 			// negative and would sail past an int-arithmetic bounds check
 			// into a negative slice index.
 			if s <= 0 || l > uint64(len(buf)-pos-s) {
+				//rasql:allow noalloc -- cold path: corrupt wire data aborts the decode
 				return 0, fmt.Errorf("types: truncated string")
 			}
 			pos += s
+			//rasql:allow noalloc -- string payloads must be copied so buf can be recycled (noretain contract)
 			r[i] = Str(string(buf[pos : pos+int(l)]))
 			pos += int(l)
 		case KindBool:
 			if pos >= len(buf) {
+				//rasql:allow noalloc -- cold path: corrupt wire data aborts the decode
 				return 0, fmt.Errorf("types: truncated boolean")
 			}
 			r[i] = Bool(buf[pos] != 0)
 			pos++
 		default:
+			//rasql:allow noalloc -- cold path: corrupt wire data aborts the decode
 			return 0, fmt.Errorf("types: bad kind byte %d", k)
 		}
 	}
