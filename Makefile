@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race race-concurrent ssp-differential fuzz lint rasql-lint allocs golangci ci
+.PHONY: build test vet race race-concurrent ssp-differential fuzz lint rasql-lint allocs metrics-smoke golangci ci
 
 build:
 	$(GO) build ./...
@@ -46,7 +46,19 @@ rasql-lint:
 allocs:
 	$(GO) build -o bin/rasql-lint ./cmd/rasql-lint
 	./bin/rasql-lint -allocdrift ./...
-	$(GO) test -run ZeroAllocs ./internal/types/ ./internal/cluster/ ./internal/trace/
+	$(GO) test -run ZeroAllocs ./internal/types/ ./internal/cluster/ ./internal/trace/ ./internal/obs/
+
+# Serving-metrics smoke (DESIGN.md §13): closed-loop concurrent clients on
+# one shared engine, the Prometheus exposition round-tripped through the
+# strict in-repo parser, and throughput/percentile columns asserted in the
+# machine-readable bench output. Requires jq.
+metrics-smoke:
+	$(GO) build -o bin/rasql ./cmd/rasql
+	$(GO) build -o bin/rasql-bench ./cmd/rasql-bench
+	./bin/rasql-bench -quick -run fig5,fig8 -clients 4 -duration 2s \
+		-json bench-metrics.json -metrics-out metrics.prom -quiet
+	./bin/rasql prom-verify metrics.prom
+	jq -e 'length == 2 and all(.[]; .qps > 0 and .p50_nanos > 0 and .p99_nanos >= .p50_nanos and .queries > 0)' bench-metrics.json
 
 # Requires golangci-lint (https://golangci-lint.run); CI installs it via
 # the golangci-lint-action.
@@ -55,4 +67,4 @@ golangci:
 
 lint: rasql-lint
 
-ci: build vet test race race-concurrent ssp-differential rasql-lint allocs
+ci: build vet test race race-concurrent ssp-differential rasql-lint allocs metrics-smoke

@@ -11,6 +11,7 @@
 //	rasql -table ...            # interactive: statements end with ';'
 //	rasql vet -table ... -f query.sql   # static analysis only
 //	rasql trace-verify out.json          # validate exported traces
+//	rasql prom-verify metrics.prom       # validate Prometheus exposition
 //
 // Every script is vetted before execution: the static analyzer's
 // diagnostics print to stderr, and error-severity findings (a statically
@@ -37,7 +38,13 @@
 //	                          modes apply only to cliques vet certifies
 //	                          PreM (or set semantics) and silently fall
 //	                          back to bsp otherwise
-//	-metrics                  print the execution-counter delta per query
+//	-metrics                  print the execution-counter delta plus the
+//	                          per-query stats record (latency, iterations,
+//	                          shuffle volume, retries, staleness) per query
+//	-metrics-listen addr      serve Prometheus text-format metrics over HTTP
+//	                          (e.g. :9090; ":0" picks a free port)
+//	-query-log                emit one structured JSON log line per finished
+//	                          query on stderr (query ID, latency, counters)
 //	-chaos seed=N,rate=P      deterministic fault injection (recovery is
 //	                          transparent; results are unchanged — see
 //	                          DESIGN.md §9)
@@ -48,15 +55,20 @@
 // warnings/info) and 1 when any error-severity diagnostic fires. The
 // trace-verify subcommand validates trace files against the Chrome
 // trace-event schema (well-formed JSON, monotone per-track timestamps,
-// balanced B/E spans) and exits 1 on the first invalid file.
+// balanced B/E spans) and exits 1 on the first invalid file. The
+// prom-verify subcommand validates metrics files against the Prometheus
+// text exposition format (strict parse, histogram invariants) and exits 1
+// on the first invalid file.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
+	"time"
 
 	rasql "github.com/rasql/rasql-go"
 	"github.com/rasql/rasql-go/internal/cli"
@@ -71,6 +83,10 @@ func main() {
 		traceVerifyMain(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "prom-verify" {
+		promVerifyMain(os.Args[2:])
+		return
+	}
 	var (
 		tables     cli.MultiFlag
 		query      = flag.String("q", "", "query to run")
@@ -82,7 +98,9 @@ func main() {
 		naive      = flag.Bool("naive", false, "naive evaluation (implies -local)")
 		workers    = flag.Int("workers", 0, "simulated workers (default GOMAXPROCS)")
 		partitions = flag.Int("partitions", 0, "partitions (default = workers)")
-		metrics    = flag.Bool("metrics", false, "print the execution-counter delta per query")
+		metrics    = flag.Bool("metrics", false, "print the execution-counter delta and per-query stats per query")
+		metricsLn  = flag.String("metrics-listen", "", "serve Prometheus metrics over HTTP on this address")
+		queryLog   = flag.Bool("query-log", false, "emit one structured JSON log line per finished query on stderr")
 		mode       = flag.String("mode", "bsp", "fixpoint evaluation mode: bsp, ssp:k or async")
 		chaosSpec  = flag.String("chaos", "", "fault injection: seed=N,rate=P[,attempts=K]")
 		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON file (load in Perfetto)")
@@ -112,6 +130,16 @@ func main() {
 	}
 	if *traceOut != "" {
 		eng.SetTracer(rasql.NewTracer())
+	}
+	if *queryLog {
+		eng.Observability().SetLogger(slog.New(slog.NewJSONHandler(os.Stderr, nil)))
+	}
+	if *metricsLn != "" {
+		addr, err := rasql.ServeMetrics(*metricsLn, eng.Observability().Registry())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics: listening on http://%s/metrics\n", addr)
 	}
 
 	run := func(src string) {
@@ -161,6 +189,9 @@ func main() {
 		}
 		if *metrics {
 			fmt.Println("--", eng.Metrics().Sub(before))
+			if s, ok := eng.Observability().Last(); ok {
+				fmt.Println("--", fmtQueryStats(s))
+			}
 		}
 	}
 
@@ -205,6 +236,59 @@ func stripPrefixFold(src, prefix string) (string, bool) {
 		return src, false
 	}
 	return strings.TrimSpace(rest), true
+}
+
+// fmtQueryStats renders the per-query stats record printed under -metrics:
+// the distributional per-query view alongside the engine-counter delta.
+func fmtQueryStats(s rasql.QueryStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "query %d: wall=%v sim=%v iters=%d shuffle=%dB/%d rows",
+		s.ID, time.Duration(s.WallNanos).Round(time.Microsecond),
+		time.Duration(s.SimNanos).Round(time.Microsecond),
+		s.Iterations, s.ShuffleBytes, s.ShuffleRecords)
+	if s.TaskRetries > 0 || s.RowsReplayed > 0 {
+		fmt.Fprintf(&b, " retries=%d replayed=%d recovered=%d",
+			s.TaskRetries, s.RowsReplayed, s.RecoveredIterations)
+	}
+	if s.StaleReads > 0 || s.SupersededRows > 0 {
+		fmt.Fprintf(&b, " stale=%d superseded=%d", s.StaleReads, s.SupersededRows)
+	}
+	if s.Mode != "" {
+		fmt.Fprintf(&b, " mode=%s", s.Mode)
+	}
+	if s.FallbackReason != "" {
+		fmt.Fprintf(&b, " fallback=%q", s.FallbackReason)
+	}
+	if s.Err != "" {
+		fmt.Fprintf(&b, " err=%q", s.Err)
+	}
+	return b.String()
+}
+
+// promVerifyMain implements `rasql prom-verify`: validate Prometheus
+// text-exposition files with the strict in-repo parser, exit 1 if any fails.
+func promVerifyMain(args []string) {
+	if len(args) == 0 {
+		fatal(fmt.Errorf("prom-verify: no metrics files given"))
+	}
+	bad := false
+	for _, path := range args {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rasql:", err)
+			bad = true
+			continue
+		}
+		if err := rasql.ValidatePrometheus(data); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			bad = true
+			continue
+		}
+		fmt.Printf("%s: ok\n", path)
+	}
+	if bad {
+		os.Exit(1)
+	}
 }
 
 // traceVerifyMain implements `rasql trace-verify`: validate Chrome

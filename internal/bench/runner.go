@@ -239,6 +239,16 @@ type Record struct {
 	SupersededRows   int64   `json:"superseded_rows"`
 	BarrierWaitNanos int64   `json:"barrier_wait_nanos"`
 	Curves           []Curve `json:"curves,omitempty"`
+	// Serving-mode columns: populated only by -clients runs (closed-loop
+	// concurrent clients on one shared engine), zero otherwise. Percentiles
+	// come from the engine recorder's query-latency histogram.
+	Clients       int     `json:"clients,omitempty"`
+	DurationNanos int64   `json:"duration_nanos,omitempty"`
+	Queries       uint64  `json:"queries,omitempty"`
+	QPS           float64 `json:"qps,omitempty"`
+	P50Nanos      int64   `json:"p50_nanos,omitempty"`
+	P95Nanos      int64   `json:"p95_nanos,omitempty"`
+	P99Nanos      int64   `json:"p99_nanos,omitempty"`
 }
 
 // CurvePoint is one fixpoint iteration of a convergence curve.

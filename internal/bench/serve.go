@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	rasql "github.com/rasql/rasql-go"
+)
+
+// Serve runs the closed-loop concurrent-clients benchmark: N client
+// goroutines drive one shared Engine with the experiment's representative
+// recursive workload until the deadline, each issuing its next query the
+// moment the previous one returns. Where the figure experiments measure one
+// query at a time, this measures the engine as a server: throughput under
+// concurrency plus the latency distribution the per-query stats recorder
+// accumulates.
+//
+// The supported experiment ids are the RMAT workload figures: "fig5" (the
+// stage-combination workload) and "fig8" (the systems-comparison workload).
+// Both serve the REACH, CC and SSSP queries round-robin over the figure's
+// smallest scaled RMAT graph; fig8 starts from its 1M-vertex sweep point,
+// fig5 from its 16M one, so the two ids exercise a small- and a
+// medium-working-set serving mix.
+//
+// started, when non-nil, receives the serving engine's metric registry
+// before the clients start, so a scrape endpoint can expose the run live.
+func (r *Runner) Serve(id string, clients int, duration time.Duration, started func(*rasql.MetricsRegistry)) (*Table, *ServeResult, error) {
+	if clients <= 0 {
+		return nil, nil, fmt.Errorf("bench: serve needs at least one client (got %d)", clients)
+	}
+	if duration <= 0 {
+		return nil, nil, fmt.Errorf("bench: serve needs a positive duration (got %v)", duration)
+	}
+	var paperM int
+	switch id {
+	case "fig5":
+		paperM = r.rmatSizes([]int{16, 32, 64, 128})[0]
+	case "fig8":
+		paperM = r.rmatSizes([]int{1, 2, 4, 8, 16, 32, 64, 128})[0]
+	default:
+		return nil, nil, fmt.Errorf("bench: experiment %q has no serving workload (use fig5 or fig8)", id)
+	}
+	// The weighted RMAT graph serves every query in the mix: REACH and CC
+	// read only the Src/Dst columns, SSSP additionally the weights.
+	edges := r.rmat(paperM)
+	queries := []struct{ label, sql string }{
+		{"REACH", qReach},
+		{"CC", qCC},
+		{"SSSP", qSSSP},
+	}
+
+	cfg := engineConfig("rasql", r.cfg.Workers, r.cfg.Partitions)
+	cfg.Cluster.Chaos = r.cfg.Chaos
+	eng := rasql.New(cfg)
+	eng.MustRegister(edges)
+	if started != nil {
+		started(eng.Observability().Registry())
+	}
+	r.logf("serve %s: %d clients for %v over RMAT-%dM/%d (%d edges)",
+		id, clients, duration, paperM, r.cfg.Scale, edges.Len())
+
+	var (
+		wg       sync.WaitGroup
+		served   atomic.Uint64
+		failed   atomic.Uint64
+		firstErr atomic.Pointer[error]
+	)
+	deadline := time.Now().Add(duration)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			// Offsetting each client's rotation spreads the mix so all
+			// three queries stay in flight at every point in time.
+			for i := c; time.Now().Before(deadline); i++ {
+				q := queries[i%len(queries)]
+				if _, err := eng.Query(q.sql); err != nil {
+					failed.Add(1)
+					e := fmt.Errorf("%s: %w", q.label, err)
+					firstErr.CompareAndSwap(nil, &e)
+				} else {
+					served.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	r.totals = r.totals.Add(eng.Metrics())
+	if ep := firstErr.Load(); ep != nil {
+		return nil, nil, fmt.Errorf("bench: serve %s: %d queries failed, first: %w", id, failed.Load(), *ep)
+	}
+
+	lat := eng.Observability().QueryLatency()
+	res := &ServeResult{
+		Clients:  clients,
+		Duration: elapsed,
+		Queries:  served.Load(),
+		QPS:      float64(served.Load()) / elapsed.Seconds(),
+		P50:      time.Duration(lat.Quantile(0.50)),
+		P95:      time.Duration(lat.Quantile(0.95)),
+		P99:      time.Duration(lat.Quantile(0.99)),
+		Registry: eng.Observability().Registry(),
+	}
+	t := &Table{
+		ID:    "Serve " + id,
+		Title: fmt.Sprintf("Concurrent clients (%d) on the %s workload", clients, id),
+		Columns: []string{"workload", "clients", "duration", "queries", "qps",
+			"p50", "p95", "p99"},
+		Rows: [][]string{{
+			fmt.Sprintf("%s RMAT-%dM/%d", id, paperM, r.cfg.Scale),
+			fmt.Sprint(clients), elapsed.Round(time.Millisecond).String(),
+			fmt.Sprint(res.Queries), fmt.Sprintf("%.1f", res.QPS),
+			fmtDur(res.P50), fmtDur(res.P95), fmtDur(res.P99),
+		}},
+		Notes: []string{"closed loop: each client issues its next query as soon as the previous returns"},
+	}
+	return t, res, nil
+}
+
+// ServeResult aggregates one Serve run: closed-loop throughput plus the
+// latency percentiles read back from the shared engine's per-query stats
+// histogram. Registry is that engine's metric registry, live for Prometheus
+// exposition after the run.
+type ServeResult struct {
+	Clients  int
+	Duration time.Duration
+	// Queries counts completed queries across all clients.
+	Queries uint64
+	// QPS is Queries divided by the measured wall time.
+	QPS float64
+	// P50/P95/P99 are wall-latency percentiles from the engine recorder's
+	// rasql_query_latency_nanos histogram (≤12.5% bucket error).
+	P50, P95, P99 time.Duration
+	// Registry is the serving engine's metric registry.
+	Registry *rasql.MetricsRegistry
+}

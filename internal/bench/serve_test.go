@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	rasql "github.com/rasql/rasql-go"
+)
+
+func TestServeConcurrentClients(t *testing.T) {
+	r := quickRunner()
+	var live *rasql.MetricsRegistry
+	tbl, res, err := r.Serve("fig8", 2, 300*time.Millisecond, func(reg *rasql.MetricsRegistry) { live = reg })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live == nil || live != res.Registry {
+		t.Error("started hook did not receive the serving engine's registry")
+	}
+	if res.Clients != 2 || res.Queries == 0 || res.QPS <= 0 {
+		t.Errorf("serve result = %+v, want positive throughput from 2 clients", res)
+	}
+	if res.P50 <= 0 || res.P95 < res.P50 || res.P99 < res.P95 {
+		t.Errorf("percentiles not ordered: p50=%v p95=%v p99=%v", res.P50, res.P95, res.P99)
+	}
+	if !strings.Contains(tbl.String(), "qps") {
+		t.Errorf("serve table missing qps column:\n%s", tbl)
+	}
+	// The serving engine's exposition must survive the strict parser.
+	var buf bytes.Buffer
+	if err := res.Registry.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := rasql.ValidatePrometheus(buf.Bytes()); err != nil {
+		t.Fatalf("serve exposition invalid: %v\n%s", err, buf.String())
+	}
+	// Counters attributed to the serve run feed TakeTotals like any other
+	// cluster-backed measurement.
+	if m := r.TakeTotals(); m.ShuffleRecords == 0 {
+		t.Error("serve run attributed no shuffle records to the totals accumulator")
+	}
+}
+
+func TestServeRejectsBadArguments(t *testing.T) {
+	r := quickRunner()
+	if _, _, err := r.Serve("table3", 2, time.Second, nil); err == nil {
+		t.Error("experiment without a serving workload accepted")
+	}
+	if _, _, err := r.Serve("fig5", 0, time.Second, nil); err == nil {
+		t.Error("zero clients accepted")
+	}
+	if _, _, err := r.Serve("fig5", 2, 0, nil); err == nil {
+		t.Error("zero duration accepted")
+	}
+}

@@ -23,6 +23,8 @@ package cluster
 import (
 	"runtime"
 	"sync/atomic"
+
+	"github.com/rasql/rasql-go/internal/obs"
 )
 
 // Policy chooses which worker runs each task of a stage.
@@ -121,12 +123,25 @@ type Cluster struct {
 	// result in here when their QueryContext finishes; the counters are
 	// atomic, so concurrent folds and snapshots need no lock.
 	Metrics Metrics
+	// queryID issues engine-wide query sequence numbers (1-based); the ID
+	// stamps the query's trace events, its QueryStats record and its
+	// query-log line.
+	queryID atomic.Uint64
+	// observer, when non-nil, receives the lifecycle of every query: a
+	// QueryStarted at NewQuery and one QueryStats fold at Finish. Set once
+	// at engine construction, before any query runs.
+	observer obs.QueryObserver
 }
 
 // New creates a cluster from the config (zero values get defaults).
 func New(cfg Config) *Cluster {
 	return &Cluster{cfg: cfg.withDefaults()}
 }
+
+// SetObserver attaches the per-query stats observer (the engine's metrics
+// recorder). Call before running queries: the field is read un-locked by
+// every NewQuery/Finish.
+func (c *Cluster) SetObserver(o obs.QueryObserver) { c.observer = o }
 
 // Config returns the effective (defaulted) configuration.
 func (c *Cluster) Config() Config { return c.cfg }

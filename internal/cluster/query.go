@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/rasql/rasql-go/internal/obs"
 	"github.com/rasql/rasql-go/internal/relation"
 	"github.com/rasql/rasql-go/internal/trace"
 	"github.com/rasql/rasql-go/internal/types"
@@ -22,9 +23,14 @@ import (
 type QueryContext struct {
 	c   *Cluster
 	cfg Config
+	// ID is the engine-wide query sequence number (1-based). It stamps the
+	// query's trace events (via the per-query tracer handle), its
+	// QueryStats record and its query-log line.
+	ID uint64
 	// Tracer, when non-nil, records stage and task spans (one track per
 	// worker). The nil default costs one pointer check per stage; the
-	// per-task span is only built when span recording is on.
+	// per-task span is only built when span recording is on. NewQuery
+	// derives a per-query handle stamping ID onto every event.
 	Tracer *trace.Tracer
 	// Metrics counts this query's work. Finish folds it into the cluster's
 	// lifetime totals; read it directly for a per-query snapshot.
@@ -49,6 +55,16 @@ type QueryContext struct {
 	// of the query's own stage sequence — independent of what other queries
 	// run on the cluster.
 	chaos *injector
+	// started anchors the query's end-to-end latency (QueryStats.WallNanos)
+	// on the sanctioned metrics stopwatch.
+	started stopwatch
+	// mode / fallback record the fixpoint evaluation mode that actually ran
+	// and why a relaxed request was downgraded, for the QueryStats fold
+	// (set by the fixpoint driver via SetMode).
+	mode, fallback string
+	// errText is the query's failure message ("" on success), set by the
+	// engine via SetErr before Finish.
+	errText string
 	// finished guards against double-folding the per-query counters.
 	finished bool
 }
@@ -57,22 +73,74 @@ type QueryContext struct {
 // (tracing off). Call Finish when the query completes to fold the per-query
 // counters into the cluster's lifetime totals.
 func (c *Cluster) NewQuery(tr *trace.Tracer) *QueryContext {
-	q := &QueryContext{c: c, cfg: c.cfg, Tracer: tr, Metrics: &Metrics{}}
+	id := c.queryID.Add(1)
+	q := &QueryContext{
+		c: c, cfg: c.cfg, ID: id,
+		Tracer:  tr.ForQuery(int64(id)),
+		Metrics: &Metrics{},
+		started: startStopwatch(),
+	}
 	if c.cfg.Chaos.Enabled() {
 		q.chaos = newInjector(c.cfg.Chaos, c.cfg.Workers)
+	}
+	if c.observer != nil {
+		c.observer.QueryStarted()
 	}
 	return q
 }
 
-// Finish folds this query's counters into the cluster's lifetime totals.
-// Idempotent: only the first call folds, so it is safe to defer and also
-// call early.
+// SetMode records the fixpoint evaluation mode that actually ran and, when a
+// relaxed request was downgraded to BSP, the reason — surfaced on the
+// query's QueryStats record.
+func (q *QueryContext) SetMode(mode, fallback string) {
+	q.mode, q.fallback = mode, fallback
+}
+
+// SetErr records the query's failure for the QueryStats fold; a nil err is
+// a no-op. Call before Finish.
+func (q *QueryContext) SetErr(err error) {
+	if err != nil {
+		q.errText = err.Error()
+	}
+}
+
+// Finish folds this query's counters into the cluster's lifetime totals and
+// hands the query's QueryStats record to the cluster observer (latency
+// percentiles, QPS, per-query attribution). Idempotent: only the first call
+// folds, so it is safe to defer and also call early.
 func (q *QueryContext) Finish() {
 	if q.finished {
 		return
 	}
 	q.finished = true
-	q.c.Metrics.AddSnapshot(q.Metrics.Snapshot())
+	snap := q.Metrics.Snapshot()
+	q.c.Metrics.AddSnapshot(snap)
+	if q.c.observer != nil {
+		q.c.observer.ObserveQuery(q.Stats(snap))
+	}
+}
+
+// Stats assembles the query's QueryStats record from a counter snapshot.
+// The latency reads the stopwatch at the call, so Finish-time stats cover
+// the whole query.
+func (q *QueryContext) Stats(snap Snapshot) obs.QueryStats {
+	return obs.QueryStats{
+		ID:                  q.ID,
+		WallNanos:           q.started.elapsedNanos(),
+		SimNanos:            snap.SimNanos,
+		Iterations:          snap.Iterations,
+		ShuffleBytes:        snap.ShuffleBytes,
+		ShuffleRecords:      snap.ShuffleRecords,
+		TaskRetries:         snap.TaskRetries,
+		RowsReplayed:        snap.RowsReplayed,
+		RecoveredIterations: snap.RecoveredIterations,
+		StaleReads:          snap.StaleReads,
+		SupersededRows:      snap.SupersededRows,
+		BarrierWaitNanos:    snap.BarrierWaitNanos,
+		Mode:                q.mode,
+		FallbackReason:      q.fallback,
+		Err:                 q.errText,
+	}
 }
 
 // Cluster returns the cluster this query runs on.

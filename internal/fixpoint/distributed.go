@@ -76,6 +76,9 @@ func Distributed(clique *analyze.Clique, ctx *exec.Context, c *cluster.QueryCont
 	}
 	res.Mode = opt.modeLabel()
 	res.FallbackReason = fallback
+	// Surface the mode on the query context so the per-query QueryStats
+	// fold (obs recorder, query log) attributes it without re-deriving.
+	c.SetMode(res.Mode, fallback)
 	return res, nil
 }
 

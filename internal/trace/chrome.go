@@ -9,34 +9,44 @@ import (
 
 // WriteChrome serializes the recorded events in the Chrome trace-event JSON
 // format (the one Perfetto and chrome://tracing load): an object with a
-// traceEvents array, timestamps and durations in microseconds. Each worker
-// renders as its own named thread track, iteration telemetry as B/E slices
-// plus counter series on a dedicated track.
+// traceEvents array, timestamps and durations in microseconds. Each query
+// renders as its own named process (pid = query ID), so concurrent queries
+// interleaved in one shared log stay distinguishable; within a process each
+// worker renders as its own named thread track, iteration telemetry as B/E
+// slices plus counter series on a dedicated track.
 func (t *Tracer) WriteChrome(w io.Writer) error {
 	events := t.Events()
 	sort.SliceStable(events, func(i, j int) bool { return events[i].TS < events[j].TS })
 
 	out := make([]map[string]any, 0, len(events)+8)
-	out = append(out, map[string]any{
-		"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
-		"args": map[string]any{"name": "rasql"},
-	})
-	seen := map[int]bool{}
+	type track struct {
+		pid int
+		tid int
+	}
+	seenPid := map[int]bool{}
+	seenTrack := map[track]bool{}
 	for _, e := range events {
-		if seen[e.Tid] {
-			continue
+		pid := chromePid(e.Qid)
+		if !seenPid[pid] {
+			seenPid[pid] = true
+			out = append(out, map[string]any{
+				"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+				"args": map[string]any{"name": processName(e.Qid)},
+			})
 		}
-		seen[e.Tid] = true
-		out = append(out, map[string]any{
-			"name": "thread_name", "ph": "M", "pid": 1, "tid": e.Tid,
-			"args": map[string]any{"name": trackName(e.Tid)},
-		})
+		if k := (track{pid, e.Tid}); !seenTrack[k] {
+			seenTrack[k] = true
+			out = append(out, map[string]any{
+				"name": "thread_name", "ph": "M", "pid": pid, "tid": e.Tid,
+				"args": map[string]any{"name": trackName(e.Tid)},
+			})
+		}
 	}
 	for _, e := range events {
 		ev := map[string]any{
 			"name": e.Name,
 			"ph":   string(e.Phase),
-			"pid":  1,
+			"pid":  chromePid(e.Qid),
 			"tid":  e.Tid,
 			"ts":   float64(e.TS) / 1e3,
 		}
@@ -60,6 +70,24 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 		"traceEvents":     out,
 		"displayTimeUnit": "ms",
 	})
+}
+
+// chromePid maps a query ID to its Chrome process id. Query 1 and the root
+// handle (qid 0) share pid 1, so single-query traces keep the layout every
+// existing consumer knows; later queries get their own process.
+func chromePid(qid int64) int {
+	if qid <= 1 {
+		return 1
+	}
+	return int(qid)
+}
+
+// processName labels a query's process track.
+func processName(qid int64) string {
+	if qid <= 1 {
+		return "rasql"
+	}
+	return "rasql query " + itoa(int(qid))
 }
 
 func trackName(tid int) string {
@@ -87,6 +115,9 @@ type chromeEvent struct {
 // as {"traceEvents": [...]} or a bare event array, every event carrying a
 // name, a known phase and a non-negative timestamp, timestamps monotone
 // non-decreasing per track, and B/E pairs balanced with matching names.
+// A track is a (pid, tid) pair: concurrent queries export as separate
+// processes, so multi-query traces validate each query's spans and
+// timelines independently even though the events interleave in the file.
 func ValidateChrome(data []byte) error {
 	var wrapper struct {
 		TraceEvents []chromeEvent `json:"traceEvents"`
@@ -101,8 +132,12 @@ func ValidateChrome(data []byte) error {
 		return fmt.Errorf("trace: no events")
 	}
 
-	lastTS := map[int]float64{}
-	stacks := map[int][]string{}
+	type track struct {
+		pid int
+		tid int
+	}
+	lastTS := map[track]float64{}
+	stacks := map[track][]string{}
 	for i, e := range events {
 		where := fmt.Sprintf("event %d (%q)", i, e.Name)
 		if e.Name == "" {
@@ -123,31 +158,32 @@ func ValidateChrome(data []byte) error {
 		if ts < 0 {
 			return fmt.Errorf("trace: %s has negative timestamp %v", where, ts)
 		}
-		if prev, ok := lastTS[e.Tid]; ok && ts < prev {
-			return fmt.Errorf("trace: %s goes back in time on track %d (%v < %v)", where, e.Tid, ts, prev)
+		k := track{e.Pid, e.Tid}
+		if prev, ok := lastTS[k]; ok && ts < prev {
+			return fmt.Errorf("trace: %s goes back in time on track %d/%d (%v < %v)", where, e.Pid, e.Tid, ts, prev)
 		}
-		lastTS[e.Tid] = ts
+		lastTS[k] = ts
 		switch e.Ph {
 		case "X":
 			if e.Dur < 0 {
 				return fmt.Errorf("trace: %s has negative duration %v", where, e.Dur)
 			}
 		case "B":
-			stacks[e.Tid] = append(stacks[e.Tid], e.Name)
+			stacks[k] = append(stacks[k], e.Name)
 		case "E":
-			st := stacks[e.Tid]
+			st := stacks[k]
 			if len(st) == 0 {
-				return fmt.Errorf("trace: %s ends a span that never began on track %d", where, e.Tid)
+				return fmt.Errorf("trace: %s ends a span that never began on track %d/%d", where, e.Pid, e.Tid)
 			}
 			if top := st[len(st)-1]; top != e.Name {
-				return fmt.Errorf("trace: %s ends while %q is open on track %d", where, top, e.Tid)
+				return fmt.Errorf("trace: %s ends while %q is open on track %d/%d", where, top, e.Pid, e.Tid)
 			}
-			stacks[e.Tid] = st[:len(st)-1]
+			stacks[k] = st[:len(st)-1]
 		}
 	}
-	for tid, st := range stacks {
+	for k, st := range stacks {
 		if len(st) > 0 {
-			return fmt.Errorf("trace: track %d has %d unclosed span(s), first %q", tid, len(st), st[0])
+			return fmt.Errorf("trace: track %d/%d has %d unclosed span(s), first %q", k.pid, k.tid, len(st), st[0])
 		}
 	}
 	return nil

@@ -57,6 +57,11 @@ type Arg struct {
 type Event struct {
 	Name  string
 	Phase byte
+	// Qid is the query ID of the per-query tracer handle that recorded the
+	// event (see ForQuery); 0 for events recorded on the root handle. The
+	// Chrome export renders each query as its own process, so interleaved
+	// concurrent-query traces stay distinguishable.
+	Qid   int64
 	Tid   int
 	TS    int64
 	Dur   int64 // 'X' only
@@ -89,6 +94,10 @@ type IterationEvent struct {
 	// PartRows holds the per-partition all-relation row counts after the
 	// merge — the skew profile.
 	PartRows []int
+	// Qid is the query ID of the per-query tracer handle that recorded the
+	// event (0 on the root handle), so concurrent queries' convergence
+	// series separate cleanly.
+	Qid int64
 	// Relaxed marks events from barrier-relaxed (SSP/async) execution,
 	// where the staleness telemetry below is meaningful; BSP events leave
 	// it false and render those columns as absent.
@@ -126,10 +135,22 @@ func (e *IterationEvent) Skew() float64 {
 
 // Tracer records execution events. It is safe for concurrent use by the
 // driver and worker goroutines; a nil Tracer is the disabled tracer.
+//
+// A Tracer is a handle onto a shared event log: ForQuery derives per-query
+// handles that stamp their query ID onto every event while appending to the
+// same log, so one engine-attached tracer collects interleaved concurrent
+// queries without losing attribution.
 type Tracer struct {
 	level Level
 	start startRef
+	// qid stamps every event this handle records (0 on the root handle).
+	qid int64
+	log *eventLog
+}
 
+// eventLog is the shared append-only store behind one tracer and all of its
+// per-query handles.
+type eventLog struct {
 	// mu guards the event logs; every append and read locks it (checked by
 	// the guardedby analyzer).
 	mu sync.Mutex
@@ -141,14 +162,33 @@ type Tracer struct {
 
 // New creates a full tracer: spans and iteration events.
 func New() *Tracer {
-	return &Tracer{level: LevelSpans, start: startClock()}
+	return &Tracer{level: LevelSpans, start: startClock(), log: &eventLog{}}
 }
 
 // NewIterationsOnly creates a tracer that records iteration events but
 // drops spans — the mode the benchmark runner uses so convergence curves
 // come out of measured runs without per-task tracing overhead.
 func NewIterationsOnly() *Tracer {
-	return &Tracer{level: LevelIterations, start: startClock()}
+	return &Tracer{level: LevelIterations, start: startClock(), log: &eventLog{}}
+}
+
+// ForQuery derives a per-query handle: same level, clock base and event log,
+// with qid stamped onto every event the handle records. Nil-safe (the
+// disabled tracer derives itself). The cluster calls it once per
+// QueryContext, so the one allocation amortizes over the query.
+func (t *Tracer) ForQuery(qid int64) *Tracer {
+	if t == nil {
+		return nil
+	}
+	return &Tracer{level: t.level, start: t.start, qid: qid, log: t.log}
+}
+
+// Qid returns the handle's query ID (0 for the root handle or nil).
+func (t *Tracer) Qid() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.qid
 }
 
 // Enabled reports whether the tracer records anything (nil = disabled).
@@ -268,18 +308,19 @@ func (t *Tracer) EmitIteration(ev IterationEvent) {
 // a B/E span pair and counter samples for the convergence curves.
 func (t *Tracer) recordIteration(ev IterationEvent) {
 	name := "iteration " + itoa(ev.Iter)
-	t.mu.Lock()
-	t.iters = append(t.iters, ev)
+	ev.Qid = t.qid
+	t.log.mu.Lock()
+	t.log.iters = append(t.log.iters, ev)
 	if t.level >= LevelSpans {
-		t.events = append(t.events,
-			Event{Name: name, Phase: 'B', Tid: TidIterations, TS: ev.StartNS},
-			Event{Name: name, Phase: 'E', Tid: TidIterations, TS: ev.EndNS},
-			Event{Name: "delta rows", Phase: 'C', Tid: TidIterations, TS: ev.EndNS, Args: []Arg{{"rows", int64(ev.DeltaRows)}}},
-			Event{Name: "all rows", Phase: 'C', Tid: TidIterations, TS: ev.EndNS, Args: []Arg{{"rows", int64(ev.AllRows)}}},
-			Event{Name: "shuffle bytes/iter", Phase: 'C', Tid: TidIterations, TS: ev.EndNS, Args: []Arg{{"bytes", ev.ShuffleBytes}}},
+		t.log.events = append(t.log.events,
+			Event{Name: name, Phase: 'B', Qid: t.qid, Tid: TidIterations, TS: ev.StartNS},
+			Event{Name: name, Phase: 'E', Qid: t.qid, Tid: TidIterations, TS: ev.EndNS},
+			Event{Name: "delta rows", Phase: 'C', Qid: t.qid, Tid: TidIterations, TS: ev.EndNS, Args: []Arg{{"rows", int64(ev.DeltaRows)}}},
+			Event{Name: "all rows", Phase: 'C', Qid: t.qid, Tid: TidIterations, TS: ev.EndNS, Args: []Arg{{"rows", int64(ev.AllRows)}}},
+			Event{Name: "shuffle bytes/iter", Phase: 'C', Qid: t.qid, Tid: TidIterations, TS: ev.EndNS, Args: []Arg{{"bytes", ev.ShuffleBytes}}},
 		)
 	}
-	t.mu.Unlock()
+	t.log.mu.Unlock()
 }
 
 // EndAt is End with the iteration number resolved late — for evaluators
@@ -302,19 +343,21 @@ func (t *Tracer) Instant(name string, tid int, args ...Arg) {
 }
 
 func (t *Tracer) append(e Event) {
-	t.mu.Lock()
-	t.events = append(t.events, e)
-	t.mu.Unlock()
+	e.Qid = t.qid
+	t.log.mu.Lock()
+	t.log.events = append(t.log.events, e)
+	t.log.mu.Unlock()
 }
 
-// Events returns a copy of the recorded events.
+// Events returns a copy of the recorded events (all queries' handles share
+// one log, so a root handle sees every query's events).
 func (t *Tracer) Events() []Event {
 	if t == nil {
 		return nil
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return append([]Event(nil), t.events...)
+	t.log.mu.Lock()
+	defer t.log.mu.Unlock()
+	return append([]Event(nil), t.log.events...)
 }
 
 // Iterations returns a copy of the recorded iteration telemetry, in
@@ -323,9 +366,9 @@ func (t *Tracer) Iterations() []IterationEvent {
 	if t == nil {
 		return nil
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return append([]IterationEvent(nil), t.iters...)
+	t.log.mu.Lock()
+	defer t.log.mu.Unlock()
+	return append([]IterationEvent(nil), t.log.iters...)
 }
 
 // SpanStat aggregates the 'X' spans sharing one name.

@@ -186,3 +186,83 @@ func BenchmarkEnabledSpan(b *testing.B) {
 		tr.Begin("task", 1).End()
 	}
 }
+
+// TestMultiQueryChrome drives two per-query tracer handles over one shared
+// log from concurrent goroutines: the export must give each query its own
+// named process (pid = query ID), and ValidateChrome must accept the
+// interleaved file because it tracks spans and timelines per (pid, tid).
+func TestMultiQueryChrome(t *testing.T) {
+	root := New()
+	done := make(chan struct{})
+	for q := 1; q <= 2; q++ {
+		go func(q int) {
+			defer func() { done <- struct{}{} }()
+			tr := root.ForQuery(int64(q))
+			if tr.Qid() != int64(q) {
+				t.Errorf("ForQuery(%d).Qid() = %d", q, tr.Qid())
+			}
+			sp := tr.Begin("fixpoint", TidDriver)
+			for i := 0; i < 50; i++ {
+				tr.BeginArgs("task", TidWorker(i%4), Arg{"part", int64(i)}).End()
+			}
+			sp.End()
+		}(q)
+	}
+	<-done
+	<-done
+
+	events := root.Events()
+	if len(events) != 2*(1+50) {
+		t.Fatalf("shared log holds %d events, want %d", len(events), 2*(1+50))
+	}
+	byQid := map[int64]int{}
+	for _, e := range events {
+		byQid[e.Qid]++
+	}
+	if byQid[1] != 51 || byQid[2] != 51 {
+		t.Fatalf("per-query event counts = %v, want 51 each", byQid)
+	}
+
+	var buf bytes.Buffer
+	if err := root.WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	if err := ValidateChrome(buf.Bytes()); err != nil {
+		t.Fatalf("multi-query trace does not validate: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"rasql"`, `"rasql query 2"`, `"pid":2`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chrome output missing %s", want)
+		}
+	}
+}
+
+// TestValidateChromePerTrack checks that validation state is per (pid, tid)
+// track: interleavings that are legal across queries stay legal, while the
+// same shapes on one track still fail.
+func TestValidateChromePerTrack(t *testing.T) {
+	// Query 2's span opens inside query 1's and outlives it; timestamps
+	// rewind between pids. Legal: the tracks are independent.
+	ok := `[{"name":"a","ph":"B","pid":1,"tid":0,"ts":10},
+	        {"name":"b","ph":"B","pid":2,"tid":0,"ts":5},
+	        {"name":"a","ph":"E","pid":1,"tid":0,"ts":20},
+	        {"name":"b","ph":"E","pid":2,"tid":0,"ts":30}]`
+	if err := ValidateChrome([]byte(ok)); err != nil {
+		t.Errorf("cross-pid interleaving rejected: %v", err)
+	}
+	// Same interleaving with one pid: mismatched nesting on a single track.
+	bad := `[{"name":"a","ph":"B","pid":1,"tid":0,"ts":10},
+	         {"name":"b","ph":"B","pid":1,"tid":0,"ts":15},
+	         {"name":"a","ph":"E","pid":1,"tid":0,"ts":20},
+	         {"name":"b","ph":"E","pid":1,"tid":0,"ts":30}]`
+	if err := ValidateChrome([]byte(bad)); err == nil {
+		t.Error("mismatched nesting on one track validated but should not have")
+	}
+	// Unclosed span diagnostics name the track.
+	unclosed := `[{"name":"a","ph":"B","pid":3,"tid":7,"ts":1}]`
+	err := ValidateChrome([]byte(unclosed))
+	if err == nil || !strings.Contains(err.Error(), "3/7") {
+		t.Errorf("unclosed-span error %v does not name track 3/7", err)
+	}
+}

@@ -1,0 +1,172 @@
+package rasql_test
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	rasql "github.com/rasql/rasql-go"
+)
+
+const ssspQuery = `
+	WITH recursive path (Dst, min() AS Cost) AS
+	    (SELECT 1, 0.0) UNION
+	    (SELECT edge.Dst, path.Cost + edge.Cost
+	     FROM path, edge WHERE path.Dst = edge.Src)
+	SELECT Dst, Cost FROM path`
+
+// TestQueryStatsFold checks the full per-query stats pipeline: every Exec
+// folds one QueryStats into the engine recorder, carrying the query ID,
+// latency, iteration count, shuffle attribution and the fixpoint mode.
+func TestQueryStatsFold(t *testing.T) {
+	eng := rasql.New(rasql.Config{})
+	eng.MustRegister(weightedEdges())
+	if _, ok := eng.Observability().Last(); ok {
+		t.Fatal("fresh engine already has a QueryStats record")
+	}
+	if _, err := eng.Query(ssspQuery); err != nil {
+		t.Fatal(err)
+	}
+	s, ok := eng.Observability().Last()
+	if !ok {
+		t.Fatal("no QueryStats after a successful query")
+	}
+	if s.ID != 1 {
+		t.Errorf("first query ID = %d, want 1", s.ID)
+	}
+	if s.WallNanos <= 0 || s.Iterations <= 0 || s.ShuffleBytes <= 0 {
+		t.Errorf("stats not attributed: wall=%d iters=%d shuffle=%d", s.WallNanos, s.Iterations, s.ShuffleBytes)
+	}
+	if s.Mode != "bsp" {
+		t.Errorf("mode = %q, want bsp", s.Mode)
+	}
+	if s.Err != "" {
+		t.Errorf("Err = %q on a successful query", s.Err)
+	}
+
+	// A second query gets the next ID; a failing script records its error.
+	if _, err := eng.Query(`SELECT Nope FROM edge`); err == nil {
+		t.Fatal("bad query did not error")
+	}
+	s, _ = eng.Observability().Last()
+	if s.ID != 2 || s.Err == "" {
+		t.Errorf("failed query stats = ID %d, Err %q; want ID 2 with error text", s.ID, s.Err)
+	}
+	if got := len(eng.Observability().Recent()); got != 2 {
+		t.Errorf("Recent() holds %d records, want 2", got)
+	}
+}
+
+// TestQueryStatsLocalMode checks mode attribution on the local-engine paths:
+// a forced-local engine and a clique the distributed engine rejects.
+func TestQueryStatsLocalMode(t *testing.T) {
+	eng := rasql.New(rasql.Config{ForceLocal: true})
+	eng.MustRegister(weightedEdges())
+	if _, err := eng.Query(ssspQuery); err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := eng.Observability().Last(); s.Mode != "local" {
+		t.Errorf("forced-local mode = %q, want local", s.Mode)
+	}
+
+	// Non-linear recursion falls back to the local engine with a reason.
+	eng2 := rasql.New(rasql.Config{})
+	eng2.MustRegister(plainEdges([2]int64{1, 2}, [2]int64{2, 3}))
+	nonlinear := `
+		WITH recursive tc (Src, Dst) AS
+		    (SELECT Src, Dst FROM edge) UNION
+		    (SELECT a.Src, b.Dst FROM tc a, tc b WHERE a.Dst = b.Src)
+		SELECT count(*) FROM tc`
+	if _, err := eng2.Query(nonlinear); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := eng2.Observability().Last()
+	if s.Mode != "local" || s.FallbackReason == "" {
+		t.Errorf("non-linear clique stats = mode %q, fallback %q; want local with a reason", s.Mode, s.FallbackReason)
+	}
+}
+
+// TestConcurrentQueryStats runs queries from many goroutines on one engine:
+// every query must fold exactly once with a unique ID, and the registry
+// exposition must stay strict-parser clean under concurrent scrapes.
+func TestConcurrentQueryStats(t *testing.T) {
+	eng := rasql.New(rasql.Config{})
+	eng.MustRegister(weightedEdges())
+	const goroutines, perG = 4, 5
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if _, err := eng.Query(ssspQuery); err != nil {
+					t.Error(err)
+					return
+				}
+				var buf bytes.Buffer
+				if err := eng.Observability().Registry().WritePrometheus(&buf); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := rasql.ValidatePrometheus(buf.Bytes()); err != nil {
+					t.Errorf("mid-run exposition invalid: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	recent := eng.Observability().Recent()
+	if len(recent) != goroutines*perG {
+		t.Fatalf("recorded %d QueryStats, want %d", len(recent), goroutines*perG)
+	}
+	ids := map[uint64]bool{}
+	for _, s := range recent {
+		if ids[s.ID] {
+			t.Errorf("duplicate query ID %d", s.ID)
+		}
+		ids[s.ID] = true
+		if s.Err != "" {
+			t.Errorf("query %d recorded error %q", s.ID, s.Err)
+		}
+	}
+	if h := eng.Observability().QueryLatency(); h.Count() != goroutines*perG {
+		t.Errorf("latency histogram count = %d, want %d", h.Count(), goroutines*perG)
+	}
+}
+
+// TestConcurrentQueriesTraceExport attaches one tracer while concurrent
+// queries run: the shared log must export per-query processes that pass
+// Chrome validation.
+func TestConcurrentQueriesTraceExport(t *testing.T) {
+	eng := rasql.New(rasql.Config{})
+	eng.MustRegister(weightedEdges())
+	eng.SetTracer(rasql.NewTracer())
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := eng.Query(ssspQuery); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	var buf bytes.Buffer
+	if err := eng.Tracer().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := rasql.ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatalf("concurrent-query trace does not validate: %v", err)
+	}
+	out := buf.String()
+	// Three queries: qid 1 shares pid 1 with the root handle, 2 and 3 get
+	// their own named processes.
+	for _, want := range []string{`"rasql query 2"`, `"rasql query 3"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing process name %s", want)
+		}
+	}
+}

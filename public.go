@@ -5,6 +5,7 @@ import (
 
 	"github.com/rasql/rasql-go/internal/cluster"
 	"github.com/rasql/rasql-go/internal/fixpoint"
+	"github.com/rasql/rasql-go/internal/obs"
 	"github.com/rasql/rasql-go/internal/relation"
 	"github.com/rasql/rasql-go/internal/sql/vet"
 	"github.com/rasql/rasql-go/internal/trace"
@@ -71,6 +72,38 @@ func ParseEvalMode(s string) (EvalMode, int, error) { return fixpoint.ParseEvalM
 
 // MetricsSnapshot is a copy of the cluster's execution counters.
 type MetricsSnapshot = cluster.Snapshot
+
+// QueryStats is one finished query's execution record: wall/simulated
+// latency, iteration count, shuffle volume, fault-recovery and staleness
+// counters, plus the fixpoint mode that actually ran. Every query folds one
+// into the engine's recorder at Finish (see Engine.Observability).
+type QueryStats = obs.QueryStats
+
+// MetricsRecorder is the engine's observability hub: per-query stats fold
+// into registry histograms, a bounded ring keeps recent QueryStats, and an
+// optional slog logger gets one structured line per finished query.
+type MetricsRecorder = obs.Recorder
+
+// MetricsRegistry is a registry of named counters, gauges and histograms
+// with Prometheus text-format exposition (WritePrometheus).
+type MetricsRegistry = obs.Registry
+
+// Histogram is a fixed-bucket, allocation-free atomic latency histogram
+// (log-spaced buckets, ≤12.5% relative error, wait-free Observe).
+type Histogram = obs.Histogram
+
+// ValidatePrometheus strictly parses data as Prometheus text exposition
+// format 0.0.4 and checks histogram invariants (increasing bounds,
+// cumulative counts, +Inf bucket matching _count) — the validation the CI
+// metrics smoke test runs on exported metrics.
+func ValidatePrometheus(data []byte) error { _, err := obs.ParsePrometheus(data); return err }
+
+// ServeMetrics starts an HTTP listener exposing the registry in Prometheus
+// text format at every path. It returns the bound address (useful with
+// ":0") and never blocks; the listener lives for the rest of the process.
+func ServeMetrics(addr string, reg *MetricsRegistry) (string, error) {
+	return obs.ListenAndServe(addr, reg)
+}
 
 // Tracer records structured execution traces: driver-phase, stage and task
 // spans plus per-iteration fixpoint telemetry. Attach one with

@@ -26,6 +26,7 @@ import (
 
 	"github.com/rasql/rasql-go/internal/cluster"
 	"github.com/rasql/rasql-go/internal/fixpoint"
+	"github.com/rasql/rasql-go/internal/obs"
 	"github.com/rasql/rasql-go/internal/relation"
 	"github.com/rasql/rasql-go/internal/sql/analyze"
 	"github.com/rasql/rasql-go/internal/sql/ast"
@@ -70,6 +71,10 @@ type Engine struct {
 	cfg     Config
 	cat     *catalog.Catalog
 	cluster *cluster.Cluster
+	// obs is the engine's metrics recorder: every finished query folds its
+	// QueryStats into the registry histograms, the recent-query ring and
+	// (when attached) the structured query log.
+	obs *obs.Recorder
 
 	// mu guards the engine-attached tracer; queries snapshot it when they
 	// start, so SetTracer mid-query affects only later queries.
@@ -90,7 +95,9 @@ func New(cfg Config) *Engine {
 		cfg.ForceLocal = true
 		cfg.Fixpoint.Naive = true
 	}
-	return &Engine{cfg: cfg, cat: catalog.New(), cluster: cluster.New(cfg.Cluster)}
+	e := &Engine{cfg: cfg, cat: catalog.New(), cluster: cluster.New(cfg.Cluster), obs: obs.NewRecorder()}
+	e.cluster.SetObserver(e.obs)
+	return e
 }
 
 // Register adds a base table to the catalog.
@@ -108,6 +115,11 @@ func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
 
 // Metrics returns a snapshot of the simulated cluster's counters.
 func (e *Engine) Metrics() cluster.Snapshot { return e.cluster.Metrics.Snapshot() }
+
+// Observability returns the engine's metrics recorder: per-query stats
+// histograms, the recent-query ring and the Prometheus registry. The recorder
+// lives as long as the engine and is safe for concurrent use.
+func (e *Engine) Observability() *obs.Recorder { return e.obs }
 
 // ResetMetrics zeroes the cluster counters.
 func (e *Engine) ResetMetrics() { e.cluster.Metrics.Reset() }
@@ -135,7 +147,9 @@ func (e *Engine) Tracer() *trace.Tracer {
 func (e *Engine) Exec(src string) (*relation.Relation, error) {
 	qc := e.cluster.NewQuery(e.Tracer())
 	defer qc.Finish()
-	return e.exec(qc, src)
+	rel, err := e.exec(qc, src)
+	qc.SetErr(err)
+	return rel, err
 }
 
 // exec runs a script under one per-query cluster context. Analysis reads a
@@ -230,7 +244,9 @@ func (e *Engine) Vet(src string) (*vet.Report, error) {
 func (e *Engine) Run(prog *analyze.Program) (*relation.Relation, error) {
 	qc := e.cluster.NewQuery(e.Tracer())
 	defer qc.Finish()
-	return e.run(qc, prog)
+	rel, err := e.run(qc, prog)
+	qc.SetErr(err)
+	return rel, err
 }
 
 func (e *Engine) run(qc *cluster.QueryContext, prog *analyze.Program) (*relation.Relation, error) {
@@ -258,7 +274,9 @@ func (e *Engine) RunClique(prog *analyze.Program) (*fixpoint.Result, error) {
 	}
 	qc := e.cluster.NewQuery(e.Tracer())
 	defer qc.Finish()
-	return e.runClique(qc, prog.Clique, exec.NewContext())
+	res, err := e.runClique(qc, prog.Clique, exec.NewContext())
+	qc.SetErr(err)
+	return res, err
 }
 
 func (e *Engine) runClique(qc *cluster.QueryContext, clique *analyze.Clique, ctx *exec.Context) (*fixpoint.Result, error) {
@@ -267,6 +285,7 @@ func (e *Engine) runClique(qc *cluster.QueryContext, clique *analyze.Clique, ctx
 		opt.Tracer = qc.Tracer
 	}
 	if e.cfg.ForceLocal {
+		qc.SetMode("local", "")
 		return fixpoint.Local(clique, ctx, opt.Options)
 	}
 	res, err := fixpoint.Distributed(clique, ctx, qc, opt)
@@ -278,6 +297,7 @@ func (e *Engine) runClique(qc *cluster.QueryContext, clique *analyze.Clique, ctx
 		// Mutual recursion and non-linear rules run on the exact local
 		// engine — the distributed engine covers the linear fragment the
 		// paper benchmarks.
+		qc.SetMode("local", nd.Reason)
 		return fixpoint.Local(clique, ctx, opt.Options)
 	}
 	return nil, err
