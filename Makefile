@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race race-concurrent ssp-differential fuzz lint rasql-lint allocs metrics-smoke golangci ci
+.PHONY: build test vet race race-concurrent race-server ssp-differential fuzz lint rasql-lint allocs metrics-smoke serve-smoke golangci ci
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,15 @@ race:
 # engine, many goroutines, results must match a sequential oracle.
 race-concurrent:
 	$(GO) test -race -shuffle=on -run TestConcurrent .
+
+# Differential proof of the serving layer (DESIGN.md §14): all example
+# queries through a real HTTP server — fresh and shared sessions, 8
+# concurrent HTTP clients — must match the in-process oracle, and the
+# plan cache must hold its counter invariant under DDL churn, all under
+# the race detector.
+race-server:
+	$(GO) test -race -shuffle=on -run 'TestServerDifferential|TestServerConcurrentClients' .
+	$(GO) test -race -shuffle=on -run TestPlanCacheConcurrentStress ./internal/server/
 
 # Differential proof of the barrier-relaxed modes (DESIGN.md §11): every
 # example query under ssp:1/ssp:4/async must match the BSP oracle, with
@@ -60,6 +69,26 @@ metrics-smoke:
 	./bin/rasql prom-verify metrics.prom
 	jq -e 'length == 2 and all(.[]; .qps > 0 and .p50_nanos > 0 and .p99_nanos >= .p50_nanos and .queries > 0)' bench-metrics.json
 
+# Serving lifecycle smoke (DESIGN.md §14): start rasqld on the demo
+# graph, run two HTTP queries (the second must hit the plan cache),
+# scrape /metrics, SIGTERM, and require a clean drain (exit 0); the
+# final exposition written by -metrics-out must survive prom-verify.
+serve-smoke:
+	$(GO) build -o bin/rasql ./cmd/rasql
+	$(GO) build -o bin/rasqld ./cmd/rasqld
+	./bin/rasqld -demo -listen 127.0.0.1:18123 -metrics-out rasqld-metrics.prom & \
+	pid=$$!; \
+	ok=0; for i in $$(seq 1 50); do \
+		if curl -sf 127.0.0.1:18123/healthz >/dev/null 2>&1; then ok=1; break; fi; sleep 0.1; \
+	done; test $$ok -eq 1; \
+	curl -sf 127.0.0.1:18123/v1/query -d '{"sql":"SELECT count(*) FROM edge"}' | grep -q '"row_count":1'; \
+	curl -sf 127.0.0.1:18123/v1/query -d '{"sql":"select COUNT(*) from EDGE"}' | grep -q '"cached":true'; \
+	curl -sf 127.0.0.1:18123/metrics | grep -q '^rasql_plan_cache_hits_total 1$$'; \
+	curl -sf 127.0.0.1:18123/readyz >/dev/null; \
+	kill -TERM $$pid; \
+	wait $$pid
+	./bin/rasql prom-verify rasqld-metrics.prom
+
 # Requires golangci-lint (https://golangci-lint.run); CI installs it via
 # the golangci-lint-action.
 golangci:
@@ -67,4 +96,4 @@ golangci:
 
 lint: rasql-lint
 
-ci: build vet test race race-concurrent ssp-differential rasql-lint allocs metrics-smoke
+ci: build vet test race race-concurrent race-server ssp-differential rasql-lint allocs metrics-smoke serve-smoke

@@ -1,0 +1,107 @@
+package rasql_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	rasql "github.com/rasql/rasql-go"
+	"github.com/rasql/rasql-go/queries"
+)
+
+// TestCancelAllEvaluatorModes proves the context threads from the public
+// API into every evaluator's iteration loop: a pre-cancelled context makes
+// each mode — local semi-naive, local naive, BSP two-stage, BSP combined,
+// decomposed, SSP(k) and async — stop at an iteration boundary with an
+// ErrFixpointCancelled that unwraps to context.Canceled.
+func TestCancelAllEvaluatorModes(t *testing.T) {
+	ssp1 := rasql.Config{}
+	ssp1.Fixpoint.Mode, ssp1.Fixpoint.Staleness = mustMode(t, "ssp:1")
+	async := rasql.Config{}
+	async.Fixpoint.Mode, async.Fixpoint.Staleness = mustMode(t, "async")
+
+	modes := []struct {
+		name  string
+		cfg   rasql.Config
+		query string
+	}{
+		{"local", rasql.Config{ForceLocal: true}, queries.SSSP},
+		{"local-naive", rasql.Config{Naive: true}, queries.SSSP},
+		// SSSP co-partitions: default config runs the combined (Algorithm 6)
+		// loop, RawOptimizations leaves stage combination off (Algorithm 4/5).
+		{"bsp-combined", rasql.Config{}, queries.SSSP},
+		{"bsp-two-stage", rasql.Config{RawOptimizations: true}, queries.SSSP},
+		// TC carries its Src column, so the default config decomposes it.
+		{"decomposed", rasql.Config{}, queries.TC},
+		{"ssp1", ssp1, queries.SSSP},
+		{"async", async, queries.SSSP},
+	}
+	for _, m := range modes {
+		m := m
+		t.Run(m.name, func(t *testing.T) {
+			eng := rasql.New(m.cfg)
+			eng.MustRegister(weightedEdges())
+
+			// Sanity: the query runs in this mode without a context.
+			if _, err := eng.Exec(m.query); err != nil {
+				t.Fatalf("uncancelled run: %v", err)
+			}
+
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			_, err := eng.ExecContext(ctx, m.query)
+			if err == nil {
+				t.Fatal("pre-cancelled context: query succeeded, want cancellation error")
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("error does not unwrap to context.Canceled: %v", err)
+			}
+			var fc *rasql.ErrFixpointCancelled
+			if !errors.As(err, &fc) {
+				t.Errorf("error is not an ErrFixpointCancelled: %v", err)
+			}
+		})
+	}
+}
+
+// TestCancelDeadline checks the deadline flavour: an already-expired
+// deadline surfaces as context.DeadlineExceeded through the same
+// iteration-boundary mechanism.
+func TestCancelDeadline(t *testing.T) {
+	eng := rasql.New(rasql.Config{})
+	eng.MustRegister(weightedEdges())
+	ctx, cancel := context.WithDeadline(context.Background(), time.Unix(0, 0))
+	defer cancel()
+	_, err := eng.ExecContext(ctx, queries.SSSP)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("expired deadline: err = %v, want context.DeadlineExceeded", err)
+	}
+	var fc *rasql.ErrFixpointCancelled
+	if !errors.As(err, &fc) {
+		t.Errorf("error is not an ErrFixpointCancelled: %v", err)
+	}
+	if fc != nil && fc.Iterations < 0 {
+		t.Errorf("negative iteration count: %d", fc.Iterations)
+	}
+}
+
+// TestQueryContextCancel covers the Query (set-semantics epilogue) variant.
+func TestQueryContextCancel(t *testing.T) {
+	eng := rasql.New(rasql.Config{})
+	eng.MustRegister(weightedEdges())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.QueryContext(ctx, queries.SSSP); !errors.Is(err, context.Canceled) {
+		t.Errorf("QueryContext: err = %v, want context.Canceled", err)
+	}
+}
+
+func mustMode(t *testing.T, s string) (rasql.EvalMode, int) {
+	t.Helper()
+	m, k, err := rasql.ParseEvalMode(s)
+	if err != nil {
+		t.Fatalf("ParseEvalMode(%q): %v", s, err)
+	}
+	return m, k
+}

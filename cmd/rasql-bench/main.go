@@ -58,6 +58,7 @@ func main() {
 		jsonOut   = flag.String("json", "BENCH_fixpoint.json", "write per-experiment machine-readable results to this file (empty to disable)")
 		chaosSpec = flag.String("chaos", "", "fault injection for every measurement: seed=N,rate=P[,attempts=K]")
 		clients   = flag.Int("clients", 0, "serving mode: closed-loop client goroutines sharing one engine (0 = figure mode)")
+		httpMode  = flag.Bool("server", false, "serving mode: drive a rasqld HTTP server over loopback instead of calling the engine in-process (records get server-* experiment ids plus plan-cache and cold-path columns)")
 		duration  = flag.Duration("duration", 5*time.Second, "serving mode: how long each experiment's clients run")
 		promOut   = flag.String("metrics-out", "", "serving mode: write the final engine's Prometheus exposition to this file")
 		promLn    = flag.String("metrics-listen", "", "serving mode: serve Prometheus metrics over HTTP on this address")
@@ -91,8 +92,12 @@ func main() {
 	}
 
 	if *clients > 0 {
-		serveMain(r, ids, *clients, *duration, *promOut, *promLn, *jsonOut, *md, *quiet)
+		serveMain(r, ids, *clients, *duration, *httpMode, *promOut, *promLn, *jsonOut, *md, *quiet)
 		return
+	}
+	if *httpMode {
+		fmt.Fprintln(os.Stderr, "rasql-bench: -server needs -clients N")
+		os.Exit(2)
 	}
 
 	exps := r.Experiments()
@@ -151,8 +156,10 @@ func main() {
 // serveMain runs the closed-loop concurrent-clients mode: for each selected
 // experiment, N client goroutines share one engine and the emitted record
 // carries throughput (qps) and latency percentiles alongside the usual
-// cluster counters.
-func serveMain(r *bench.Runner, ids []string, clients int, duration time.Duration, promOut, promLn, jsonOut string, md, quiet bool) {
+// cluster counters. With httpMode the clients are real HTTP clients against
+// the rasqld serving layer; records then carry server-* experiment ids plus
+// the plan-cache and cold-path columns.
+func serveMain(r *bench.Runner, ids []string, clients int, duration time.Duration, httpMode bool, promOut, promLn, jsonOut string, md, quiet bool) {
 	var cur atomic.Pointer[rasql.MetricsRegistry]
 	if promLn != "" {
 		addr, err := listenMetrics(promLn, &cur)
@@ -170,7 +177,13 @@ func serveMain(r *bench.Runner, ids []string, clients int, duration time.Duratio
 		var before runtime.MemStats
 		runtime.ReadMemStats(&before)
 		r.TakeTotals() // drop counters attributed to prior experiments
-		tbl, res, err := r.Serve(id, clients, duration, func(reg *rasql.MetricsRegistry) { cur.Store(reg) })
+		serve := r.Serve
+		record := id
+		if httpMode {
+			serve = r.ServeHTTP
+			record = "server-" + id
+		}
+		tbl, res, err := serve(id, clients, duration, func(reg *rasql.MetricsRegistry) { cur.Store(reg) })
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rasql-bench: %s: %v\n", id, err)
 			os.Exit(1)
@@ -179,7 +192,7 @@ func serveMain(r *bench.Runner, ids []string, clients int, duration time.Duratio
 		runtime.ReadMemStats(&after)
 		m := r.TakeTotals()
 		records = append(records, bench.Record{
-			Experiment:          id,
+			Experiment:          record,
 			WallNanos:           int64(res.Duration),
 			SimNanos:            m.SimNanos,
 			ShuffleBytes:        m.ShuffleBytes,
@@ -198,6 +211,10 @@ func serveMain(r *bench.Runner, ids []string, clients int, duration time.Duratio
 			P50Nanos:            int64(res.P50),
 			P95Nanos:            int64(res.P95),
 			P99Nanos:            int64(res.P99),
+			ColdP50Nanos:        int64(res.ColdP50),
+			WarmP50Nanos:        int64(res.WarmP50),
+			PlanCacheHits:       res.PlanCacheHits,
+			PlanCacheMisses:     res.PlanCacheMisses,
 		})
 		if md {
 			fmt.Println(tbl.Markdown())

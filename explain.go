@@ -90,7 +90,7 @@ func (e *Engine) ExplainAnalyze(src string) (string, error) {
 	}
 	preEvents, preIters := len(tr.Events()), len(tr.Iterations())
 	qc := e.cluster.NewQuery(tr)
-	rel, err := e.exec(qc, src)
+	rel, err := e.exec(qc, src, nil)
 	qc.Finish()
 	if err != nil {
 		return "", err

@@ -72,7 +72,7 @@ func TestEngineClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("whole-program load is not short")
 	}
-	pkgs, fset, err := analysis.LoadPackages("../..", ".", "./internal/cluster/...", "./internal/types/...", "./internal/fixpoint/...", "./internal/trace/...", "./internal/sql/...", "./internal/pregel/...", "./internal/gap/...")
+	pkgs, fset, err := analysis.LoadPackages("../..", ".", "./internal/cluster/...", "./internal/types/...", "./internal/fixpoint/...", "./internal/trace/...", "./internal/sql/...", "./internal/pregel/...", "./internal/gap/...", "./internal/server/...", "./cmd/rasqld/...")
 	if err != nil {
 		t.Fatalf("loading engine packages: %v", err)
 	}

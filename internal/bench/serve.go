@@ -133,8 +133,15 @@ type ServeResult struct {
 	// QPS is Queries divided by the measured wall time.
 	QPS float64
 	// P50/P95/P99 are wall-latency percentiles from the engine recorder's
-	// rasql_query_latency_nanos histogram (≤12.5% bucket error).
+	// rasql_query_latency_nanos histogram (≤12.5% bucket error). ServeHTTP
+	// fills them from exact client-observed wall times instead.
 	P50, P95, P99 time.Duration
+	// HTTP-mode extras (ServeHTTP only): the median cold-path latency
+	// (plan-cache miss, compile included), its sequential cache-hit
+	// counterpart, and the server plan cache's hit/miss counters at the
+	// end of the run.
+	ColdP50, WarmP50               time.Duration
+	PlanCacheHits, PlanCacheMisses int64
 	// Registry is the serving engine's metric registry.
 	Registry *rasql.MetricsRegistry
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -67,6 +68,11 @@ type QueryContext struct {
 	errText string
 	// finished guards against double-folding the per-query counters.
 	finished bool
+	// ctx carries the caller's cancellation/deadline signal down to the
+	// fixpoint drivers, which poll CheckCancel at iteration boundaries —
+	// mid-stage tasks always run to their barrier, so cancellation never
+	// leaves partition state half-written. Nil means "never cancelled".
+	ctx context.Context
 }
 
 // NewQuery opens a per-query execution context. The tracer may be nil
@@ -87,6 +93,40 @@ func (c *Cluster) NewQuery(tr *trace.Tracer) *QueryContext {
 		c.observer.QueryStarted()
 	}
 	return q
+}
+
+// SetContext attaches the caller's context to the query. The fixpoint
+// drivers poll it (via CheckCancel) at iteration boundaries, so an HTTP
+// deadline or client disconnect stops a running recursion between
+// iterations. Call before evaluation starts; a nil context is ignored.
+func (q *QueryContext) SetContext(ctx context.Context) {
+	if ctx != nil {
+		q.ctx = ctx
+	}
+}
+
+// Context returns the caller's context, or context.Background() when none
+// was attached.
+func (q *QueryContext) Context() context.Context {
+	if q.ctx == nil {
+		return context.Background()
+	}
+	return q.ctx
+}
+
+// CheckCancel is the iteration-boundary cancellation hook: it reports the
+// context's error once the attached context is done, and nil otherwise.
+// Non-blocking and cheap enough to call once per fixpoint iteration.
+func (q *QueryContext) CheckCancel() error {
+	if q.ctx == nil {
+		return nil
+	}
+	select {
+	case <-q.ctx.Done():
+		return q.ctx.Err()
+	default:
+		return nil
+	}
 }
 
 // SetMode records the fixpoint evaluation mode that actually ran and, when a

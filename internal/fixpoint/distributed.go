@@ -402,6 +402,9 @@ func runTwoStage(plan *Plan, state *viewState, kernels []*ruleKernel, seed [][]t
 		}
 		iter++
 		c.Metrics.Iterations.Add(1)
+		if err := checkCancel(opt.Context, iter-1); err != nil {
+			return nil, err
+		}
 		if iter > opt.maxIter() || (opt.MaxRows > 0 && state.len() > opt.MaxRows) {
 			return nil, &ErrNonTermination{Iterations: iter, Rows: state.len()}
 		}
@@ -491,6 +494,9 @@ func runCombined(plan *Plan, state *viewState, kernels []*ruleKernel, seed [][]t
 		// keep the metric comparable across execution modes.
 		if iter > 1 {
 			c.Metrics.Iterations.Add(1)
+		}
+		if err := checkCancel(opt.Context, iter-1); err != nil {
+			return nil, err
 		}
 		if iter > opt.maxIter() || (opt.MaxRows > 0 && state.len() > opt.MaxRows) {
 			return nil, &ErrNonTermination{Iterations: iter, Rows: state.len()}
@@ -598,6 +604,17 @@ func runDecomposed(plan *Plan, state *viewState, kernels []*ruleKernel, seed [][
 					tImp += im
 				}
 				local++
+				// Decomposed partitions have no global barrier, so each local
+				// round boundary is this partition's iteration boundary.
+				if err := checkCancel(opt.Context, local-1); err != nil {
+					failed.Store(true)
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
 				if local > opt.maxIter() || (opt.MaxRows > 0 && len(state.rows(p))*parts > opt.MaxRows) {
 					failed.Store(true)
 					mu.Lock()

@@ -13,6 +13,7 @@
 package fixpoint
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -39,6 +40,11 @@ type Options struct {
 	// (and, through the cluster, stage/task spans). Nil disables tracing
 	// at near-zero cost.
 	Tracer *trace.Tracer
+	// Context, when non-nil, is polled at every iteration boundary; once it
+	// is done the evaluation stops between iterations and returns an
+	// *ErrCancelled wrapping the context's error. Mid-iteration work always
+	// completes, so cancellation never observes a half-merged delta.
+	Context context.Context
 }
 
 func (o Options) maxIter() int {
@@ -81,6 +87,39 @@ type ErrNonTermination struct {
 // Error implements error.
 func (e *ErrNonTermination) Error() string {
 	return fmt.Sprintf("fixpoint: no fixpoint after %d iterations (%d rows accumulated); the query may not terminate on this input", e.Iterations, e.Rows)
+}
+
+// ErrCancelled reports a fixpoint stopped at an iteration boundary because
+// the caller's context was cancelled or its deadline expired. Cause is the
+// context's error, so errors.Is(err, context.DeadlineExceeded) (or
+// context.Canceled) sees through it.
+type ErrCancelled struct {
+	// Iterations counts the iterations that completed before the stop.
+	Iterations int
+	// Cause is the context error (context.Canceled or DeadlineExceeded).
+	Cause error
+}
+
+// Error implements error.
+func (e *ErrCancelled) Error() string {
+	return fmt.Sprintf("fixpoint: cancelled at iteration boundary after %d iterations: %v", e.Iterations, e.Cause)
+}
+
+// Unwrap exposes the context error for errors.Is/As.
+func (e *ErrCancelled) Unwrap() error { return e.Cause }
+
+// checkCancel polls ctx without blocking and converts a done context into
+// the iteration-boundary cancellation error.
+func checkCancel(ctx context.Context, iterations int) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return &ErrCancelled{Iterations: iterations, Cause: ctx.Err()}
+	default:
+		return nil
+	}
 }
 
 // deltaEntry is one tuple of a view's delta.
@@ -279,6 +318,9 @@ func Local(clique *analyze.Clique, ctx *exec.Context, opt Options) (*Result, err
 			break
 		}
 		iter++
+		if err := checkCancel(opt.Context, iter-1); err != nil {
+			return nil, err
+		}
 		if iter > opt.maxIter() || (opt.MaxRows > 0 && totalRows(views) > opt.MaxRows) {
 			return nil, &ErrNonTermination{Iterations: iter, Rows: totalRows(views)}
 		}
@@ -470,6 +512,9 @@ func localNaive(clique *analyze.Clique, ctx *exec.Context, opt Options) (*Result
 	iter := 0
 	for {
 		iter++
+		if err := checkCancel(opt.Context, iter-1); err != nil {
+			return nil, err
+		}
 		if iter > opt.maxIter() {
 			return nil, &ErrNonTermination{Iterations: iter, Rows: naiveRows(state)}
 		}

@@ -182,6 +182,13 @@ func runRelaxed(plan *Plan, state *viewState, kernels []*ruleKernel, seed [][]ty
 				// region quiesces without doing further work.
 				return nil
 			}
+			// Relaxed execution has no global barrier; each partition round
+			// is its own iteration boundary, so a cancelled context stops the
+			// region before this round's merge mutates the state.
+			if err := checkCancel(opt.Context, int(round)); err != nil {
+				fail(err)
+				return nil
+			}
 			var t0 int64
 			if traceOn {
 				t0 = tr.Now()

@@ -154,6 +154,26 @@ func (r *Registry) LookupHistogram(name string) *Histogram {
 	return nil
 }
 
+// LookupCounter returns the counter registered under name, or nil.
+func (r *Registry) LookupCounter(name string) *Counter {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if m := r.byName[name]; m != nil {
+		return m.ctr
+	}
+	return nil
+}
+
+// LookupGauge returns the gauge registered under name, or nil.
+func (r *Registry) LookupGauge(name string) *Gauge {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if m := r.byName[name]; m != nil {
+		return m.gau
+	}
+	return nil
+}
+
 // validMetricName enforces the Prometheus metric-name charset:
 // [a-zA-Z_:][a-zA-Z0-9_:]*.
 func validMetricName(s string) bool {

@@ -118,3 +118,27 @@ func TestHelpEscaping(t *testing.T) {
 		t.Error("help newline written raw, breaks line-oriented format")
 	}
 }
+
+// TestRegistryLookupCounterGauge mirrors the histogram lookup contract for
+// the other two instrument kinds (used by the serving layer and the bench
+// to read cache counters back).
+func TestRegistryLookupCounterGauge(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "c")
+	g := reg.Gauge("g", "g")
+	reg.Histogram("h_nanos", "h")
+	c.Add(3)
+	g.Set(7)
+	if got := reg.LookupCounter("c_total"); got != c || got.Value() != 3 {
+		t.Errorf("LookupCounter = %v (value %d), want the registered counter", got, got.Value())
+	}
+	if got := reg.LookupGauge("g"); got != g || got.Value() != 7 {
+		t.Errorf("LookupGauge = %v (value %d), want the registered gauge", got, got.Value())
+	}
+	if reg.LookupCounter("g") != nil || reg.LookupCounter("h_nanos") != nil {
+		t.Error("LookupCounter returned a non-counter metric")
+	}
+	if reg.LookupGauge("c_total") != nil || reg.LookupGauge("missing") != nil {
+		t.Error("LookupGauge returned a non-gauge or missing metric")
+	}
+}

@@ -1,0 +1,90 @@
+package server
+
+import (
+	"context"
+	"errors"
+
+	"github.com/rasql/rasql-go/internal/obs"
+)
+
+// Admission errors, mapped to HTTP statuses by the handlers.
+var (
+	// errQueueFull means the wait queue is at capacity: 429 Too Many
+	// Requests with Retry-After — the client should back off and retry.
+	errQueueFull = errors.New("server saturated: admission queue full")
+	// errQueueTimeout means the request's deadline expired (or the client
+	// went away) while waiting for an execution slot: 503.
+	errQueueTimeout = errors.New("request expired while queued for admission")
+	// errDraining means the server is shutting down and admits nothing new.
+	errDraining = errors.New("server is draining")
+)
+
+// admission is the bounded-concurrency gate in front of the engine: at most
+// slots queries execute at once, at most queueCap more wait, and everything
+// beyond that is rejected immediately. The queue depth is exported as a
+// gauge so saturation is visible in /metrics while it is happening.
+type admission struct {
+	slots    chan struct{}
+	queue    chan struct{}
+	queued   *obs.Gauge
+	active   *obs.Gauge
+	rejected *obs.Counter
+}
+
+func newAdmission(slots, queueCap int, reg *obs.Registry) *admission {
+	if slots < 1 {
+		slots = 1
+	}
+	if queueCap < 0 {
+		queueCap = 0
+	}
+	return &admission{
+		slots:    make(chan struct{}, slots),
+		queue:    make(chan struct{}, slots+queueCap),
+		queued:   reg.Gauge("rasql_server_queue_depth", "Requests waiting for an execution slot."),
+		active:   reg.Gauge("rasql_server_active_requests", "Requests holding an execution slot."),
+		rejected: reg.Counter("rasql_server_rejected_total", "Requests rejected by admission control (queue full)."),
+	}
+}
+
+// acquire claims an execution slot, waiting in the bounded queue when all
+// slots are busy. It returns a release func on success; errQueueFull when
+// the queue is at capacity, and errQueueTimeout when ctx expires while
+// waiting. The caller must invoke release exactly once.
+func (a *admission) acquire(ctx context.Context) (func(), error) {
+	// Claim a queue ticket first: its capacity (slots + queueCap) bounds the
+	// total number of requests either running or waiting.
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		a.rejected.Inc()
+		return nil, errQueueFull
+	}
+	a.queued.Set(queueDepth(len(a.queue), len(a.slots)))
+	select {
+	case a.slots <- struct{}{}:
+		a.queued.Set(queueDepth(len(a.queue), len(a.slots)))
+		a.active.Set(int64(len(a.slots)))
+		return func() {
+			<-a.slots
+			<-a.queue
+			a.active.Set(int64(len(a.slots)))
+			a.queued.Set(queueDepth(len(a.queue), len(a.slots)))
+		}, nil
+	case <-ctx.Done():
+		<-a.queue
+		a.queued.Set(queueDepth(len(a.queue), len(a.slots)))
+		return nil, errQueueTimeout
+	}
+}
+
+// queueDepth clamps the waiting-request estimate at zero: the two channel
+// length reads are not atomic together, so a release racing an acquire can
+// transiently observe more slot holders than queue tickets.
+func queueDepth(queueLen, slotsLen int) int64 {
+	d := queueLen - slotsLen
+	if d < 0 {
+		d = 0
+	}
+	return int64(d)
+}

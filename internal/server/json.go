@@ -1,0 +1,142 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/rasql/rasql-go/internal/relation"
+	"github.com/rasql/rasql-go/internal/types"
+)
+
+// ColumnJSON describes one result column on the wire.
+type ColumnJSON struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+}
+
+// columnsJSON renders a schema for the wire.
+func columnsJSON(s types.Schema) []ColumnJSON {
+	out := make([]ColumnJSON, len(s.Columns))
+	for i, c := range s.Columns {
+		out[i] = ColumnJSON{Name: c.Name, Kind: c.Type.String()}
+	}
+	return out
+}
+
+// encodeRows renders rows as JSON-native values: ints as numbers, doubles
+// as numbers, strings as strings, booleans as booleans, NULL as null.
+func encodeRows(rows []types.Row) [][]any {
+	out := make([][]any, len(rows))
+	for i, r := range rows {
+		jr := make([]any, len(r))
+		for j, v := range r {
+			switch v.K {
+			case types.KindInt:
+				jr[j] = v.I
+			case types.KindFloat:
+				jr[j] = v.F
+			case types.KindString:
+				jr[j] = v.S
+			case types.KindBool:
+				jr[j] = v.I != 0
+			default:
+				jr[j] = nil
+			}
+		}
+		out[i] = jr
+	}
+	return out
+}
+
+// parseKind maps the wire kind names (types.Kind.String) back to kinds.
+func parseKind(s string) (types.Kind, error) {
+	switch s {
+	case "int":
+		return types.KindInt, nil
+	case "double":
+		return types.KindFloat, nil
+	case "string":
+		return types.KindString, nil
+	case "boolean":
+		return types.KindBool, nil
+	case "null":
+		return types.KindNull, nil
+	}
+	return types.KindNull, fmt.Errorf("server: unknown column kind %q", s)
+}
+
+// DecodeRelation rebuilds a relation from a wire response (columns + rows).
+// Clients decoding with encoding/json should decode row cells into
+// json.Number (or any); both are handled here. Used by the differential
+// tests and the HTTP bench client to compare server results against the
+// in-process oracle.
+func DecodeRelation(name string, cols []ColumnJSON, rows [][]any) (*relation.Relation, error) {
+	schema := types.Schema{Columns: make([]types.Column, len(cols))}
+	for i, c := range cols {
+		k, err := parseKind(c.Kind)
+		if err != nil {
+			return nil, err
+		}
+		schema.Columns[i] = types.Column{Name: c.Name, Type: k}
+	}
+	rel := relation.New(name, schema)
+	for _, jr := range rows {
+		if len(jr) != len(cols) {
+			return nil, fmt.Errorf("server: row has %d cells, schema has %d columns", len(jr), len(cols))
+		}
+		row := make(types.Row, len(jr))
+		for j, cell := range jr {
+			v, err := decodeValue(cell, schema.Columns[j].Type)
+			if err != nil {
+				return nil, fmt.Errorf("server: column %s: %w", cols[j].Name, err)
+			}
+			row[j] = v
+		}
+		rel.Rows = append(rel.Rows, row)
+	}
+	return rel, nil
+}
+
+// decodeValue converts one decoded JSON cell to a typed value. The declared
+// column kind disambiguates JSON's single number type.
+func decodeValue(cell any, kind types.Kind) (types.Value, error) {
+	if cell == nil {
+		return types.Null(), nil
+	}
+	switch c := cell.(type) {
+	case json.Number:
+		if kind == types.KindFloat {
+			f, err := c.Float64()
+			if err != nil {
+				return types.Value{}, err
+			}
+			return types.Float(f), nil
+		}
+		i, err := c.Int64()
+		if err != nil {
+			// An int column can still carry a fractional literal when the
+			// engine widened it; fall back to the float reading.
+			f, ferr := c.Float64()
+			if ferr != nil {
+				return types.Value{}, err
+			}
+			return types.Float(f), nil
+		}
+		if kind == types.KindInt {
+			return types.Int(i), nil
+		}
+		return types.Int(i), nil
+	case float64:
+		if kind == types.KindInt && c == float64(int64(c)) {
+			return types.Int(int64(c)), nil
+		}
+		return types.Float(c), nil
+	case int64:
+		return types.Int(c), nil
+	case string:
+		return types.Str(c), nil
+	case bool:
+		return types.Bool(c), nil
+	}
+	return types.Value{}, fmt.Errorf("unsupported JSON cell type %T", cell)
+}

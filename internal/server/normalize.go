@@ -1,0 +1,49 @@
+package server
+
+import (
+	"strings"
+
+	"github.com/rasql/rasql-go/internal/sql/token"
+)
+
+// NormalizeSQL canonicalizes a script for plan-cache keying: it re-renders
+// the token stream with one space between tokens, keywords upper-cased (the
+// lexer already does this), identifiers lower-cased (the catalog resolves
+// names case-insensitively, so `Edge` and `edge` compile to the same plan),
+// and comments/whitespace dropped. String literals are preserved verbatim —
+// 'Alice' and 'alice' are different constants and must not collide — and
+// number literals keep their spelling, so 1 and 1.0 stay distinct keys.
+//
+// Two scripts with equal normal forms compile to identical plans against the
+// same catalog version; the converse does not hold (the cache just misses).
+func NormalizeSQL(src string) (string, error) {
+	toks, err := token.Lex(src)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.Grow(len(src))
+	first := true
+	for _, t := range toks {
+		if t.Kind == token.EOF {
+			break
+		}
+		if !first {
+			b.WriteByte(' ')
+		}
+		first = false
+		switch t.Kind {
+		case token.Ident:
+			b.WriteString(strings.ToLower(t.Text))
+		case token.String:
+			// Re-quote, restoring the '' escape the lexer decoded, so a
+			// literal can never masquerade as surrounding syntax.
+			b.WriteByte('\'')
+			b.WriteString(strings.ReplaceAll(t.Text, "'", "''"))
+			b.WriteByte('\'')
+		default:
+			b.WriteString(t.Text)
+		}
+	}
+	return b.String(), nil
+}

@@ -35,6 +35,12 @@ type Catalog struct {
 	tables map[string]*relation.Relation
 	//rasql:guardedby=mu
 	views map[string]*ViewDef
+	// version counts DDL commits (table or view registrations, replacements
+	// and drops). Plan caches key compiled plans on it: any mutation bumps
+	// the version, so a plan compiled against an older catalog can never be
+	// served after DDL changes what its names resolve to.
+	//rasql:guardedby=mu
+	version uint64
 }
 
 // New creates an empty catalog.
@@ -62,7 +68,16 @@ func (c *Catalog) Clone() *Catalog {
 	for k, v := range c.views {
 		views[k] = v
 	}
-	return &Catalog{tables: tables, views: views}
+	return &Catalog{tables: tables, views: views, version: c.version}
+}
+
+// Version returns the catalog's DDL commit counter. The version and the
+// name maps move together under one lock, so a Clone's Version identifies
+// exactly the snapshot its names came from.
+func (c *Catalog) Version() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.version
 }
 
 // Register adds or replaces a base table.
@@ -76,6 +91,7 @@ func (c *Catalog) Register(rel *relation.Relation) error {
 		return fmt.Errorf("catalog: %q already defined as a view", rel.Name)
 	}
 	c.tables[key(rel.Name)] = rel
+	c.version++
 	return nil
 }
 
@@ -90,6 +106,7 @@ func (c *Catalog) RegisterView(v *ViewDef) error {
 		return fmt.Errorf("catalog: view %q already defined", v.Name)
 	}
 	c.views[key(v.Name)] = v
+	c.version++
 	return nil
 }
 
@@ -104,6 +121,7 @@ func (c *Catalog) PutView(v *ViewDef) error {
 		return fmt.Errorf("catalog: %q already defined as a table", v.Name)
 	}
 	c.views[key(v.Name)] = v
+	c.version++
 	return nil
 }
 
@@ -128,6 +146,7 @@ func (c *Catalog) DropView(name string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	delete(c.views, key(name))
+	c.version++
 }
 
 // Names lists all registered table and view names, sorted.

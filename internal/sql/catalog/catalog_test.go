@@ -84,3 +84,53 @@ func TestReRegisterTableReplaces(t *testing.T) {
 		t.Error("re-registration should replace the table")
 	}
 }
+
+// TestVersionBumpsOnDDL pins the DDL-version contract the serving layer's
+// plan cache keys on: every mutating commit bumps the version exactly once,
+// reads never do, and Clone carries the version of its snapshot.
+func TestVersionBumpsOnDDL(t *testing.T) {
+	c := New()
+	v := c.Version()
+	if v != 0 {
+		t.Fatalf("fresh catalog version = %d, want 0", v)
+	}
+	step := func(what string, mutate func() error) {
+		t.Helper()
+		if err := mutate(); err != nil {
+			t.Fatalf("%s: %v", what, err)
+		}
+		if got := c.Version(); got != v+1 {
+			t.Errorf("%s: version %d -> %d, want exactly +1", what, v, got)
+		}
+		v = c.Version()
+	}
+	step("register table", func() error { return c.Register(rel("edge")) })
+	step("re-register table", func() error { return c.Register(rel("edge")) })
+	step("register view", func() error { return c.RegisterView(&ViewDef{Name: "v1"}) })
+	step("replace view", func() error { return c.PutView(&ViewDef{Name: "v1"}) })
+	step("drop view", func() error { c.DropView("v1"); return nil })
+
+	// Reads and lookups leave the version untouched.
+	c.Table("edge")
+	c.View("v1")
+	c.Names()
+	if got := c.Version(); got != v {
+		t.Errorf("reads changed the version: %d -> %d", v, got)
+	}
+
+	// A clone snapshots the version; later commits on the original do not
+	// leak into it.
+	snap := c.Clone()
+	if snap.Version() != v {
+		t.Errorf("clone version = %d, want %d", snap.Version(), v)
+	}
+	if err := c.Register(rel("other")); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version() != v {
+		t.Errorf("original DDL changed the clone's version: %d", snap.Version())
+	}
+	if c.Version() != v+1 {
+		t.Errorf("original version = %d, want %d", c.Version(), v+1)
+	}
+}

@@ -70,6 +70,12 @@ const (
 // "async". It returns the mode and the SSP staleness bound.
 func ParseEvalMode(s string) (EvalMode, int, error) { return fixpoint.ParseEvalMode(s) }
 
+// ErrFixpointCancelled reports a fixpoint stopped at an iteration boundary
+// because the query's context was cancelled or its deadline expired
+// (ExecContext and friends). It unwraps to the context error, so
+// errors.Is(err, context.DeadlineExceeded) works through it.
+type ErrFixpointCancelled = fixpoint.ErrCancelled
+
 // MetricsSnapshot is a copy of the cluster's execution counters.
 type MetricsSnapshot = cluster.Snapshot
 

@@ -20,6 +20,7 @@
 package rasql
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -141,15 +142,73 @@ func (e *Engine) Tracer() *trace.Tracer {
 	return e.tracer
 }
 
+// ExecOptions overrides per-query execution settings. The zero value (and a
+// nil *ExecOptions) means "engine defaults" for every field — used by server
+// sessions, which carry their own eval mode and limits per session.
+type ExecOptions struct {
+	// Mode overrides the fixpoint evaluation mode for this query using the
+	// -mode flag syntax: "bsp", "ssp", "ssp:k" or "async". Empty inherits
+	// the engine configuration.
+	Mode string
+	// MaxIterations overrides the fixpoint iteration bound (0 inherits).
+	MaxIterations int
+	// Tracer overrides the engine-attached tracer for this query (nil
+	// inherits; tracing stays off if neither is set).
+	Tracer *trace.Tracer
+	// Stats, when non-nil, receives the finished query's QueryStats — the
+	// same record the engine's recorder observes — so servers can attach
+	// per-query execution stats to their responses without racing the
+	// recorder's ring.
+	Stats *obs.QueryStats
+}
+
+func (o *ExecOptions) tracer(e *Engine) *trace.Tracer {
+	if o != nil && o.Tracer != nil {
+		return o.Tracer
+	}
+	return e.Tracer()
+}
+
 // Exec runs a script: CREATE VIEW statements register views; each SELECT or
 // WITH statement executes. The result of the last query statement is
 // returned (nil if the script only defines views).
 func (e *Engine) Exec(src string) (*relation.Relation, error) {
-	qc := e.cluster.NewQuery(e.Tracer())
+	return e.ExecContext(context.Background(), src)
+}
+
+// ExecContext is Exec with a cancellation context: when ctx is cancelled or
+// its deadline expires, a running fixpoint stops at the next iteration
+// boundary and the query returns an error satisfying
+// errors.Is(err, ctx.Err()).
+func (e *Engine) ExecContext(ctx context.Context, src string) (*relation.Relation, error) {
+	return e.ExecOpt(ctx, src, nil)
+}
+
+// ExecOpt is ExecContext with per-query option overrides (nil opts = engine
+// defaults).
+func (e *Engine) ExecOpt(ctx context.Context, src string, opts *ExecOptions) (*relation.Relation, error) {
+	qc := e.cluster.NewQuery(opts.tracer(e))
+	qc.SetContext(ctx)
 	defer qc.Finish()
-	rel, err := e.exec(qc, src)
+	rel, err := e.exec(qc, src, opts)
 	qc.SetErr(err)
+	if opts != nil && opts.Stats != nil {
+		qc.Finish()
+		*opts.Stats = qc.Stats(qc.Metrics.Snapshot())
+	}
 	return rel, err
+}
+
+// QueryContext is Query with a cancellation context (see ExecContext).
+func (e *Engine) QueryContext(ctx context.Context, src string) (*relation.Relation, error) {
+	rel, err := e.ExecContext(ctx, src)
+	if err != nil {
+		return nil, err
+	}
+	if rel == nil {
+		return nil, fmt.Errorf("rasql: script contained no query statement")
+	}
+	return rel, nil
 }
 
 // exec runs a script under one per-query cluster context. Analysis reads a
@@ -157,7 +216,7 @@ func (e *Engine) Exec(src string) (*relation.Relation, error) {
 // into the snapshot (visible to later statements of the same script) and
 // commits to the session with replace semantics, so re-running a script —
 // sequentially or from concurrent goroutines — stays idempotent.
-func (e *Engine) exec(qc *cluster.QueryContext, src string) (*relation.Relation, error) {
+func (e *Engine) exec(qc *cluster.QueryContext, src string, opts *ExecOptions) (*relation.Relation, error) {
 	tr := qc.Tracer
 	sp := tr.Begin("parse", trace.TidDriver)
 	stmts, err := parser.Parse(src)
@@ -186,7 +245,7 @@ func (e *Engine) exec(qc *cluster.QueryContext, src string) (*relation.Relation,
 		}
 		opt := optimize.Program(prog)
 		sp.End()
-		last, err = e.run(qc, opt)
+		last, err = e.run(qc, opt, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -244,16 +303,16 @@ func (e *Engine) Vet(src string) (*vet.Report, error) {
 func (e *Engine) Run(prog *analyze.Program) (*relation.Relation, error) {
 	qc := e.cluster.NewQuery(e.Tracer())
 	defer qc.Finish()
-	rel, err := e.run(qc, prog)
+	rel, err := e.run(qc, prog, nil)
 	qc.SetErr(err)
 	return rel, err
 }
 
-func (e *Engine) run(qc *cluster.QueryContext, prog *analyze.Program) (*relation.Relation, error) {
+func (e *Engine) run(qc *cluster.QueryContext, prog *analyze.Program, opts *ExecOptions) (*relation.Relation, error) {
 	ctx := exec.NewContext()
 	if prog.Clique != nil && len(prog.Clique.Views) > 0 {
 		sp := qc.Tracer.Begin("fixpoint", trace.TidDriver)
-		res, err := e.runClique(qc, prog.Clique, ctx)
+		res, err := e.runClique(qc, prog.Clique, ctx, opts)
 		sp.End()
 		if err != nil {
 			return nil, err
@@ -274,15 +333,30 @@ func (e *Engine) RunClique(prog *analyze.Program) (*fixpoint.Result, error) {
 	}
 	qc := e.cluster.NewQuery(e.Tracer())
 	defer qc.Finish()
-	res, err := e.runClique(qc, prog.Clique, exec.NewContext())
+	res, err := e.runClique(qc, prog.Clique, exec.NewContext(), nil)
 	qc.SetErr(err)
 	return res, err
 }
 
-func (e *Engine) runClique(qc *cluster.QueryContext, clique *analyze.Clique, ctx *exec.Context) (*fixpoint.Result, error) {
+func (e *Engine) runClique(qc *cluster.QueryContext, clique *analyze.Clique, ctx *exec.Context, opts *ExecOptions) (*fixpoint.Result, error) {
 	opt := e.cfg.Fixpoint
 	if qc.Tracer != nil {
 		opt.Tracer = qc.Tracer
+	}
+	// The caller's context rides the query context down to the fixpoint
+	// drivers, which poll it at iteration boundaries.
+	opt.Context = qc.Context()
+	if opts != nil {
+		if opts.Mode != "" {
+			m, k, err := fixpoint.ParseEvalMode(opts.Mode)
+			if err != nil {
+				return nil, err
+			}
+			opt.Mode, opt.Staleness = m, k
+		}
+		if opts.MaxIterations > 0 {
+			opt.MaxIterations = opts.MaxIterations
+		}
 	}
 	if e.cfg.ForceLocal {
 		qc.SetMode("local", "")

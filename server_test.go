@@ -1,0 +1,369 @@
+package rasql_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	rasql "github.com/rasql/rasql-go"
+	"github.com/rasql/rasql-go/internal/server"
+)
+
+// newCaseServer starts an httptest rasqld serving one example case's tables
+// on a fresh engine (fresh engine per server: metric families register once
+// per registry).
+func newCaseServer(t *testing.T, tc exampleCase, cfg server.Config) *httptest.Server {
+	t.Helper()
+	eng := rasql.New(rasql.Config{})
+	for _, tab := range tc.tables() {
+		eng.MustRegister(tab.Clone())
+	}
+	ts := httptest.NewServer(server.New(eng, cfg).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// postJSON posts body and decodes the response into out (row cells as
+// json.Number so int64s survive). Returns the HTTP status.
+func postJSON(t *testing.T, url string, body, out any) int {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal request: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		dec := json.NewDecoder(resp.Body)
+		dec.UseNumber()
+		if err := dec.Decode(out); err != nil && err != io.EOF {
+			t.Fatalf("POST %s: decode response: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// wireResult is the subset of the /v1/query response the tests decode.
+type wireResult struct {
+	Columns  []server.ColumnJSON `json:"columns"`
+	Rows     [][]any             `json:"rows"`
+	RowCount int                 `json:"row_count"`
+	Cached   bool                `json:"cached"`
+	Error    string              `json:"error"`
+}
+
+// serverQuery runs sql over HTTP (sid optional) and rebuilds the relation.
+func serverQuery(t *testing.T, base, sid, sql string) (*rasql.Relation, *wireResult) {
+	t.Helper()
+	var res wireResult
+	status := postJSON(t, base+"/v1/query", map[string]any{"sql": sql, "session_id": sid}, &res)
+	if status != http.StatusOK {
+		t.Fatalf("POST /v1/query: status %d: %s", status, res.Error)
+	}
+	rel, err := server.DecodeRelation("result", res.Columns, res.Rows)
+	if err != nil {
+		t.Fatalf("decode result relation: %v", err)
+	}
+	return rel, &res
+}
+
+// newSession creates a server session and returns its id.
+func newSession(t *testing.T, base string) string {
+	t.Helper()
+	var res struct {
+		SessionID string `json:"session_id"`
+		Error     string `json:"error"`
+	}
+	if status := postJSON(t, base+"/v1/sessions", map[string]any{}, &res); status != http.StatusCreated {
+		t.Fatalf("POST /v1/sessions: status %d: %s", status, res.Error)
+	}
+	return res.SessionID
+}
+
+// caseOracle runs the example case on a fresh in-process engine.
+func caseOracle(t *testing.T, tc exampleCase) *rasql.Relation {
+	t.Helper()
+	eng := rasql.New(rasql.Config{})
+	for _, tab := range tc.tables() {
+		eng.MustRegister(tab.Clone())
+	}
+	want, err := eng.Query(tc.query)
+	if err != nil {
+		t.Fatalf("sequential oracle: %v", err)
+	}
+	return want
+}
+
+// TestServerDifferential runs every example query through an
+// httptest-started rasqld twice — once in a fresh session per request, once
+// repeatedly through one shared session — and compares each HTTP result
+// set-equal against the in-process sequential oracle. The shared-session
+// repeats also pin down plan-cache behaviour: the repeat of a cacheable
+// statement must be served from cache.
+func TestServerDifferential(t *testing.T) {
+	for _, tc := range exampleCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			want := caseOracle(t, tc)
+			ts := newCaseServer(t, tc, server.Config{})
+
+			// Fresh session per request.
+			got, _ := serverQuery(t, ts.URL, newSession(t, ts.URL), tc.query)
+			if !got.EqualAsSet(want) {
+				t.Errorf("fresh session diverged from oracle\n got: %v\nwant: %v", got.Sort(), want.Sort())
+			}
+
+			// One shared session, repeated requests. CREATE VIEW scripts
+			// (coalesce) are not cacheable; repeats must still be correct.
+			sid := newSession(t, ts.URL)
+			var sawCached bool
+			for i := 0; i < 3; i++ {
+				got, res := serverQuery(t, ts.URL, sid, tc.query)
+				if !got.EqualAsSet(want) {
+					t.Errorf("shared session repeat %d diverged from oracle\n got: %v\nwant: %v",
+						i, got.Sort(), want.Sort())
+				}
+				sawCached = sawCached || res.Cached
+			}
+			if tc.name != "coalesce" && !sawCached {
+				t.Errorf("no repeat of %s was served from the plan cache", tc.name)
+			}
+		})
+	}
+}
+
+// TestServerConcurrentClients is the serving differential under load: for
+// every example query, concurrentGoroutines HTTP clients (each with its own
+// session) issue the query twice against one shared server, and every
+// response must be set-equal to the sequential oracle. The CI
+// server-differential job runs this under -race.
+func TestServerConcurrentClients(t *testing.T) {
+	if testing.Short() {
+		t.Skip("concurrent server differential sweep is not short")
+	}
+	for _, tc := range exampleCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			want := caseOracle(t, tc)
+			ts := newCaseServer(t, tc, server.Config{MaxConcurrent: concurrentGoroutines, QueueDepth: 2 * concurrentGoroutines})
+
+			errs := make([]error, concurrentGoroutines)
+			var wg sync.WaitGroup
+			for i := 0; i < concurrentGoroutines; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					sid, err := clientSession(ts.URL)
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					for rep := 0; rep < 2; rep++ {
+						got, err := clientQuery(ts.URL, sid, tc.query)
+						if err != nil {
+							errs[i] = fmt.Errorf("repeat %d: %w", rep, err)
+							return
+						}
+						if !got.EqualAsSet(want) {
+							errs[i] = fmt.Errorf("repeat %d diverged: got %v want %v", rep, got.Sort(), want.Sort())
+							return
+						}
+					}
+				}(i)
+			}
+			wg.Wait()
+			for i, err := range errs {
+				if err != nil {
+					t.Errorf("client %d: %v", i, err)
+				}
+			}
+		})
+	}
+}
+
+// clientSession is newSession without *testing.T, for use off the test
+// goroutine (t.Fatalf must not be called from spawned goroutines).
+func clientSession(base string) (string, error) {
+	resp, err := http.Post(base+"/v1/sessions", "application/json", bytes.NewReader([]byte("{}")))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		msg, _ := io.ReadAll(resp.Body)
+		return "", fmt.Errorf("POST /v1/sessions: status %d: %s", resp.StatusCode, msg)
+	}
+	var out struct {
+		SessionID string `json:"session_id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return "", err
+	}
+	return out.SessionID, nil
+}
+
+// clientQuery is serverQuery without *testing.T.
+func clientQuery(base, sid, sql string) (*rasql.Relation, error) {
+	buf, err := json.Marshal(map[string]any{"sql": sql, "session_id": sid})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(base+"/v1/query", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("POST /v1/query: status %d: %s", resp.StatusCode, msg)
+	}
+	var res wireResult
+	dec := json.NewDecoder(resp.Body)
+	dec.UseNumber()
+	if err := dec.Decode(&res); err != nil {
+		return nil, err
+	}
+	return server.DecodeRelation("result", res.Columns, res.Rows)
+}
+
+// TestServerSessionSettings checks that per-session settings reach the
+// fixpoint engine: a session created with an SSP mode reports that mode in
+// its per-query stats, and a request-level override takes precedence.
+func TestServerSessionSettings(t *testing.T) {
+	tc := exampleCases()[0] // sssp
+	ts := newCaseServer(t, tc, server.Config{})
+
+	var sess struct {
+		SessionID string `json:"session_id"`
+	}
+	if status := postJSON(t, ts.URL+"/v1/sessions",
+		map[string]any{"settings": map[string]any{"mode": "ssp:2"}}, &sess); status != http.StatusCreated {
+		t.Fatalf("create session: status %d", status)
+	}
+
+	var res struct {
+		Stats struct {
+			Mode string `json:"mode"`
+		} `json:"stats"`
+	}
+	if status := postJSON(t, ts.URL+"/v1/query",
+		map[string]any{"sql": tc.query, "session_id": sess.SessionID}, &res); status != http.StatusOK {
+		t.Fatalf("query: status %d", status)
+	}
+	if res.Stats.Mode != "ssp(2)" {
+		t.Errorf("session mode: stats.mode = %q, want ssp(2)", res.Stats.Mode)
+	}
+
+	if status := postJSON(t, ts.URL+"/v1/query",
+		map[string]any{"sql": tc.query, "session_id": sess.SessionID,
+			"settings": map[string]any{"mode": "async"}}, &res); status != http.StatusOK {
+		t.Fatalf("query with override: status %d", status)
+	}
+	if res.Stats.Mode != "async" {
+		t.Errorf("request override: stats.mode = %q, want async", res.Stats.Mode)
+	}
+
+	// Unknown sessions and invalid settings are client errors.
+	var errRes struct {
+		Error string `json:"error"`
+	}
+	if status := postJSON(t, ts.URL+"/v1/query",
+		map[string]any{"sql": tc.query, "session_id": "nope"}, &errRes); status != http.StatusNotFound {
+		t.Errorf("unknown session: status %d, want 404", status)
+	}
+	if status := postJSON(t, ts.URL+"/v1/query",
+		map[string]any{"sql": tc.query, "settings": map[string]any{"mode": "warp"}}, &errRes); status != http.StatusBadRequest {
+		t.Errorf("bad mode: status %d, want 400", status)
+	}
+	if status := postJSON(t, ts.URL+"/v1/query",
+		map[string]any{"sql": "SELEKT"}, &errRes); status != http.StatusBadRequest {
+		t.Errorf("bad sql: status %d, want 400", status)
+	}
+}
+
+// TestServerPrepareExecute drives the prepared-statement endpoints: prepare
+// once, execute repeatedly (second execute onward must hit the plan cache),
+// and a DDL script in between must not poison correctness.
+func TestServerPrepareExecute(t *testing.T) {
+	tc := exampleCases()[0] // sssp
+	want := caseOracle(t, tc)
+	ts := newCaseServer(t, tc, server.Config{})
+	sid := newSession(t, ts.URL)
+
+	var prep struct {
+		StatementID    string `json:"statement_id"`
+		NormalizedSQL  string `json:"normalized_sql"`
+		CatalogVersion uint64 `json:"catalog_version"`
+		Error          string `json:"error"`
+	}
+	if status := postJSON(t, ts.URL+"/v1/prepare",
+		map[string]any{"session_id": sid, "sql": tc.query}, &prep); status != http.StatusOK {
+		t.Fatalf("prepare: status %d: %s", status, prep.Error)
+	}
+	if prep.StatementID == "" || prep.NormalizedSQL == "" {
+		t.Fatalf("prepare: incomplete response %+v", prep)
+	}
+
+	for rep := 0; rep < 3; rep++ {
+		var res wireResult
+		if status := postJSON(t, ts.URL+"/v1/execute",
+			map[string]any{"session_id": sid, "statement_id": prep.StatementID}, &res); status != http.StatusOK {
+			t.Fatalf("execute %d: status %d: %s", rep, status, res.Error)
+		}
+		got, err := server.DecodeRelation("result", res.Columns, res.Rows)
+		if err != nil {
+			t.Fatalf("execute %d: %v", rep, err)
+		}
+		if !got.EqualAsSet(want) {
+			t.Errorf("execute %d diverged\n got: %v\nwant: %v", rep, got.Sort(), want.Sort())
+		}
+		if rep > 0 && !res.Cached {
+			t.Errorf("execute %d: not served from plan cache", rep)
+		}
+	}
+
+	// Unknown statement ids are 404s.
+	var errRes struct {
+		Error string `json:"error"`
+	}
+	if status := postJSON(t, ts.URL+"/v1/execute",
+		map[string]any{"session_id": sid, "statement_id": "nope"}, &errRes); status != http.StatusNotFound {
+		t.Errorf("unknown statement: status %d, want 404", status)
+	}
+	// CREATE VIEW is not preparable: /v1/prepare must refuse it (400), while
+	// /v1/query accepts it.
+	ddl := `CREATE VIEW v(S) AS (SELECT Src FROM edge); SELECT S FROM v`
+	if status := postJSON(t, ts.URL+"/v1/prepare",
+		map[string]any{"session_id": sid, "sql": ddl}, &errRes); status != http.StatusBadRequest {
+		t.Errorf("prepare DDL: status %d, want 400", status)
+	}
+	var res wireResult
+	if status := postJSON(t, ts.URL+"/v1/query",
+		map[string]any{"sql": ddl, "session_id": sid}, &res); status != http.StatusOK {
+		t.Errorf("query DDL: status %d: %s", status, res.Error)
+	}
+	// The DDL bumped the catalog version; the prepared statement must still
+	// execute correctly (the server re-prepares on version mismatch).
+	var res2 wireResult
+	if status := postJSON(t, ts.URL+"/v1/execute",
+		map[string]any{"session_id": sid, "statement_id": prep.StatementID}, &res2); status != http.StatusOK {
+		t.Fatalf("execute after DDL: status %d: %s", status, res2.Error)
+	}
+	got, err := server.DecodeRelation("result", res2.Columns, res2.Rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualAsSet(want) {
+		t.Errorf("execute after DDL diverged\n got: %v\nwant: %v", got.Sort(), want.Sort())
+	}
+}
